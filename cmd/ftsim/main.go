@@ -1,0 +1,111 @@
+// Command ftsim runs a configurable FT-Linux failover scenario: a
+// replicated file server, a downloading client, and an injected hardware
+// fault, printing the timeline and the client's view.
+//
+//	ftsim -size 2147483648 -fail 5s -fault coherency -relaxed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/clients"
+	"repro/internal/apps/fileserver"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcprep"
+)
+
+func main() {
+	size := flag.Int64("size", 1<<30, "file size in bytes")
+	failAt := flag.Duration("fail", 3*time.Second, "when to kill the primary (0 = never)")
+	fault := flag.String("fault", "failstop", "fault kind: failstop, mem, bus, coherency")
+	relaxed := flag.Bool("relaxed", false, "use relaxed output commit (§3.5)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	if err := run(*size, *failAt, *fault, *relaxed, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func faultKind(name string) (hw.FaultKind, error) {
+	switch name {
+	case "failstop":
+		return hw.CoreFailStop, nil
+	case "mem":
+		return hw.MemUncorrected, nil
+	case "bus":
+		return hw.BusError, nil
+	case "coherency":
+		return hw.CoherencyLoss, nil
+	default:
+		return 0, fmt.Errorf("unknown fault kind %q", name)
+	}
+}
+
+func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int64) error {
+	kind, err := faultKind(fault)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(seed)
+	cfg.TCP.MSS = 32 << 10
+	cfg.Replication.StrictOutputCommit = !relaxed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		return err
+	}
+	fcfg := fileserver.DefaultConfig()
+	fcfg.FileSize = size
+	var fst fileserver.Stats
+	sys.LaunchApp("fileserver", nil, func(th *replication.Thread, socks *tcprep.Sockets) {
+		fileserver.Run(th, socks, fcfg, &fst)
+	})
+	verify := func(off int64, data []byte) bool {
+		want := make([]byte, len(data))
+		fileserver.Fill(want, off)
+		for i := range data {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var dl clients.DownloadStats
+	clients.Download(client, fcfg.Port, size, time.Second, verify, &dl)
+	if failAt > 0 {
+		fmt.Printf("will inject %v on the primary at t=%v\n", kind, failAt)
+		sys.InjectPrimaryFailure(failAt, kind)
+	}
+	if err := sys.Sim.RunUntil(sim.Time(30 * time.Minute)); err != nil {
+		return err
+	}
+	for _, s := range dl.Series {
+		fmt.Printf("t=%5.0fs %8.0f Mb/s\n", s.At.Seconds(), float64(s.Bytes)*8/1e6)
+	}
+	fmt.Printf("\nreceived %d/%d bytes  complete=%v corrupted=%v\n", dl.Received, size, dl.Complete, dl.Corrupted)
+	if failAt > 0 {
+		fmt.Printf("failure declared at %v; failover complete at %v; secondary role: %v\n",
+			sys.FailedAt, sys.LiveAt, sys.Secondary.NS.Role())
+		if drop := sys.Fabric.Stats().Dropped; drop > 0 {
+			fmt.Printf("coherency fault dropped %d in-flight mailbox messages; stream still intact: %v\n",
+				drop, !dl.Corrupted && dl.Complete)
+		}
+	}
+	st := sys.Fabric.Stats()
+	fmt.Printf("inter-replica traffic: %d messages, %.1f MB\n", st.Messages, float64(st.Bytes)/1e6)
+	if !dl.Complete || dl.Corrupted {
+		return fmt.Errorf("client-visible stream was damaged")
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Command memdump reproduces the paper's Figure 1 standalone (§2.3): it
+// "dumps" the physical memory of a simulated 64-core / 96 GB Linux machine
+// running memcached under a CloudSuite-style load, classifying every page
+// as unrecoverable kernel memory (Ignored), recoverable kernel memory
+// (Delayed), user memory, or free, as the input-size multiplier grows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	mults := flag.String("mults", "3,30,60,90,120,150,180", "comma-separated input multipliers")
+	flag.Parse()
+	var multipliers []int
+	for _, f := range strings.Split(*mults, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memdump: bad multiplier:", f)
+			os.Exit(1)
+		}
+		multipliers = append(multipliers, v)
+	}
+	rows, err := bench.Fig1(multipliers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memdump:", err)
+		os.Exit(1)
+	}
+	fmt.Println("physical-memory occupancy, 64 cores / 96 GB, memcached under load")
+	fmt.Println("(Ignored = unrecoverable kernel, Delayed = recoverable kernel)")
+	fmt.Println()
+	var table [][]string
+	for _, r := range rows {
+		bar := func(pct float64, ch byte) string {
+			n := int(pct / 2)
+			return strings.Repeat(string(ch), n)
+		}
+		table = append(table, []string{
+			fmt.Sprintf("%dx", r.Multiplier),
+			bench.F1(r.Ignored), bench.F1(r.Delayed), bench.F1(r.User), bench.F1(r.Free),
+			bar(r.Ignored, 'I') + bar(r.Delayed, 'D') + bar(r.User, 'U'),
+		})
+	}
+	bench.Table(os.Stdout, []string{"input", "ignored%", "delayed%", "user%", "free%", ""}, table)
+}

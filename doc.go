@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "Transparent
+// Fault-Tolerance using Intra-Machine Full-Software-Stack Replication on
+// Commodity Multicore Hardware" (Losa et al., ICDCS 2017) — FT-Linux.
+//
+// The paper's system partitions one commodity NUMA machine into two
+// fault-independent hardware partitions, boots an independent kernel on
+// each, and transparently replicates race-free multithreaded POSIX
+// applications with Primary-Backup record/replay of deterministic sections,
+// plus FT-TCP-style logical replication of the kernel TCP stack. Because
+// OS-level replication cannot run inside a Go process, this repository
+// reproduces the system as a deterministic discrete-event simulation in
+// which every FT-Linux component is implemented as a real algorithm over
+// simulated hardware; see DESIGN.md for the full inventory and the
+// substitution argument, and EXPERIMENTS.md for paper-versus-measured
+// results of every table and figure.
+//
+// Entry points:
+//
+//   - internal/core: boot a replicated System or unreplicated Baseline
+//   - cmd/ftbench: regenerate every evaluation table and figure
+//   - examples/: four runnable demonstrations
+//   - bench_test.go: testing.B benchmarks, one per table/figure
+package repro

@@ -1,0 +1,96 @@
+// Failover: the paper's headline demo (§4.4). A client downloads a large
+// file from the replicated file server over a 1 Gb/s link; mid-transfer the
+// primary partition is killed. The TCP connection survives: after ~5 s of
+// NIC driver reload the promoted secondary resumes the same byte stream,
+// and the client verifies every byte.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/clients"
+	"repro/internal/apps/fileserver"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcprep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failover:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := core.DefaultConfig(1)
+	cfg.TCP.MSS = 32 << 10 // GSO-style segmentation for the bulk transfer
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		return err
+	}
+
+	fcfg := fileserver.DefaultConfig()
+	fcfg.FileSize = 2 << 30 // 2 GB keeps the demo quick; §4.4 uses 10 GB
+	var fst fileserver.Stats
+	sys.LaunchApp("fileserver", nil, func(th *replication.Thread, socks *tcprep.Sockets) {
+		fileserver.Run(th, socks, fcfg, &fst)
+	})
+
+	verify := func(off int64, data []byte) bool {
+		want := make([]byte, len(data))
+		fileserver.Fill(want, off)
+		for i := range data {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var dl clients.DownloadStats
+	clients.Download(client, fcfg.Port, fcfg.FileSize, time.Second, verify, &dl)
+
+	fmt.Println("downloading 2 GB; killing the primary at t=6s...")
+	sys.InjectPrimaryFailure(6*time.Second, hw.CoreFailStop)
+
+	if err := sys.Sim.RunUntil(sim.Time(2 * time.Minute)); err != nil {
+		return err
+	}
+
+	fmt.Println("\n  per-second download rate (wget's view):")
+	for _, s := range dl.Series {
+		bar := int(float64(s.Bytes) * 8 / 1e6 / 25)
+		fmt.Printf("  t=%4.0fs %8.0f Mb/s %s\n", s.At.Seconds(), float64(s.Bytes)*8/1e6, stars(bar))
+	}
+	fmt.Printf("\nfailure detected %v after injection; failover done in %v (NIC driver reload: %v)\n",
+		sys.FailedAt.Sub(sim.Time(6*time.Second)), sys.LiveAt.Sub(sys.FailedAt), sys.Cfg.NICDriverLoadTime)
+	fmt.Printf("received %d/%d bytes, complete=%v corrupted=%v\n",
+		dl.Received, fcfg.FileSize, dl.Complete, dl.Corrupted)
+	if !dl.Complete || dl.Corrupted {
+		return fmt.Errorf("transfer did not survive failover intact")
+	}
+	fmt.Println("the TCP connection survived the primary's death — the client never noticed beyond the stall")
+	return nil
+}
+
+func stars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '*'
+	}
+	return string(b)
+}

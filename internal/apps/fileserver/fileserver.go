@@ -1,0 +1,77 @@
+// Package fileserver reimplements the paper's in-house HTTP-based file
+// server (§4.4): a deliberately light-weight, single-purpose server
+// written for the failover evaluation — it listens for incoming
+// connections and transfers a large file to each, so overheads are easy to
+// break down.
+package fileserver
+
+import (
+	"repro/internal/replication"
+	"repro/internal/tcprep"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Port the server listens on.
+	Port int
+	// FileSize is the transferred file size (10 GB in §4.4).
+	FileSize int64
+	// ChunkBytes is the application write granularity.
+	ChunkBytes int
+}
+
+// DefaultConfig matches the paper's failover experiment.
+func DefaultConfig() Config {
+	return Config{Port: 80, FileSize: 10 << 30, ChunkBytes: 256 << 10}
+}
+
+// Stats reports transfer progress.
+type Stats struct {
+	Conns     int
+	BytesSent int64
+}
+
+// Fill writes the deterministic file content for [off, off+len(b)) — the
+// same function the downloading client uses to verify integrity. Both
+// replicas regenerate identical bytes, which is what makes the replica's
+// output buffer valid for retransmission after failover.
+func Fill(b []byte, off int64) {
+	for i := range b {
+		x := off + int64(i)
+		b[i] = byte(x*131 + (x >> 7) + (x >> 15))
+	}
+}
+
+// Run executes the file server as the replicated application's root
+// thread: accept, transfer the file, close, repeat.
+func Run(th *replication.Thread, socks *tcprep.Sockets, cfg Config, st *Stats) {
+	l, err := socks.Listen(th, cfg.Port, 16)
+	if err != nil {
+		return
+	}
+	buf := make([]byte, cfg.ChunkBytes)
+	for {
+		c, err := l.Accept(th)
+		if err != nil {
+			return
+		}
+		st.Conns++
+		// Read the request line, then stream the file.
+		if _, err := c.Recv(th, 4096); err != nil {
+			_ = c.Close(th)
+			continue
+		}
+		for off := int64(0); off < cfg.FileSize; off += int64(len(buf)) {
+			n := int64(len(buf))
+			if cfg.FileSize-off < n {
+				n = cfg.FileSize - off
+			}
+			Fill(buf[:n], off)
+			if _, err := c.Send(th, buf[:n]); err != nil {
+				break
+			}
+			st.BytesSent += n
+		}
+		_ = c.Close(th)
+	}
+}

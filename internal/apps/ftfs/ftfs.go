@@ -1,0 +1,233 @@
+// Package ftfs implements the paper's §6 file-system extension: a
+// user-space file system run as a replicated application. The paper argues
+// (citing SibylFS) that POSIX file systems are deterministic except for
+// the number of bytes returned by a read, so state-machine replication is
+// straightforward: every mutating operation is already deterministic under
+// the replicated lock order, and the one non-deterministic result — the
+// short-read length — is recorded on the primary and replayed on the
+// secondary like any other syscall outcome.
+//
+// The store is an in-memory hierarchy of flat files protected by an
+// interposed reader-writer lock, so concurrent access from multiple
+// replicated threads serializes identically on both replicas.
+package ftfs
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/pthread"
+	"repro/internal/replication"
+)
+
+// FS errors.
+var (
+	ErrNotExist = errors.New("ftfs: file does not exist")
+	ErrExist    = errors.New("ftfs: file already exists")
+	ErrClosed   = errors.New("ftfs: file handle closed")
+)
+
+// file is one regular file.
+type file struct {
+	data []byte
+}
+
+// FS is a replicated user-space file system instance. Create one per
+// replicated process (on each replica) with New; all operations take the
+// calling replicated thread.
+type FS struct {
+	ns    *replication.Namespace
+	lock  *pthread.RWLock
+	files map[string]*file
+}
+
+// New creates an empty file system bound to the namespace's interposed
+// Pthreads library.
+func New(ns *replication.Namespace) *FS {
+	return &FS{
+		ns:    ns,
+		lock:  ns.Lib().NewRWLock(),
+		files: make(map[string]*file),
+	}
+}
+
+// Handle is an open file descriptor with a seek offset.
+type Handle struct {
+	fs     *FS
+	name   string
+	f      *file
+	offset int64
+	closed bool
+}
+
+// Create makes an empty file, failing if it already exists.
+func (fs *FS) Create(th *replication.Thread, name string) (*Handle, error) {
+	t := th.Task()
+	fs.lock.WrLock(t)
+	defer fs.lock.WrUnlock(t)
+	if _, ok := fs.files[name]; ok {
+		return nil, ErrExist
+	}
+	f := &file{}
+	fs.files[name] = f
+	return &Handle{fs: fs, name: name, f: f}, nil
+}
+
+// Open opens an existing file for reading and writing.
+func (fs *FS) Open(th *replication.Thread, name string) (*Handle, error) {
+	t := th.Task()
+	fs.lock.RdLock(t)
+	defer fs.lock.RdUnlock(t)
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	return &Handle{fs: fs, name: name, f: f}, nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(th *replication.Thread, name string) error {
+	t := th.Task()
+	fs.lock.WrLock(t)
+	defer fs.lock.WrUnlock(t)
+	if _, ok := fs.files[name]; !ok {
+		return ErrNotExist
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns all file names in sorted (deterministic) order.
+func (fs *FS) List(th *replication.Thread) []string {
+	t := th.Task()
+	fs.lock.RdLock(t)
+	defer fs.lock.RdUnlock(t)
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stat reports a file's size.
+func (fs *FS) Stat(th *replication.Thread, name string) (int64, error) {
+	t := th.Task()
+	fs.lock.RdLock(t)
+	defer fs.lock.RdUnlock(t)
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, ErrNotExist
+	}
+	return int64(len(f.data)), nil
+}
+
+// Write appends-or-overwrites at the handle's offset and advances it.
+// Writes are fully deterministic (POSIX write of n bytes writes n bytes on
+// a regular file), so no result replication is needed beyond the lock
+// order.
+func (h *Handle) Write(th *replication.Thread, data []byte) (int, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	t := th.Task()
+	h.fs.lock.WrLock(t)
+	defer h.fs.lock.WrUnlock(t)
+	end := h.offset + int64(len(data))
+	if grow := end - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	copy(h.f.data[h.offset:end], data)
+	h.offset = end
+	return len(data), nil
+}
+
+// Read reads up to max bytes from the handle's offset. Per SibylFS, the
+// byte count returned by read is the ONE non-deterministic POSIX
+// file-system result: the primary's kernel may return fewer bytes than
+// requested (page-boundary and readahead effects). The count is therefore
+// produced on the primary (deterministically randomized here to model the
+// kernel's freedom) and replicated, so both replicas consume file content
+// in identical steps. Returns 0 bytes at end of file.
+func (h *Handle) Read(th *replication.Thread, max int) ([]byte, error) {
+	if h.closed {
+		return nil, ErrClosed
+	}
+	t := th.Task()
+	h.fs.lock.RdLock(t)
+	avail := int64(len(h.f.data)) - h.offset
+	if avail < 0 {
+		avail = 0
+	}
+	want := int64(max)
+	if want > avail {
+		want = avail
+	}
+	h.fs.lock.RdUnlock(t)
+
+	// The short-read decision is the primary's; the secondary replays it.
+	n := h.fs.ns.SyscallU64(th, replication.OpSockResult, 0, func() uint64 {
+		if want <= 1 {
+			return uint64(want)
+		}
+		// Model the kernel's liberty to return a short read.
+		if t.Kernel().Sim().Rand().Intn(4) == 0 {
+			return uint64(1 + t.Kernel().Sim().Rand().Int63n(want))
+		}
+		return uint64(want)
+	})
+
+	h.fs.lock.RdLock(t)
+	defer h.fs.lock.RdUnlock(t)
+	end := h.offset + int64(n)
+	if end > int64(len(h.f.data)) {
+		end = int64(len(h.f.data))
+	}
+	out := make([]byte, end-h.offset)
+	copy(out, h.f.data[h.offset:end])
+	h.offset = end
+	return out, nil
+}
+
+// SeekTo sets the handle's absolute offset.
+func (h *Handle) SeekTo(offset int64) {
+	h.offset = offset
+}
+
+// Close invalidates the handle.
+func (h *Handle) Close() error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// Checksum folds the whole file system (names, sizes, contents) into one
+// value, for cross-replica state comparison.
+func (fs *FS) Checksum(th *replication.Thread) uint64 {
+	t := th.Task()
+	fs.lock.RdLock(t)
+	defer fs.lock.RdUnlock(t)
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum uint64 = 1469598103934665603
+	mix := func(b byte) {
+		sum ^= uint64(b)
+		sum *= 1099511628211
+	}
+	for _, name := range names {
+		for i := 0; i < len(name); i++ {
+			mix(name[i])
+		}
+		mix(0)
+		for _, b := range fs.files[name].data {
+			mix(b)
+		}
+		mix(0xff)
+	}
+	return sum
+}

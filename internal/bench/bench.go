@@ -1,0 +1,77 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§2.3 Figure 1, §4.1 Figures 4-5, §4.2
+// Figures 6-7, §4.3 mixed workload, §4.4 Figure 8), plus the §1 motivation
+// microbenchmark and the fault-model sweep of §2.2. Each experiment is a
+// plain function returning typed rows, shared by cmd/ftbench and the
+// benchmarks in bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// window measures a rate over [from, to) of virtual time from a series of
+// event timestamps.
+func rateIn(times []sim.Time, from, to sim.Time) float64 {
+	n := 0
+	for _, t := range times {
+		if t >= from && t < to {
+			n++
+		}
+	}
+	return float64(n) / to.Sub(from).Seconds()
+}
+
+// trafficRate computes message and byte rates between two fabric snapshots.
+func trafficRate(before, after shm.Stats, window time.Duration) (msgs, bytes float64) {
+	s := window.Seconds()
+	return float64(after.Messages-before.Messages) / s, float64(after.Bytes-before.Bytes) / s
+}
+
+// Table writes rows as an aligned text table.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for i, w2 := range widths {
+		header[i] = dashes(w2)
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F0 formats a float with no decimals.
+func F0(v float64) string { return fmt.Sprintf("%.0f", v) }

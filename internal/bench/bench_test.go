@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig1Shape(t *testing.T) {
+	rows, err := Fig1(Fig1Multipliers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Ignored < 12 || last.Ignored > 18 {
+		t.Errorf("Ignored@180x = %.1f%%, paper ~15%%", last.Ignored)
+	}
+	if last.Delayed < 17 || last.Delayed > 23 {
+		t.Errorf("Delayed@180x = %.1f%%, paper ~20%%", last.Delayed)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].User <= rows[i-1].User {
+			t.Error("User share not growing with input size")
+		}
+	}
+}
+
+func TestFaultOutcomesSumToOne(t *testing.T) {
+	r, err := FaultOutcomes(180, 5000, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.KernelPanic + r.Delayed + r.UserKill + r.None
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("outcome fractions sum to %v", sum)
+	}
+	if r.KernelPanic < 0.10 || r.KernelPanic > 0.20 {
+		t.Errorf("kernel-panic fraction %.3f, paper ~0.15", r.KernelPanic)
+	}
+	rc, err := FaultOutcomes(180, 2000, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.None != 1 {
+		t.Errorf("corrected errors should always be absorbed, got none=%v", rc.None)
+	}
+}
+
+func TestPBZIPPointShape(t *testing.T) {
+	opts := DefaultPBZIPOpts()
+	opts.Window = 6 * time.Second
+	points, err := PBZIP([]int{100}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.Ubuntu < 900 || p.Ubuntu > 1050 {
+		t.Errorf("Ubuntu = %.0f blocks/s at 100KB, expected ~966", p.Ubuntu)
+	}
+	if p.PctOfUbuntu < 90 {
+		t.Errorf("FT sustained at %.1f%% of Ubuntu at 100KB; paper reports it close", p.PctOfUbuntu)
+	}
+	if p.MsgPerSec < 1000 {
+		t.Errorf("traffic %.0f msg/s implausibly low", p.MsgPerSec)
+	}
+}
+
+func TestIntraVsInterLatency(t *testing.T) {
+	r, err := IntraVsInterLatency(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IntraMachine > 2*time.Microsecond {
+		t.Errorf("intra-machine latency %v, paper-scale is sub-microsecond", r.IntraMachine)
+	}
+	if r.InterMachine < 100*time.Microsecond {
+		t.Errorf("LAN latency %v, expected ~135us", r.InterMachine)
+	}
+	if r.Ratio < 100 {
+		t.Errorf("ratio %.0fx, paper reports ~245x", r.Ratio)
+	}
+}
+
+func TestWakeLatencyModel(t *testing.T) {
+	r, err := WakeLatency(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IdleWakeAvg <= r.BusyHandoff {
+		t.Error("idle wake not more expensive than busy hand-off")
+	}
+	if r.IdleWakeMax < 100*time.Microsecond {
+		t.Errorf("idle wake max %v — the deep-idle tail is missing", r.IdleWakeMax)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := sb.String()
+	if !strings.Contains(out, "333") || !strings.Contains(out, "--") {
+		t.Errorf("table output %q", out)
+	}
+	if F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Errorf("F1 = %q", F1(1.25))
+	}
+	if F0(12.7) != "13" {
+		t.Errorf("F0 = %q", F0(12.7))
+	}
+}

@@ -1,0 +1,275 @@
+// Package core assembles the full FT-Linux system of the paper: a
+// commodity NUMA machine partitioned in two, one kernel booted per
+// partition, the shared-memory messaging fabric between them, an
+// FT-Namespace replicating applications from the primary to the secondary
+// (record/replay of deterministic sections), TCP-stack replication with
+// output commit, heart-beat failure detection with IPI halt, and failover
+// that re-loads device drivers and promotes the secondary to live
+// execution.
+//
+// It is the public entry point used by every example, command, and
+// benchmark in this repository:
+//
+//	sys, _ := core.NewSystem(core.DefaultConfig(1))
+//	sys.Launch("app", nil, func(th *replication.Thread) { ... })
+//	sys.Sim.Run()
+//
+// NewBaseline builds the unreplicated "stock Ubuntu" configuration used as
+// the comparison baseline in every experiment.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/replication"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcprep"
+	"repro/internal/tcpstack"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Seed drives the simulation's deterministic randomness.
+	Seed int64
+	// Profile is the machine model (default: the paper's 4x Opteron 6376).
+	Profile hw.Profile
+	// PrimaryNodes/SecondaryNodes are the NUMA nodes per partition
+	// (default: symmetric 4+4, the paper's standard configuration).
+	PrimaryNodes, SecondaryNodes []int
+	// PrimaryCores/SecondaryCores restrict usable cores (0 = all in the
+	// partition); §4.3 uses a single-core secondary.
+	PrimaryCores, SecondaryCores int
+	// Kernel is the kernel timing model.
+	Kernel kernel.Params
+	// Replication tunes the record/replay engine.
+	Replication replication.Config
+	// TCP tunes both replicas' TCP stacks.
+	TCP tcpstack.Params
+	// Failure tunes heart-beat detection.
+	Failure failure.Config
+	// NICDriverLoadTime is the Ethernet driver (re)load time that dominates
+	// failover (§4.4).
+	NICDriverLoadTime time.Duration
+}
+
+// DefaultConfig returns the paper's standard deployment: two symmetric
+// partitions of 32 cores / 64 GB each.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		Profile:           hw.Opteron6376x4(),
+		PrimaryNodes:      []int{0, 1, 2, 3},
+		SecondaryNodes:    []int{4, 5, 6, 7},
+		Kernel:            kernel.DefaultParams(),
+		Replication:       replication.DefaultConfig(),
+		TCP:               tcpstack.DefaultParams(),
+		Failure:           failure.DefaultConfig(),
+		NICDriverLoadTime: 5 * time.Second,
+	}
+}
+
+// Replica is one side of the replicated system.
+type Replica struct {
+	Kernel  *kernel.Kernel
+	NS      *replication.Namespace
+	Sockets *tcprep.Sockets
+	// Stack is the replica's live TCP stack: always set on the primary,
+	// set on the secondary only after failover promotion.
+	Stack    *tcpstack.Stack
+	Detector *failure.Detector
+	TCPSync  *tcprep.Secondary // secondary only
+}
+
+// System is a running FT-Linux deployment.
+type System struct {
+	Cfg       Config
+	Sim       *sim.Simulation
+	Machine   *hw.Machine
+	Fabric    *shm.Fabric
+	Primary   *Replica
+	Secondary *Replica
+
+	nic       *kernel.Device
+	serverNIC *simnet.NIC
+
+	// FailedAt records when the primary was declared failed; LiveAt when
+	// failover promotion completed (zero = never).
+	FailedAt sim.Time
+	LiveAt   sim.Time
+}
+
+// NewSystem boots a replicated deployment.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Profile.Sockets == 0 {
+		cfg.Profile = hw.Opteron6376x4()
+	}
+	if len(cfg.PrimaryNodes) == 0 {
+		cfg.PrimaryNodes = []int{0, 1, 2, 3}
+	}
+	if len(cfg.SecondaryNodes) == 0 {
+		cfg.SecondaryNodes = []int{4, 5, 6, 7}
+	}
+	if cfg.Kernel == (kernel.Params{}) {
+		cfg.Kernel = kernel.DefaultParams()
+	}
+	if cfg.Replication.LogRingBytes == 0 {
+		cfg.Replication = replication.DefaultConfig()
+	}
+	if cfg.TCP.MSS == 0 {
+		cfg.TCP = tcpstack.DefaultParams()
+	}
+	if cfg.NICDriverLoadTime == 0 {
+		cfg.NICDriverLoadTime = 5 * time.Second
+	}
+
+	s := sim.New(cfg.Seed)
+	m := hw.New(s, cfg.Profile)
+	pPart, err := m.NewPartition("primary", cfg.PrimaryNodes...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sPart, err := m.NewPartition("secondary", cfg.SecondaryNodes...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	pk, err := kernel.Boot(pPart, kernel.Config{Name: "primary", Params: cfg.Kernel, Cores: cfg.PrimaryCores})
+	if err != nil {
+		return nil, fmt.Errorf("core: boot primary: %w", err)
+	}
+	sk, err := kernel.Boot(sPart, kernel.Config{Name: "secondary", Params: cfg.Kernel, Cores: cfg.SecondaryCores})
+	if err != nil {
+		return nil, fmt.Errorf("core: boot secondary: %w", err)
+	}
+
+	fabric := shm.NewFabric(s, pPart.CrossLatency(sPart))
+	// Coherency-disrupting faults lose the failing partition's in-flight
+	// messages (§3.5). Registered before the kernels' handlers so the drop
+	// happens even as the kernel dies.
+	m.OnFault(func(f hw.Fault) {
+		if f.Kind != hw.CoherencyLoss {
+			return
+		}
+		switch {
+		case pPart.Owns(f.Node):
+			fabric.DropInflight(0)
+		case sPart.Owns(f.Node):
+			fabric.DropInflight(1)
+		}
+	})
+	m.OnFault(func(f hw.Fault) { pk.HandleFault(f) })
+	m.OnFault(func(f hw.Fault) { sk.HandleFault(f) })
+
+	log := fabric.NewRing("ftns.log", 0, cfg.Replication.LogRingBytes)
+	acks := fabric.NewRing("ftns.acks", 1, 256<<10)
+	tcpSync := fabric.NewRing("tcprep.sync", 0, 8<<20)
+	hbPS := fabric.NewRing("hb.p2s", 0, 16<<10)
+	hbSP := fabric.NewRing("hb.s2p", 1, 16<<10)
+
+	pns := replication.NewPrimary("ftns", pk, cfg.Replication, log, acks)
+	sns := replication.NewSecondary("ftns", sk, cfg.Replication, log, acks)
+
+	pStack := tcpstack.New(pk, "server", cfg.TCP)
+	prim := tcprep.NewPrimary(pns, pStack, tcpSync)
+	sec := tcprep.NewSecondary(sk, tcpSync)
+
+	sys := &System{
+		Cfg:     cfg,
+		Sim:     s,
+		Machine: m,
+		Fabric:  fabric,
+		Primary: &Replica{
+			Kernel:  pk,
+			NS:      pns,
+			Sockets: tcprep.NewSockets(pns, pStack, prim, nil),
+			Stack:   pStack,
+		},
+		Secondary: &Replica{
+			Kernel:  sk,
+			NS:      sns,
+			Sockets: tcprep.NewSockets(sns, nil, nil, sec),
+			TCPSync: sec,
+		},
+		nic: kernel.NewDevice("eth0", cfg.NICDriverLoadTime),
+	}
+
+	// Failure detection, both directions.
+	pd := failure.New(pk, sk, hbPS, hbSP, cfg.Failure)
+	sd := failure.New(sk, pk, hbSP, hbPS, cfg.Failure)
+	sys.Primary.Detector = pd
+	sys.Secondary.Detector = sd
+	pd.OnFail(func() {
+		// Secondary died: the primary continues unreplicated.
+		pns.GoLive()
+	})
+	sd.OnFail(func() { sys.failover() })
+	pd.Start()
+	sd.Start()
+
+	// The NIC goes down the instant its owning kernel dies (its DMA rings
+	// and interrupt routing die with the kernel).
+	pk.OnPanic(func(kernel.PanicReason) {
+		if sys.nic.Owner() == pk {
+			sys.nic.FailDevice()
+		}
+	})
+	return sys, nil
+}
+
+// NIC returns the server's Ethernet device.
+func (sys *System) NIC() *kernel.Device { return sys.nic }
+
+// Launch starts the same application function on both replicas inside the
+// FT-Namespace. The environment is replicated from the primary (§3).
+func (sys *System) Launch(name string, env map[string]string, app func(*replication.Thread)) (p, s *replication.Thread) {
+	p = sys.Primary.NS.Start(name, env, app)
+	s = sys.Secondary.NS.Start(name, env, app)
+	return p, s
+}
+
+// LaunchApp is Launch for applications that use the network: each replica's
+// instance receives its own interposed socket layer.
+func (sys *System) LaunchApp(name string, env map[string]string, app func(*replication.Thread, *tcprep.Sockets)) {
+	sys.Primary.NS.Start(name, env, func(th *replication.Thread) { app(th, sys.Primary.Sockets) })
+	sys.Secondary.NS.Start(name, env, func(th *replication.Thread) { app(th, sys.Secondary.Sockets) })
+}
+
+// failover is the §3.7 sequence, run on the secondary once the primary is
+// declared failed: promote the replay engine to the stable point, re-load
+// the NIC driver (the dominant cost, §4.4), bring up a fresh TCP stack,
+// and promote the logical TCP states into it.
+func (sys *System) failover() {
+	sys.FailedAt = sys.Sim.Now()
+	sys.Secondary.NS.Replayer().Promote()
+	sk := sys.Secondary.Kernel
+	sk.Spawn("failover", func(t *kernel.Task) {
+		if err := t.LoadDriver(sys.nic); err != nil {
+			return // the secondary died too; nothing left to fail over to
+		}
+		stack := tcpstack.New(sk, "server", sys.Cfg.TCP)
+		if sys.serverNIC != nil {
+			stack.Attach(sys.serverNIC)
+		}
+		if err := sys.Secondary.Sockets.Promote(t, stack); err != nil {
+			panic(fmt.Sprintf("core: failover promotion: %v", err))
+		}
+		sys.Secondary.Stack = stack
+		sys.LiveAt = t.Now()
+	})
+}
+
+// InjectPrimaryFailure kills the primary kernel after delay d with the
+// given fault kind (a fail-stop by default), driving the full detection
+// and failover path.
+func (sys *System) InjectPrimaryFailure(d time.Duration, kind hw.FaultKind) {
+	if kind == 0 {
+		kind = hw.CoreFailStop
+	}
+	node := sys.Cfg.PrimaryNodes[0]
+	sys.Machine.InjectAfter(d, hw.Fault{Kind: kind, Node: node, Core: -1, Addr: -1})
+}

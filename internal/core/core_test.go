@@ -1,0 +1,535 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/kmem"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcprep"
+	"repro/internal/tcpstack"
+)
+
+// quietKernel disables the random deep-idle wake penalty so tests can make
+// exact assertions; benchmarks keep it on.
+func quietConfig(seed int64) core.Config {
+	cfg := core.DefaultConfig(seed)
+	cfg.Kernel.IdleWakeMin, cfg.Kernel.IdleWakeMax = 0, 0
+	return cfg
+}
+
+// echoApp accepts connections and echoes each request prefixed with "re:".
+func echoApp(port, nRequests int, done *int) func(*replication.Thread, *tcprep.Sockets) {
+	return func(th *replication.Thread, socks *tcprep.Sockets) {
+		l, err := socks.Listen(th, port, 64)
+		if err != nil {
+			return
+		}
+		for i := 0; i < nRequests; i++ {
+			c, err := l.Accept(th)
+			if err != nil {
+				return
+			}
+			data, err := c.Recv(th, 4096)
+			if err != nil {
+				continue
+			}
+			if _, err := c.Send(th, append([]byte("re:"), data...)); err != nil {
+				continue
+			}
+			_ = c.Close(th)
+			*done++
+		}
+	}
+}
+
+func TestReplicatedEchoService(t *testing.T) {
+	sys, err := core.NewSystem(quietConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pDone, sDone int
+	sys.Primary.NS.Start("echo", nil, func(th *replication.Thread) {
+		echoApp(80, 5, &pDone)(th, sys.Primary.Sockets)
+	})
+	sys.Secondary.NS.Start("echo", nil, func(th *replication.Thread) {
+		echoApp(80, 5, &sDone)(th, sys.Secondary.Sockets)
+	})
+
+	var replies []string
+	client.Kernel.Spawn("client", func(tk *kernel.Task) {
+		for i := 0; i < 5; i++ {
+			c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+			if err != nil {
+				t.Errorf("connect %d: %v", i, err)
+				return
+			}
+			msg := []byte{byte('a' + i)}
+			if _, err := c.Send(tk, msg); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			data, err := c.Recv(tk, 4096)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			replies = append(replies, string(data))
+			_ = c.Close(tk)
+		}
+	})
+	if err := sys.Sim.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 5 {
+		t.Fatalf("got %d replies, want 5: %v", len(replies), replies)
+	}
+	for i, r := range replies {
+		want := "re:" + string(byte('a'+i))
+		if r != want {
+			t.Errorf("reply %d = %q, want %q", i, r, want)
+		}
+	}
+	if pDone != 5 {
+		t.Errorf("primary served %d, want 5", pDone)
+	}
+	if sDone != 5 {
+		t.Errorf("secondary replayed %d, want 5", sDone)
+	}
+	if div := sys.Secondary.NS.Stats().Divergences; div != 0 {
+		t.Errorf("replay divergences: %d", div)
+	}
+	if sys.Fabric.Stats().Messages == 0 {
+		t.Error("no inter-replica traffic recorded")
+	}
+}
+
+// streamApp serves one connection with total bytes of deterministic data
+// in chunk-sized writes, then closes.
+func streamApp(port, chunk, total int) func(*replication.Thread, *tcprep.Sockets) {
+	return func(th *replication.Thread, socks *tcprep.Sockets) {
+		l, err := socks.Listen(th, port, 8)
+		if err != nil {
+			return
+		}
+		c, err := l.Accept(th)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, chunk)
+		for off := 0; off < total; off += chunk {
+			n := chunk
+			if total-off < n {
+				n = total - off
+			}
+			fillPattern(buf[:n], off)
+			if _, err := c.Send(th, buf[:n]); err != nil {
+				return
+			}
+		}
+		_ = c.Close(th)
+	}
+}
+
+// fillPattern writes the deterministic stream content for [off, off+len).
+func fillPattern(b []byte, off int) {
+	for i := range b {
+		x := off + i
+		b[i] = byte(x*31 + (x >> 8) + (x >> 16))
+	}
+}
+
+func checkPattern(t *testing.T, got []byte) {
+	t.Helper()
+	want := make([]byte, len(got))
+	fillPattern(want, 0)
+	if !bytes.Equal(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("stream corrupted at offset %d (%d vs %d)", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// download pulls the whole stream, returning the bytes and per-recv times.
+func download(t *testing.T, client *core.Client, port int, got *[]byte, doneAt *sim.Time) {
+	client.Kernel.Spawn("wget", func(tk *kernel.Task) {
+		c, err := client.Stack.Connect(tk, client.ServerAddr(port))
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		for {
+			data, err := c.Recv(tk, 256<<10)
+			if errors.Is(err, tcpstack.EOF) {
+				break
+			}
+			if err != nil {
+				t.Errorf("recv after %d bytes: %v", len(*got), err)
+				return
+			}
+			*got = append(*got, data...)
+		}
+		*doneAt = tk.Now()
+		_ = c.Close(tk)
+	})
+}
+
+func TestFailoverTransparentToClient(t *testing.T) {
+	cfg := quietConfig(2)
+	cfg.TCP.MSS = 16 << 10 // GSO-style large segments for bulk transfer
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 64 << 20 // 64 MiB ~= 0.6s on the wire at 1 Gb/s
+	sys.LaunchApp("stream", nil, streamApp(80, 64<<10, total))
+
+	var got []byte
+	var doneAt sim.Time
+	download(t, client, 80, &got, &doneAt)
+
+	// Kill the primary mid-transfer with a core fail-stop.
+	sys.InjectPrimaryFailure(200*time.Millisecond, hw.CoreFailStop)
+
+	if err := sys.Sim.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("client received %d bytes, want %d", len(got), total)
+	}
+	checkPattern(t, got)
+	if sys.FailedAt == 0 || sys.LiveAt == 0 {
+		t.Fatalf("failover did not run: failedAt=%v liveAt=%v", sys.FailedAt, sys.LiveAt)
+	}
+	// Detection: within heart-beat timeout + slack of the injection.
+	detect := sys.FailedAt.Sub(sim.Time(200 * time.Millisecond))
+	if detect > 100*time.Millisecond {
+		t.Errorf("detection took %v, want <100ms", detect)
+	}
+	// Promotion is dominated by the 5s NIC driver reload (§4.4).
+	gap := sys.LiveAt.Sub(sys.FailedAt)
+	if gap < 5*time.Second || gap > 6*time.Second {
+		t.Errorf("failover took %v, want ~5s (driver reload)", gap)
+	}
+	if doneAt < sys.LiveAt {
+		t.Error("transfer finished before failover completed?")
+	}
+	if sys.Secondary.NS.Role() != replication.RoleLive {
+		t.Errorf("secondary role = %v, want live", sys.Secondary.NS.Role())
+	}
+}
+
+func TestFailoverWithCoherencyLoss(t *testing.T) {
+	// The §3.5 case: the fault disrupts cache coherency, losing the
+	// primary's in-flight log messages. Strict output commit guarantees
+	// the client still observes a consistent stream.
+	cfg := quietConfig(3)
+	cfg.TCP.MSS = 16 << 10
+	cfg.Replication.StrictOutputCommit = true
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 16 << 20
+	sys.LaunchApp("stream", nil, streamApp(80, 64<<10, total))
+	var got []byte
+	var doneAt sim.Time
+	download(t, client, 80, &got, &doneAt)
+	sys.InjectPrimaryFailure(100*time.Millisecond, hw.CoherencyLoss)
+	if err := sys.Sim.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("client received %d bytes, want %d", len(got), total)
+	}
+	checkPattern(t, got)
+}
+
+func TestSecondaryFailurePrimaryContinues(t *testing.T) {
+	cfg := quietConfig(4)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 8 << 20
+	sys.LaunchApp("stream", nil, streamApp(80, 64<<10, total))
+	var got []byte
+	var doneAt sim.Time
+	download(t, client, 80, &got, &doneAt)
+	// Kill the SECONDARY mid-transfer.
+	sys.Machine.InjectAfter(100*time.Millisecond, hw.Fault{Kind: hw.CoreFailStop, Node: 4, Core: -1, Addr: -1})
+	if err := sys.Sim.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("client received %d bytes, want %d", len(got), total)
+	}
+	checkPattern(t, got)
+	if sys.Primary.NS.Role() != replication.RoleLive {
+		t.Errorf("primary role = %v, want live after secondary death", sys.Primary.NS.Role())
+	}
+	if !sys.Primary.Kernel.Alive() {
+		t.Error("primary died")
+	}
+}
+
+func TestBaselineEcho(t *testing.T) {
+	b, err := core.NewBaseline(quietConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := b.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int
+	b.LaunchApp("echo", nil, echoApp(80, 3, &done))
+	var replies int
+	client.Kernel.Spawn("client", func(tk *kernel.Task) {
+		for i := 0; i < 3; i++ {
+			c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			_, _ = c.Send(tk, []byte("x"))
+			if data, err := c.Recv(tk, 64); err == nil && string(data) == "re:x" {
+				replies++
+			}
+			_ = c.Close(tk)
+		}
+	})
+	if err := b.Sim.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if replies != 3 || done != 3 {
+		t.Errorf("replies=%d done=%d, want 3/3", replies, done)
+	}
+}
+
+func TestMemFaultInUserSpaceDoesNotKillKernel(t *testing.T) {
+	sys, err := core.NewSystem(quietConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate user memory on the primary, then hit it with a DUE.
+	if err := sys.Primary.Kernel.Mem().Alloc(kernelUserClass(), 4<<30); err != nil {
+		t.Fatal(err)
+	}
+	addr := sys.Primary.Kernel.Mem().Bytes(kernelIgnoredClass()) + (1 << 30)
+	sys.Machine.InjectAfter(time.Millisecond, hw.Fault{Kind: hw.MemUncorrected, Node: 0, Core: -1, Addr: addr})
+	if err := sys.Sim.RunUntil(sim.Time(200 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Primary.Kernel.Alive() {
+		t.Error("user-space memory fault killed the kernel")
+	}
+	if sys.FailedAt != 0 {
+		t.Error("failover triggered for a survivable fault")
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() (int64, int64) {
+		sys, err := core.NewSystem(quietConfig(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done int
+		sys.LaunchApp("echo", nil, echoApp(80, 3, &done))
+		client.Kernel.Spawn("client", func(tk *kernel.Task) {
+			for i := 0; i < 3; i++ {
+				c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+				if err != nil {
+					return
+				}
+				_, _ = c.Send(tk, []byte("q"))
+				_, _ = c.Recv(tk, 64)
+				_ = c.Close(tk)
+			}
+		})
+		if err := sys.Sim.RunUntil(sim.Time(3 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		st := sys.Fabric.Stats()
+		return st.Messages, st.Bytes
+	}
+	m1, b1 := run()
+	m2, b2 := run()
+	if m1 != m2 || b1 != b2 {
+		t.Errorf("nondeterministic runs: %d/%d vs %d/%d messages/bytes", m1, b1, m2, b2)
+	}
+}
+
+// kmem class helpers keep the test readable without importing kmem at the
+// top-level test scope.
+func kernelUserClass() kmem.PageClass    { return kmem.User }
+func kernelIgnoredClass() kmem.PageClass { return kmem.KernelIgnored }
+
+func TestReplicatedPoll(t *testing.T) {
+	sys, err := core.NewSystem(quietConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A poll-driven server: accept two connections, poll over both, serve
+	// whichever becomes readable first. Poll results (which connection,
+	// which order) are recorded and replayed, so both replicas observe the
+	// same readiness even though the secondary has no live sockets.
+	type maskLog struct{ masks []uint64 }
+	logs := map[string]*maskLog{"primary": {}, "secondary": {}}
+	app := func(lg *maskLog) func(*replication.Thread, *tcprep.Sockets) {
+		return func(th *replication.Thread, socks *tcprep.Sockets) {
+			l, err := socks.Listen(th, 80, 8)
+			if err != nil {
+				return
+			}
+			var conns []*tcprep.Conn
+			for i := 0; i < 2; i++ {
+				c, err := l.Accept(th)
+				if err != nil {
+					return
+				}
+				conns = append(conns, c)
+			}
+			served := 0
+			for served < 2 {
+				mask := socks.Poll(th, conns, time.Second)
+				lg.masks = append(lg.masks, mask)
+				for i, c := range conns {
+					if mask&(1<<uint(i)) == 0 {
+						continue
+					}
+					if _, err := c.Recv(th, 128); err != nil {
+						continue
+					}
+					_, _ = c.Send(th, []byte{byte('0' + i)})
+					_ = c.Close(th)
+					conns = append(conns[:i], conns[i+1:]...)
+					served++
+					break
+				}
+			}
+		}
+	}
+	sys.Primary.NS.Start("pollsrv", nil, func(th *replication.Thread) { app(logs["primary"])(th, sys.Primary.Sockets) })
+	sys.Secondary.NS.Start("pollsrv", nil, func(th *replication.Thread) { app(logs["secondary"])(th, sys.Secondary.Sockets) })
+
+	var replies []string
+	client.Kernel.Spawn("client", func(tk *kernel.Task) {
+		var conns []*tcpstack.Conn
+		for i := 0; i < 2; i++ {
+			c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			conns = append(conns, c)
+		}
+		// The SECOND connection speaks first: the poll result must reflect
+		// that order on both replicas.
+		tk.Sleep(5 * time.Millisecond)
+		for _, i := range []int{1, 0} {
+			if _, err := conns[i].Send(tk, []byte("hi")); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			data, err := conns[i].Recv(tk, 16)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			replies = append(replies, string(data))
+			tk.Sleep(5 * time.Millisecond)
+		}
+	})
+	if err := sys.Sim.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("replies = %q", replies)
+	}
+	p, s := logs["primary"].masks, logs["secondary"].masks
+	if len(p) == 0 || len(p) != len(s) {
+		t.Fatalf("poll masks: primary %v secondary %v", p, s)
+	}
+	for i := range p {
+		if p[i] != s[i] {
+			t.Fatalf("poll readiness diverged: primary %v secondary %v", p, s)
+		}
+	}
+	if div := sys.Secondary.NS.Stats().Divergences; div != 0 {
+		t.Errorf("%d replay divergences", div)
+	}
+}
+
+// TestFailoverAtRandomPointsSeedSweep implements the DESIGN.md failure-
+// injection strategy: across several seeds, the primary is killed at a
+// random point of the transfer (sometimes during the handshake, sometimes
+// mid-stream, with varying fault kinds) and the client-visible byte stream
+// must always be complete and intact.
+func TestFailoverAtRandomPointsSeedSweep(t *testing.T) {
+	kinds := []hw.FaultKind{hw.CoreFailStop, hw.BusError, hw.CoherencyLoss}
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := quietConfig(seed)
+		cfg.TCP.MSS = 32 << 10
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total = 16 << 20
+		sys.LaunchApp("stream", nil, streamApp(80, 64<<10, total))
+		var got []byte
+		var doneAt sim.Time
+		download(t, client, 80, &got, &doneAt)
+		failAt := time.Duration(10+sys.Sim.Rand().Intn(200)) * time.Millisecond
+		kind := kinds[sys.Sim.Rand().Intn(len(kinds))]
+		sys.InjectPrimaryFailure(failAt, kind)
+		if err := sys.Sim.RunUntil(sim.Time(90 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != total {
+			t.Fatalf("seed %d (%v at %v): received %d/%d bytes", seed, kind, failAt, len(got), total)
+		}
+		checkPattern(t, got)
+		if sys.Secondary.NS.Role() != replication.RoleLive {
+			t.Errorf("seed %d: secondary not live after failover", seed)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package failure_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+type pair struct {
+	sim    *sim.Simulation
+	mach   *hw.Machine
+	pk, sk *kernel.Kernel
+	pd, sd *failure.Detector
+}
+
+func newPair(t *testing.T, cfg failure.Config) *pair {
+	t.Helper()
+	s := sim.New(1)
+	m := hw.New(s, hw.Opteron6376x4())
+	pp, _ := m.NewPartition("p", 0, 1, 2, 3)
+	sp, _ := m.NewPartition("s", 4, 5, 6, 7)
+	kp := kernel.DefaultParams()
+	kp.IdleWakeMin, kp.IdleWakeMax = 0, 0
+	pk, err := kernel.Boot(pp, kernel.Config{Name: "primary", Params: kp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := kernel.Boot(sp, kernel.Config{Name: "secondary", Params: kp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := shm.NewFabric(s, pp.CrossLatency(sp))
+	ps := fabric.NewRing("hb.ps", 0, 16<<10)
+	sp2 := fabric.NewRing("hb.sp", 1, 16<<10)
+	pd := failure.New(pk, sk, ps, sp2, cfg)
+	sd := failure.New(sk, pk, sp2, ps, cfg)
+	m.OnFault(func(f hw.Fault) { pk.HandleFault(f) })
+	m.OnFault(func(f hw.Fault) { sk.HandleFault(f) })
+	pd.Start()
+	sd.Start()
+	return &pair{sim: s, mach: m, pk: pk, sk: sk, pd: pd, sd: sd}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	p := newPair(t, failure.DefaultConfig())
+	if err := p.sim.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if p.pd.Fired() || p.sd.Fired() {
+		t.Error("detector fired with both replicas healthy")
+	}
+	if p.pd.Beats < 400 || p.sd.Beats < 400 {
+		t.Errorf("beats = %d/%d, expected ~500 over 5s at 10ms interval", p.pd.Beats, p.sd.Beats)
+	}
+}
+
+func TestDetectsDeathWithinTimeout(t *testing.T) {
+	p := newPair(t, failure.DefaultConfig())
+	var failedAt sim.Time
+	p.sd.OnFail(func() { failedAt = p.sim.Now() })
+	p.sim.Schedule(time.Second, func() { p.pk.Panic("injected", nil) })
+	if err := p.sim.RunUntil(sim.Time(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.sd.Fired() {
+		t.Fatal("secondary's detector never fired")
+	}
+	detect := failedAt.Sub(sim.Time(time.Second))
+	cfg := failure.DefaultConfig()
+	if detect <= 0 || detect > cfg.Timeout+cfg.Interval {
+		t.Errorf("detection latency %v, want within %v", detect, cfg.Timeout+cfg.Interval)
+	}
+	if p.pd.Fired() {
+		t.Error("dead primary's detector fired")
+	}
+}
+
+func TestMCAShortCircuitsTimeout(t *testing.T) {
+	p := newPair(t, failure.DefaultConfig())
+	var failedAt sim.Time
+	p.sd.OnFail(func() { failedAt = p.sim.Now() })
+	// A core fail-stop on the primary's partition is MCA-reported: the
+	// secondary must not wait out the heart-beat timeout.
+	p.mach.InjectAfter(time.Second, hw.Fault{Kind: hw.CoreFailStop, Node: 0, Core: 1, Addr: -1})
+	if err := p.sim.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.sd.Fired() {
+		t.Fatal("MCA report did not trigger failover")
+	}
+	if detect := failedAt.Sub(sim.Time(time.Second)); detect > 10*time.Millisecond {
+		t.Errorf("MCA-triggered detection took %v, want immediate", detect)
+	}
+}
+
+func TestIPIHaltsSlowPeer(t *testing.T) {
+	cfg := failure.DefaultConfig()
+	p := newPair(t, cfg)
+	// Cut only the primary's OUTGOING heart-beats (a "slow" primary whose
+	// kernel still lives): kill its sender tasks by panicking... instead,
+	// simulate by killing just the heart-beat tasks via a fresh pair where
+	// the primary never starts its detector. Build manually:
+	s := sim.New(2)
+	m := hw.New(s, hw.Opteron6376x4())
+	pp, _ := m.NewPartition("p", 0, 1, 2, 3)
+	sp, _ := m.NewPartition("s", 4, 5, 6, 7)
+	pk, _ := kernel.Boot(pp, kernel.Config{Name: "primary"})
+	sk, _ := kernel.Boot(sp, kernel.Config{Name: "secondary"})
+	fabric := shm.NewFabric(s, pp.CrossLatency(sp))
+	ps := fabric.NewRing("hb.ps", 0, 16<<10)
+	sp2 := fabric.NewRing("hb.sp", 1, 16<<10)
+	sd := failure.New(sk, pk, sp2, ps, cfg)
+	sd.Start() // the primary sends no heart-beats at all
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !sd.Fired() {
+		t.Fatal("silent peer not detected")
+	}
+	if pk.Alive() {
+		t.Error("suspected peer was not forcibly halted by IPI")
+	}
+	if sd.IPIs != 1 {
+		t.Errorf("IPIs = %d, want 1", sd.IPIs)
+	}
+	_ = p
+}

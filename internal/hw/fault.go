@@ -1,0 +1,109 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FaultKind enumerates the hardware fault classes of the paper's failure
+// model (§2.1): fail-stop faults and data-corruption faults that are
+// detected before they cause cross-replica contamination.
+type FaultKind int
+
+const (
+	// CoreFailStop is a CPU core ceasing execution (§2.1). On stock Linux a
+	// core fail-stop takes down the entire machine (Shalev et al., §2.3).
+	CoreFailStop FaultKind = iota + 1
+	// MemUncorrected is a detected-but-uncorrected memory error (DUE),
+	// reported through MCA/AER-style machine-check hardware.
+	MemUncorrected
+	// MemCorrected is a correctable memory error (CE). It is reported but
+	// harmless unless errors arrive so fast the kernel is bombarded by
+	// exceptions (the 10%-of-2% unresponsive servers of Meza et al., §2.2).
+	MemCorrected
+	// BusError is a detected interconnect/bus fault confined to one node.
+	BusError
+	// CoherencyLoss is a fault that disrupts cache coherency for a node's
+	// outstanding writes: in-flight inter-replica messages from that node
+	// may be lost (§3.5). The paper conjectures this case is rare.
+	CoherencyLoss
+)
+
+var faultKindNames = map[FaultKind]string{
+	CoreFailStop:   "core-fail-stop",
+	MemUncorrected: "mem-uncorrected",
+	MemCorrected:   "mem-corrected",
+	BusError:       "bus-error",
+	CoherencyLoss:  "coherency-loss",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one detected hardware fault, delivered to fault subscribers the
+// way Intel MCA / AER deliver machine-check exceptions to the OS.
+type Fault struct {
+	Time sim.Time
+	Kind FaultKind
+	Node int   // NUMA node the fault occurred on
+	Core int   // core ID for CoreFailStop, -1 otherwise
+	Addr int64 // physical byte address for memory faults, -1 otherwise
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@node%d t=%v", f.Kind, f.Node, f.Time)
+}
+
+// OnFault registers a machine-check subscriber. Every injected fault is
+// delivered to every subscriber, in registration order, at injection time;
+// subscribers filter by partition ownership themselves (a kernel only sees
+// the error reporting banks of the hardware it runs on, but the shared
+// messaging layer observes coherency loss machine-wide).
+func (m *Machine) OnFault(fn func(Fault)) {
+	m.subs = append(m.subs, fn)
+}
+
+// Inject delivers a fault to all subscribers at the current virtual time.
+// The Time field is stamped by Inject.
+func (m *Machine) Inject(f Fault) {
+	f.Time = m.sim.Now()
+	for _, fn := range m.subs {
+		fn(f)
+	}
+}
+
+// InjectAfter schedules a fault injection after delay d.
+func (m *Machine) InjectAfter(d time.Duration, f Fault) *sim.Event {
+	return m.sim.Schedule(d, func() { m.Inject(f) })
+}
+
+// InjectCoreFailStop injects a fail-stop of the given core.
+func (m *Machine) InjectCoreFailStop(core *Core) {
+	m.Inject(Fault{Kind: CoreFailStop, Node: core.Node.ID, Core: core.ID, Addr: -1})
+}
+
+// InjectMemError injects a memory error at a physical address on the node
+// that owns the address range. corrected selects CE vs DUE.
+func (m *Machine) InjectMemError(node int, addr int64, corrected bool) {
+	kind := MemUncorrected
+	if corrected {
+		kind = MemCorrected
+	}
+	m.Inject(Fault{Kind: kind, Node: node, Core: -1, Addr: addr})
+}
+
+// RandomMemErrorAddr picks a uniformly random physical address on a random
+// node, using the simulation's deterministic RNG. It returns the node and
+// the machine-wide physical address.
+func (m *Machine) RandomMemErrorAddr() (node int, addr int64) {
+	rng := m.sim.Rand()
+	node = rng.Intn(len(m.nodes))
+	off := rng.Int63n(m.nodes[node].Mem)
+	return node, int64(node)*m.prof.MemPerNode + off
+}

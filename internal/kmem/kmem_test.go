@@ -1,0 +1,219 @@
+package kmem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+func TestAllocAndFree(t *testing.T) {
+	a := NewAccounting(100*mib, 4*kib)
+	if a.TotalBytes() != 100*mib {
+		t.Fatalf("TotalBytes = %d", a.TotalBytes())
+	}
+	if err := a.Alloc(User, 10*mib); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := a.Alloc(KernelIgnored, 5*mib); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if got := a.Bytes(User); got != 10*mib {
+		t.Errorf("User = %d, want 10 MiB", got)
+	}
+	if got := a.Bytes(Free); got != 85*mib {
+		t.Errorf("Free = %d, want 85 MiB", got)
+	}
+	if err := a.Freeing(User, 4*mib); err != nil {
+		t.Fatalf("Freeing: %v", err)
+	}
+	if got := a.Bytes(User); got != 6*mib {
+		t.Errorf("User after free = %d, want 6 MiB", got)
+	}
+	if got := a.Fraction(KernelIgnored); got != 0.05 {
+		t.Errorf("Ignored fraction = %v, want 0.05", got)
+	}
+}
+
+func TestAllocRoundsUpToPages(t *testing.T) {
+	a := NewAccounting(1*mib, 4*kib)
+	if err := a.Alloc(User, 1); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if got := a.Bytes(User); got != 4*kib {
+		t.Errorf("1-byte alloc accounted %d bytes, want one page", got)
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	a := NewAccounting(1*mib, 4*kib)
+	err := a.Alloc(User, 2*mib)
+	if !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("Alloc err = %v, want ErrNoMemory", err)
+	}
+	if a.Bytes(User) != 0 || a.Bytes(Free) != 1*mib {
+		t.Error("failed alloc changed accounting")
+	}
+}
+
+func TestReclassify(t *testing.T) {
+	a := NewAccounting(10*mib, 4*kib)
+	if err := a.Alloc(KernelDelayed, 2*mib); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reclassify(KernelDelayed, User, 1*mib); err != nil {
+		t.Fatalf("Reclassify: %v", err)
+	}
+	if a.Bytes(KernelDelayed) != 1*mib || a.Bytes(User) != 1*mib {
+		t.Errorf("after reclassify: delayed=%d user=%d", a.Bytes(KernelDelayed), a.Bytes(User))
+	}
+	if err := a.Reclassify(User, KernelIgnored, 5*mib); err == nil {
+		t.Error("reclassify beyond source size succeeded")
+	}
+}
+
+func TestSnapshotSumsToTotal(t *testing.T) {
+	a := NewAccounting(64*mib, 4*kib)
+	_ = a.Alloc(User, 10*mib)
+	_ = a.Alloc(KernelIgnored, 3*mib)
+	_ = a.Alloc(KernelDelayed, 7*mib)
+	s := a.Snapshot()
+	if sum := s.Free + s.Ignored + s.Delayed + s.User; sum != s.Total {
+		t.Errorf("snapshot classes sum to %d, total %d", sum, s.Total)
+	}
+}
+
+func TestClassifyAddrLayout(t *testing.T) {
+	a := NewAccounting(100*mib, 4*kib)
+	_ = a.Alloc(KernelIgnored, 10*mib)
+	_ = a.Alloc(KernelDelayed, 20*mib)
+	_ = a.Alloc(User, 30*mib)
+	cases := []struct {
+		addr int64
+		want PageClass
+	}{
+		{0, KernelIgnored},
+		{10*mib - 1, KernelIgnored},
+		{10 * mib, KernelDelayed},
+		{30*mib - 1, KernelDelayed},
+		{30 * mib, User},
+		{60*mib - 1, User},
+		{60 * mib, Free},
+		{100*mib - 1, Free},
+	}
+	for _, c := range cases {
+		got, err := a.ClassifyAddr(c.addr)
+		if err != nil {
+			t.Fatalf("ClassifyAddr(%d): %v", c.addr, err)
+		}
+		if got != c.want {
+			t.Errorf("ClassifyAddr(%d) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+	if _, err := a.ClassifyAddr(-1); err == nil {
+		t.Error("negative address accepted")
+	}
+	if _, err := a.ClassifyAddr(100 * mib); err == nil {
+		t.Error("address past end accepted")
+	}
+}
+
+func TestOutcomeOf(t *testing.T) {
+	cases := []struct {
+		class     PageClass
+		corrected bool
+		want      Outcome
+	}{
+		{KernelIgnored, false, OutcomeKernelPanic},
+		{KernelDelayed, false, OutcomeDelayed},
+		{User, false, OutcomeUserKill},
+		{Free, false, OutcomeNone},
+		{KernelIgnored, true, OutcomeNone},
+		{User, true, OutcomeNone},
+	}
+	for _, c := range cases {
+		if got := OutcomeOf(c.class, c.corrected); got != c.want {
+			t.Errorf("OutcomeOf(%v, %v) = %v, want %v", c.class, c.corrected, got, c.want)
+		}
+	}
+}
+
+// TestConservationQuick property-tests that any random sequence of valid
+// alloc/free/reclassify operations conserves total pages and never drives
+// any class negative.
+func TestConservationQuick(t *testing.T) {
+	classes := []PageClass{KernelIgnored, KernelDelayed, User}
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAccounting(256*mib, 4*kib)
+		for i := 0; i < int(ops); i++ {
+			c := classes[rng.Intn(len(classes))]
+			bytes := int64(rng.Intn(32 * mib))
+			switch rng.Intn(3) {
+			case 0:
+				_ = a.Alloc(c, bytes)
+			case 1:
+				_ = a.Freeing(c, bytes)
+			case 2:
+				_ = a.Reclassify(c, classes[rng.Intn(len(classes))], bytes)
+			}
+			s := a.Snapshot()
+			if s.Free < 0 || s.Ignored < 0 || s.Delayed < 0 || s.User < 0 {
+				return false
+			}
+			if s.Free+s.Ignored+s.Delayed+s.User != s.Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassifyAddrProbability verifies that uniformly random addresses hit
+// each class with probability proportional to its occupancy.
+func TestClassifyAddrProbability(t *testing.T) {
+	a := NewAccounting(1000*mib, 4*kib)
+	_ = a.Alloc(KernelIgnored, 150*mib)
+	_ = a.Alloc(KernelDelayed, 200*mib)
+	_ = a.Alloc(User, 450*mib)
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	hits := map[PageClass]int{}
+	for i := 0; i < n; i++ {
+		c, err := a.ClassifyAddr(rng.Int63n(a.TotalBytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[c]++
+	}
+	check := func(c PageClass, want float64) {
+		got := float64(hits[c]) / n
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("class %v hit rate %.3f, want ~%.3f", c, got, want)
+		}
+	}
+	check(KernelIgnored, 0.15)
+	check(KernelDelayed, 0.20)
+	check(User, 0.45)
+	check(Free, 0.20)
+}
+
+func TestStrings(t *testing.T) {
+	if User.String() != "user" || KernelIgnored.String() != "ignored" {
+		t.Error("PageClass strings wrong")
+	}
+	if OutcomeKernelPanic.String() != "kernel-panic" {
+		t.Error("Outcome string wrong")
+	}
+	if PageClass(77).String() == "" || Outcome(77).String() == "" {
+		t.Error("unknown values print empty")
+	}
+}

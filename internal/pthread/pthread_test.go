@@ -1,0 +1,413 @@
+package pthread
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func bootLib(t *testing.T, seed int64) (*sim.Simulation, *kernel.Kernel, *Lib) {
+	t.Helper()
+	s := sim.New(seed)
+	m := hw.New(s, hw.Opteron6376x4())
+	part, err := m.NewPartition("p", 0, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := kernel.DefaultParams()
+	params.IdleWakeMin, params.IdleWakeMax = 0, 0 // deterministic timings for tests
+	k, err := kernel.Boot(part, kernel.Config{Name: "k", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, k, NewLib(k, nil)
+}
+
+func TestMutexExclusion(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	inCS := 0
+	maxCS := 0
+	count := 0
+	for i := 0; i < 8; i++ {
+		k.Spawn("worker", func(tk *kernel.Task) {
+			for j := 0; j < 10; j++ {
+				m.Lock(tk)
+				inCS++
+				if inCS > maxCS {
+					maxCS = inCS
+				}
+				tk.Compute(100 * time.Microsecond)
+				count++
+				inCS--
+				m.Unlock(tk)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxCS != 1 {
+		t.Errorf("max concurrent critical sections = %d, want 1", maxCS)
+	}
+	if count != 80 {
+		t.Errorf("count = %d, want 80", count)
+	}
+	if m.Locked() {
+		t.Error("mutex still locked at end")
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	var order []int
+	k.Spawn("holder", func(tk *kernel.Task) {
+		m.Lock(tk)
+		tk.Sleep(10 * time.Millisecond) // let waiters queue in index order
+		m.Unlock(tk)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("waiter", func(tk *kernel.Task) {
+			tk.Sleep(time.Duration(i+1) * time.Millisecond)
+			m.Lock(tk)
+			order = append(order, i)
+			m.Unlock(tk)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("acquisition order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	k.Spawn("main", func(tk *kernel.Task) {
+		if !m.TryLock(tk) {
+			t.Error("TryLock on free mutex failed")
+		}
+		if m.TryLock(tk) {
+			t.Error("TryLock on held mutex succeeded")
+		}
+		m.Unlock(tk)
+		if !m.TryLock(tk) {
+			t.Error("TryLock after unlock failed")
+		}
+		m.Unlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	k.Spawn("a", func(tk *kernel.Task) {
+		m.Lock(tk)
+		tk.Sleep(10 * time.Millisecond)
+		m.Unlock(tk)
+	})
+	k.Spawn("b", func(tk *kernel.Task) {
+		tk.Sleep(time.Millisecond)
+		m.Unlock(tk) // not the owner: must panic
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("unlock by non-owner did not panic")
+		}
+	}()
+	_ = s.Run()
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	c := lib.NewCond()
+	queue := 0
+	consumed := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("consumer", func(tk *kernel.Task) {
+			m.Lock(tk)
+			for queue == 0 {
+				c.Wait(tk, m)
+			}
+			queue--
+			consumed++
+			m.Unlock(tk)
+		})
+	}
+	k.Spawn("producer", func(tk *kernel.Task) {
+		for i := 0; i < 3; i++ {
+			tk.Sleep(time.Millisecond)
+			m.Lock(tk)
+			queue++
+			c.Signal(tk)
+			m.Unlock(tk)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 3 {
+		t.Errorf("consumed = %d, want 3", consumed)
+	}
+	if c.Waiters() != 0 {
+		t.Errorf("cond still has %d waiters", c.Waiters())
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	c := lib.NewCond()
+	ready := false
+	woken := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("waiter", func(tk *kernel.Task) {
+			m.Lock(tk)
+			for !ready {
+				c.Wait(tk, m)
+			}
+			woken++
+			m.Unlock(tk)
+		})
+	}
+	k.Spawn("broadcaster", func(tk *kernel.Task) {
+		tk.Sleep(5 * time.Millisecond)
+		m.Lock(tk)
+		ready = true
+		c.Broadcast(tk)
+		m.Unlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 6 {
+		t.Errorf("woken = %d, want 6", woken)
+	}
+}
+
+func TestCondTimedWaitTimeout(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	c := lib.NewCond()
+	var signaled bool
+	var wokeAt sim.Time
+	k.Spawn("waiter", func(tk *kernel.Task) {
+		m.Lock(tk)
+		signaled = c.TimedWait(tk, m, 5*time.Millisecond)
+		wokeAt = tk.Now()
+		m.Unlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if signaled {
+		t.Error("TimedWait reported signaled, want timeout")
+	}
+	if wokeAt < sim.Time(5*time.Millisecond) || wokeAt > sim.Time(6*time.Millisecond) {
+		t.Errorf("woke at %v, want ~5ms", wokeAt)
+	}
+	if c.Waiters() != 0 {
+		t.Error("timed-out waiter still enqueued")
+	}
+}
+
+func TestCondTimedWaitSignaledInTime(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	c := lib.NewCond()
+	var signaled bool
+	k.Spawn("waiter", func(tk *kernel.Task) {
+		m.Lock(tk)
+		signaled = c.TimedWait(tk, m, time.Hour)
+		m.Unlock(tk)
+	})
+	k.Spawn("signaler", func(tk *kernel.Task) {
+		tk.Sleep(2 * time.Millisecond)
+		m.Lock(tk)
+		c.Signal(tk)
+		m.Unlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !signaled {
+		t.Error("TimedWait reported timeout, want signaled")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events pending (timer not cancelled?)", s.Pending())
+	}
+}
+
+func TestCondSignalNoWaiters(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	m := lib.NewMutex()
+	c := lib.NewCond()
+	k.Spawn("signaler", func(tk *kernel.Task) {
+		m.Lock(tk)
+		c.Signal(tk) // must not panic or wake anything
+		c.Broadcast(tk)
+		m.Unlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	rw := lib.NewRWLock()
+	maxReaders := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("reader", func(tk *kernel.Task) {
+			rw.RdLock(tk)
+			if rw.Readers() > maxReaders {
+				maxReaders = rw.Readers()
+			}
+			tk.Sleep(10 * time.Millisecond)
+			rw.RdUnlock(tk)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxReaders != 4 {
+		t.Errorf("max concurrent readers = %d, want 4", maxReaders)
+	}
+}
+
+func TestRWLockWriterExclusion(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	rw := lib.NewRWLock()
+	var events []string
+	k.Spawn("writer", func(tk *kernel.Task) {
+		rw.WrLock(tk)
+		events = append(events, "w-in")
+		tk.Sleep(10 * time.Millisecond)
+		events = append(events, "w-out")
+		rw.WrUnlock(tk)
+	})
+	k.Spawn("reader", func(tk *kernel.Task) {
+		tk.Sleep(time.Millisecond)
+		rw.RdLock(tk)
+		events = append(events, "r-in")
+		rw.RdUnlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w-in", "w-out", "r-in"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestRWLockWriterNotStarved(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	rw := lib.NewRWLock()
+	var order []string
+	k.Spawn("r1", func(tk *kernel.Task) {
+		rw.RdLock(tk)
+		tk.Sleep(10 * time.Millisecond)
+		rw.RdUnlock(tk)
+	})
+	k.Spawn("writer", func(tk *kernel.Task) {
+		tk.Sleep(time.Millisecond)
+		rw.WrLock(tk)
+		order = append(order, "w")
+		rw.WrUnlock(tk)
+	})
+	// r2 arrives after the writer queued: it must wait behind the writer.
+	k.Spawn("r2", func(tk *kernel.Task) {
+		tk.Sleep(2 * time.Millisecond)
+		rw.RdLock(tk)
+		order = append(order, "r2")
+		rw.RdUnlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "w" || order[1] != "r2" {
+		t.Errorf("order = %v, want [w r2]", order)
+	}
+}
+
+func TestRWLockTryVariants(t *testing.T) {
+	s, k, lib := bootLib(t, 1)
+	rw := lib.NewRWLock()
+	k.Spawn("main", func(tk *kernel.Task) {
+		if !rw.TryRdLock(tk) {
+			t.Error("TryRdLock on free lock failed")
+		}
+		if rw.TryWrLock(tk) {
+			t.Error("TryWrLock with active reader succeeded")
+		}
+		if !rw.TryRdLock(tk) {
+			t.Error("second TryRdLock failed")
+		}
+		rw.RdUnlock(tk)
+		rw.RdUnlock(tk)
+		if !rw.TryWrLock(tk) {
+			t.Error("TryWrLock on free lock failed")
+		}
+		if rw.TryRdLock(tk) {
+			t.Error("TryRdLock with active writer succeeded")
+		}
+		rw.WrUnlock(tk)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutexExclusionManySeeds property-tests mutual exclusion and progress
+// across random schedules induced by different seeds and idle-wake noise.
+func TestMutexExclusionManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s, k, lib := bootLib(t, seed)
+		m := lib.NewMutex()
+		c := lib.NewCond()
+		inCS, done := 0, 0
+		for i := 0; i < 6; i++ {
+			k.Spawn("w", func(tk *kernel.Task) {
+				for j := 0; j < 5; j++ {
+					tk.Compute(time.Duration(tk.Kernel().Sim().Rand().Intn(200)) * time.Microsecond)
+					m.Lock(tk)
+					if inCS != 0 {
+						t.Errorf("seed %d: mutual exclusion violated", seed)
+					}
+					inCS++
+					if tk.Kernel().Sim().Rand().Intn(2) == 0 {
+						c.Signal(tk)
+					}
+					inCS--
+					m.Unlock(tk)
+				}
+				done++
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if done != 6 {
+			t.Fatalf("seed %d: %d workers finished, want 6", seed, done)
+		}
+	}
+}

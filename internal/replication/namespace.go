@@ -1,0 +1,303 @@
+package replication
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/pthread"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// Namespace is one side's view of an FT-Namespace (§3): applications
+// launched inside it are replicated with the record/replay protocol;
+// everything outside runs natively. It implements pthread.Det, so a
+// pthread.Lib bound to the namespace interposes every synchronization
+// operation.
+type Namespace struct {
+	name string
+	role Role
+	kern *kernel.Kernel
+	cfg  Config
+	lib  *pthread.Lib
+
+	rec *Recorder
+	rep *Replayer
+
+	env       map[string]string
+	nextFTPid int
+	threads   map[*kernel.Task]*Thread
+}
+
+var _ pthread.Det = (*Namespace)(nil)
+
+// Thread is one replicated thread: a kernel task plus its replication
+// identity (ft_pid) and per-thread sequence number (Seq_thread).
+type Thread struct {
+	ns    *Namespace
+	task  *kernel.Task
+	ftpid int
+	seq   uint64
+}
+
+// Task returns the underlying kernel task.
+func (th *Thread) Task() *kernel.Task { return th.task }
+
+// FTPid returns the replicated-task unique identifier.
+func (th *Thread) FTPid() int { return th.ftpid }
+
+// Seq returns the thread's deterministic-section sequence number.
+func (th *Thread) Seq() uint64 { return th.seq }
+
+// NS returns the thread's namespace.
+func (th *Thread) NS() *Namespace { return th.ns }
+
+// Lib returns the namespace's interposed Pthreads library.
+func (th *Thread) Lib() *pthread.Lib { return th.ns.lib }
+
+// NewPrimary creates the primary side of an FT-Namespace. log and acks are
+// the shared-memory rings to/from the secondary.
+func NewPrimary(name string, k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Namespace {
+	return NewPrimaryN(name, k, cfg, []*shm.Ring{log}, []*shm.Ring{acks})
+}
+
+// NewPrimaryN creates a primary that streams its log to N backup replicas
+// (one log+ack ring pair each) — the §6 extension beyond the paper's
+// two-replica prototype. Output commit waits for receipt by every live
+// backup.
+func NewPrimaryN(name string, k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Namespace {
+	ns := newNamespace(name, RolePrimary, k, cfg)
+	ns.rec = newRecorder(k, cfg, logs, acks)
+	return ns
+}
+
+// NewSecondary creates the secondary side of an FT-Namespace.
+func NewSecondary(name string, k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Namespace {
+	ns := newNamespace(name, RoleSecondary, k, cfg)
+	ns.rep = newReplayer(k, cfg, log, acks)
+	return ns
+}
+
+// NewLive creates an unreplicated namespace — the stock-Ubuntu baseline
+// configuration, and the mode replicas run in after failover.
+func NewLive(name string, k *kernel.Kernel) *Namespace {
+	return newNamespace(name, RoleLive, k, Config{})
+}
+
+func newNamespace(name string, role Role, k *kernel.Kernel, cfg Config) *Namespace {
+	ns := &Namespace{
+		name:    name,
+		role:    role,
+		kern:    k,
+		cfg:     cfg,
+		threads: make(map[*kernel.Task]*Thread),
+	}
+	ns.lib = pthread.NewLib(k, ns)
+	return ns
+}
+
+// Name returns the namespace name.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Kernel returns the kernel this side runs on.
+func (ns *Namespace) Kernel() *kernel.Kernel { return ns.kern }
+
+// Lib returns the namespace's interposed Pthreads library.
+func (ns *Namespace) Lib() *pthread.Lib { return ns.lib }
+
+// Role returns the namespace's effective role: a promoted secondary (or a
+// primary whose backup died) reports RoleLive.
+func (ns *Namespace) Role() Role {
+	switch {
+	case ns.role == RolePrimary && ns.rec.live:
+		return RoleLive
+	case ns.role == RoleSecondary && ns.rep.live:
+		return RoleLive
+	}
+	return ns.role
+}
+
+// Recording reports whether this side records (primary, not yet live).
+func (ns *Namespace) Recording() bool { return ns.role == RolePrimary && !ns.rec.live }
+
+// Replaying reports whether this side replays (secondary, not yet live).
+func (ns *Namespace) Replaying() bool { return ns.role == RoleSecondary && !ns.rep.live }
+
+// Replayer returns the secondary engine (nil on other roles); the failover
+// path uses it to promote.
+func (ns *Namespace) Replayer() *Replayer { return ns.rep }
+
+// GoLive stops recording on the primary side (called when the last backup
+// replica dies). On other roles it is a no-op.
+func (ns *Namespace) GoLive() {
+	if ns.rec != nil {
+		ns.rec.goLive()
+	}
+}
+
+// DropReplica stops streaming to the i-th backup (it died); when no live
+// backup remains the primary goes live. Only meaningful on the primary.
+func (ns *Namespace) DropReplica(i int) {
+	if ns.rec != nil {
+		ns.rec.dropReplica(i)
+	}
+}
+
+// Stats returns this side's replication statistics.
+func (ns *Namespace) Stats() Stats {
+	switch {
+	case ns.rec != nil:
+		return ns.rec.stats
+	case ns.rep != nil:
+		return ns.rep.stats
+	}
+	return Stats{}
+}
+
+// ThreadOf returns the Thread owning a kernel task. It panics for tasks
+// outside the namespace — they have no replication identity.
+func (ns *Namespace) ThreadOf(t *kernel.Task) *Thread {
+	th, ok := ns.threads[t]
+	if !ok {
+		panic(fmt.Sprintf("replication: task %q is not in FT-Namespace %q", t.Name(), ns.name))
+	}
+	return th
+}
+
+// InNamespace reports whether a task belongs to the namespace.
+func (ns *Namespace) InNamespace(t *kernel.Task) bool {
+	_, ok := ns.threads[t]
+	return ok
+}
+
+// Section implements pthread.Det.
+func (ns *Namespace) Section(t *kernel.Task, op pthread.Op, obj uint64, fn func()) {
+	switch ns.role {
+	case RolePrimary:
+		ns.rec.section(ns.ThreadOf(t), op, obj, fn)
+	case RoleSecondary:
+		ns.rep.section(ns.ThreadOf(t), op, obj, fn)
+	default:
+		fn()
+	}
+}
+
+// Resolve implements pthread.Det.
+func (ns *Namespace) Resolve(t *kernel.Task, op pthread.Op, obj uint64, block func(), settle func() uint64) uint64 {
+	wrapped := func() (uint64, []byte) { return settle(), nil }
+	switch ns.role {
+	case RolePrimary:
+		out, _ := ns.rec.resolve(ns.ThreadOf(t), op, obj, block, wrapped)
+		return out
+	case RoleSecondary:
+		out, _ := ns.rep.resolve(ns.ThreadOf(t), op, obj, block, wrapped)
+		return out
+	default:
+		block()
+		return settle()
+	}
+}
+
+// SyscallU64 replicates a syscall returning a scalar: executed on the
+// primary (outside the global mutex — it may block, like accept or read)
+// and recorded; replayed from the log on the secondary. On the secondary,
+// run executes only after failover promotion (live mode).
+func (ns *Namespace) SyscallU64(th *Thread, op pthread.Op, obj uint64, run func() uint64) uint64 {
+	switch ns.role {
+	case RolePrimary:
+		var v uint64
+		out, _ := ns.rec.resolve(th, op, obj,
+			func() { v = run() },
+			func() (uint64, []byte) { return v, nil })
+		return out
+	case RoleSecondary:
+		if out, _, ok := ns.rep.replayed(th, op, obj); ok {
+			return out
+		}
+		return run()
+	default:
+		return run()
+	}
+}
+
+// SyscallData replicates a syscall returning a scalar plus payload bytes
+// (e.g. the data delivered by a socket read, §3.4).
+func (ns *Namespace) SyscallData(th *Thread, op pthread.Op, obj uint64, run func() (uint64, []byte)) (uint64, []byte) {
+	switch ns.role {
+	case RolePrimary:
+		var v uint64
+		var data []byte
+		return ns.rec.resolve(th, op, obj,
+			func() { v, data = run() },
+			func() (uint64, []byte) { return v, data })
+	case RoleSecondary:
+		if out, data, ok := ns.rep.replayed(th, op, obj); ok {
+			return out, data
+		}
+		return run()
+	default:
+		return run()
+	}
+}
+
+// OnStable invokes fn once all log messages sent so far are acknowledged
+// by the secondary (output commit). On non-recording roles fn runs
+// immediately.
+func (ns *Namespace) OnStable(fn func()) {
+	if ns.Recording() {
+		ns.rec.onStable(fn)
+		return
+	}
+	fn()
+}
+
+// Start launches the replicated process's root thread (ft_pid 1). On the
+// primary, env is replicated to the secondary before the application runs
+// (§3: the FT-Namespace launching procedure); on the secondary the passed
+// env is ignored in favour of the replicated one.
+func (ns *Namespace) Start(name string, env map[string]string, fn func(*Thread)) *Thread {
+	ns.nextFTPid = 1
+	th := &Thread{ns: ns, ftpid: 1}
+	th.task = ns.kern.Spawn(name, func(t *kernel.Task) {
+		switch ns.role {
+		case RolePrimary:
+			ns.env = env
+			ns.rec.sendEnv(t, env)
+		case RoleSecondary:
+			ns.env = ns.rep.waitEnv(t)
+		default:
+			ns.env = env
+		}
+		fn(th)
+	})
+	ns.threads[th.task] = th
+	return th
+}
+
+// Getenv returns a replicated environment variable.
+func (ns *Namespace) Getenv(key string) string { return ns.env[key] }
+
+// SpawnThread creates a replicated thread. The ft_pid is assigned inside a
+// deterministic section, so thread identity agrees across replicas even
+// when multiple threads spawn concurrently.
+func (ns *Namespace) SpawnThread(parent *Thread, name string, fn func(*Thread)) *Thread {
+	var ftpid int
+	ns.Section(parent.task, OpThreadCreate, 0, func() {
+		ns.nextFTPid++
+		ftpid = ns.nextFTPid
+	})
+	th := &Thread{ns: ns, ftpid: ftpid}
+	th.task = ns.kern.Spawn(name, func(t *kernel.Task) { fn(th) })
+	ns.threads[th.task] = th
+	return th
+}
+
+// Now is the replicated gettimeofday (§3.3): both replicas observe the
+// primary's clock values, so timeout decisions agree.
+func (th *Thread) Now() sim.Time {
+	v := th.ns.SyscallU64(th, OpGetTimeOfDay, 0, func() uint64 { return uint64(th.task.Now()) })
+	return sim.Time(v)
+}
+
+// Join blocks until another replicated thread finishes locally.
+func (th *Thread) Join(other *Thread) { other.task.Join(th.task) }

@@ -1,0 +1,224 @@
+package replication
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/pthread"
+	"repro/internal/shm"
+)
+
+// stableWaiter is a piece of output waiting for its log watermark to be
+// acknowledged by the secondary (output commit, §3.5).
+type stableWaiter struct {
+	watermark uint64
+	fn        func()
+}
+
+// replicaLink is the recorder's view of one backup replica: its log ring,
+// its acknowledgement ring, and the receipt watermark observed so far.
+type replicaLink struct {
+	log   *shm.Ring
+	acks  *shm.Ring
+	acked uint64
+	dead  bool
+}
+
+// Recorder is the primary-side engine: it serializes deterministic
+// sections under the namespace global mutex and streams the log. It
+// supports any number of backup replicas (the paper's prototype uses one;
+// §6 sketches the extension to more): the log is broadcast to every
+// backup and output is stable only when EVERY live backup has received it
+// — the conservative rule that also covers a future voting configuration.
+type Recorder struct {
+	kern     *kernel.Kernel
+	cfg      Config
+	replicas []*replicaLink
+
+	mu        *pthread.Mutex // the namespace-wide global mutex of Figure 3
+	seqGlobal uint64
+	sent      uint64
+	stableQ   []stableWaiter
+	live      bool
+	stats     Stats
+}
+
+func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder {
+	if len(logs) == 0 || len(logs) != len(acks) {
+		panic("replication: recorder needs one log+ack ring pair per backup")
+	}
+	plib := pthread.NewLib(k, nil)
+	plib.SetOpCost(0)
+	r := &Recorder{kern: k, cfg: cfg, mu: plib.NewMutex()}
+	for i := range logs {
+		link := &replicaLink{log: logs[i], acks: acks[i]}
+		r.replicas = append(r.replicas, link)
+		// Output stability requires only that a backup has RECEIVED the
+		// log for subsequent live replay (§3.5), not that it has processed
+		// it: the primary learns of receipt by observing the mailbox
+		// consumer-side slot state, one coherency hop after delivery.
+		log := logs[i]
+		log.OnDelivered(func() {
+			k.Sim().Schedule(log.Latency(), func() {
+				if d := uint64(log.Delivered()); d > link.acked {
+					link.acked = d
+					r.fireStable()
+				}
+			})
+		})
+		// Explicit cumulative acknowledgements free log-ring slots faster
+		// under backlog and serve as a liveness signal; they are consumed
+		// here so the ring never fills.
+		k.Spawn("ft-ack", func(t *kernel.Task) { r.ackLoop(t, link) })
+	}
+	return r
+}
+
+func (r *Recorder) ackLoop(t *kernel.Task, link *replicaLink) {
+	for {
+		m := link.acks.Recv(t.Proc())
+		if v, ok := m.Payload.(uint64); ok && v > link.acked {
+			link.acked = v
+			r.fireStable()
+		}
+	}
+}
+
+// ackedAll reports the receipt watermark every live backup has reached.
+func (r *Recorder) ackedAll() uint64 {
+	min := r.sent
+	any := false
+	for _, link := range r.replicas {
+		if link.dead {
+			continue
+		}
+		any = true
+		if link.acked < min {
+			min = link.acked
+		}
+	}
+	if !any {
+		return r.sent // no live backup left: everything is (vacuously) stable
+	}
+	return min
+}
+
+// emit streams one log message to every live backup, blocking (and thereby
+// throttling the primary to the slowest backup's drain rate) when an
+// in-flight buffer is full.
+func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size int) {
+	for _, link := range r.replicas {
+		if link.dead {
+			continue
+		}
+		link.log.Send(t.Proc(), shm.Message{Kind: kind, Payload: payload, Size: size})
+	}
+	r.sent++
+	r.stats.LogMessages++
+}
+
+func (r *Recorder) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
+	if r.live {
+		fn()
+		return
+	}
+	t := th.task
+	r.mu.Lock(t)
+	t.Busy(r.cfg.SectionCost)
+	fn()
+	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, FTPid: th.ftpid, Op: op, Obj: obj}
+	r.emit(t, msgTuple, tu, tu.size())
+	th.seq++
+	r.seqGlobal++
+	r.stats.Sections++
+	r.mu.Unlock(t)
+}
+
+// resolve runs block (which may park until the non-deterministic outcome is
+// known), then records settle's outcome — and optional payload bytes —
+// inside a deterministic section.
+func (r *Recorder) resolve(th *Thread, op pthread.Op, obj uint64, block func(), settle func() (uint64, []byte)) (uint64, []byte) {
+	if r.live {
+		block()
+		out, data := settle()
+		return out, data
+	}
+	block()
+	t := th.task
+	r.mu.Lock(t)
+	t.Busy(r.cfg.SectionCost)
+	out, data := settle()
+	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, FTPid: th.ftpid, Op: op, Obj: obj, Outcome: out, Data: data}
+	r.emit(t, msgTuple, tu, tu.size())
+	th.seq++
+	r.seqGlobal++
+	r.stats.Sections++
+	r.mu.Unlock(t)
+	return out, data
+}
+
+func (r *Recorder) sendEnv(t *kernel.Task, env map[string]string) {
+	size := 0
+	for k, v := range env {
+		size += len(k) + len(v) + 2
+	}
+	r.emit(t, msgEnv, env, size)
+}
+
+// onStable invokes fn once the secondary has acknowledged every log message
+// sent so far. Under relaxed output commit (or after going live) fn runs
+// immediately.
+func (r *Recorder) onStable(fn func()) {
+	if !r.cfg.StrictOutputCommit || r.live {
+		fn()
+		return
+	}
+	w := r.sent
+	if r.ackedAll() >= w {
+		fn()
+		return
+	}
+	r.stableQ = append(r.stableQ, stableWaiter{watermark: w, fn: fn})
+}
+
+func (r *Recorder) fireStable() {
+	acked := r.ackedAll()
+	for len(r.stableQ) > 0 && r.stableQ[0].watermark <= acked {
+		fn := r.stableQ[0].fn
+		r.stableQ = r.stableQ[1:]
+		fn()
+	}
+}
+
+// dropReplica stops streaming to one dead backup; with no live backup left
+// the recorder goes fully live. Index i matches the ring order given at
+// construction.
+func (r *Recorder) dropReplica(i int) {
+	if i < 0 || i >= len(r.replicas) || r.replicas[i].dead {
+		return
+	}
+	r.replicas[i].dead = true
+	r.replicas[i].log.Drain() // unblock senders stalled on the dead ring
+	r.fireStable()
+	for _, link := range r.replicas {
+		if !link.dead {
+			return
+		}
+	}
+	r.goLive()
+}
+
+// goLive stops recording: every backup is gone (failed, or replication was
+// torn down), so sections run unserialized and all held output is
+// released.
+func (r *Recorder) goLive() {
+	if r.live {
+		return
+	}
+	r.live = true
+	r.fireStable()
+	// Unblock any section stalled on a full log ring: the receivers are
+	// gone, so the buffered log is discarded and the senders released.
+	for _, link := range r.replicas {
+		link.dead = true
+		link.log.Drain()
+	}
+}

@@ -1,0 +1,298 @@
+package replication
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/pthread"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// replWaiter is a shadow thread parked in a deterministic section, waiting
+// for its tuple to reach the head of the log.
+type replWaiter struct {
+	th        *Thread
+	key       uint64
+	granted   bool
+	liveFlush bool // granted by promotion to live execution, no tuple
+	tuple     Tuple
+}
+
+// Replayer is the secondary-side engine: it pulls the primary's log off the
+// shared-memory ring and delivers deterministic-section turns to shadow
+// threads in the recorded global order.
+type Replayer struct {
+	kern *kernel.Kernel
+	cfg  Config
+	log  *shm.Ring
+	acks *shm.Ring
+
+	pending     []Tuple
+	headGranted bool
+	nextGlobal  uint64
+	waiting     map[int]*replWaiter
+	waitOrder   []int // ftpids in park order, for deterministic live-flush
+	processed   uint64
+
+	env      map[string]string
+	envReady bool
+	envQ     *sim.WaitQueue
+
+	live        bool
+	primaryDead bool
+	promoted    *sim.WaitQueue
+	puller      *kernel.Task
+	stats       Stats
+}
+
+func newReplayer(k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Replayer {
+	r := &Replayer{
+		kern:     k,
+		cfg:      cfg,
+		log:      log,
+		acks:     acks,
+		waiting:  make(map[int]*replWaiter),
+		envQ:     sim.NewWaitQueue(k.Sim()),
+		promoted: sim.NewWaitQueue(k.Sim()),
+	}
+	r.puller = k.Spawn("ft-replay", r.pullLoop)
+	return r
+}
+
+// pullLoop is the serial log-dispatch path whose per-tuple cost (riding
+// wake_up_process to hand turns to shadow threads) bounds the secondary's
+// replay rate — the §4.1 bottleneck.
+func (r *Replayer) pullLoop(t *kernel.Task) {
+	for {
+		m := r.log.Recv(t.Proc())
+		// Acknowledge at receipt (§3.5): the message is already safe in
+		// this replica's memory for subsequent live replay.
+		r.processed++
+		if r.cfg.AckEvery > 0 && r.processed%uint64(r.cfg.AckEvery) == 0 {
+			r.acks.TrySend(shm.Message{Kind: msgTuple, Payload: r.processed, Size: 16})
+		}
+		if r.cfg.ReplayDispatchCost > 0 {
+			t.Compute(r.cfg.ReplayDispatchCost)
+		}
+		r.ingest(m)
+	}
+}
+
+func (r *Replayer) ingest(m shm.Message) {
+	switch m.Kind {
+	case msgEnv:
+		if env, ok := m.Payload.(map[string]string); ok {
+			r.env = env
+			r.envReady = true
+			r.envQ.WakeAll(0)
+		}
+	case msgTuple:
+		if tu, ok := m.Payload.(Tuple); ok {
+			r.pending = append(r.pending, tu)
+			r.tryGrant()
+		}
+	}
+	r.stats.LogMessages++
+}
+
+func (r *Replayer) waitEnv(t *kernel.Task) map[string]string {
+	for !r.envReady && !r.live {
+		r.envQ.Wait(t.Proc())
+	}
+	return r.env
+}
+
+// tryGrant hands the head tuple's turn to its shadow thread, if it has
+// arrived at its deterministic section.
+func (r *Replayer) tryGrant() {
+	if r.headGranted || r.live || len(r.pending) == 0 {
+		return
+	}
+	tu := r.pending[0]
+	if tu.GlobalSeq != r.nextGlobal {
+		if r.primaryDead {
+			// Coherency fault lost part of the log: everything past the gap
+			// is beyond the stable point and is discarded (§3.5).
+			r.stats.Dropped += uint64(len(r.pending))
+			r.pending = nil
+			r.finishPromotion()
+			return
+		}
+		panic(fmt.Sprintf("replication: log gap with live primary: head=%v next=%d", tu, r.nextGlobal))
+	}
+	w, ok := r.waiting[tu.FTPid]
+	if !ok {
+		return // the shadow thread has not reached this section yet
+	}
+	delete(r.waiting, tu.FTPid)
+	r.dropWaitOrder(tu.FTPid)
+	r.headGranted = true
+	w.tuple = tu
+	w.granted = true
+	r.kern.FutexWakeRaw(w.key, 1)
+}
+
+func (r *Replayer) dropWaitOrder(ftpid int) {
+	for i, id := range r.waitOrder {
+		if id == ftpid {
+			r.waitOrder = append(r.waitOrder[:i], r.waitOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// park registers the calling shadow thread and blocks until its turn (or
+// until promotion flushes it into live execution).
+func (r *Replayer) park(th *Thread) *replWaiter {
+	if _, dup := r.waiting[th.ftpid]; dup {
+		panic(fmt.Sprintf("replication: ft_pid %d parked twice", th.ftpid))
+	}
+	w := &replWaiter{th: th, key: r.kern.NewFutexKey()}
+	r.waiting[th.ftpid] = w
+	r.waitOrder = append(r.waitOrder, th.ftpid)
+	r.tryGrant()
+	for !w.granted {
+		th.task.FutexWait(w.key, -1)
+	}
+	return w
+}
+
+// sectionDone advances the global replay cursor after the granted shadow
+// thread finished executing its section.
+func (r *Replayer) sectionDone() {
+	r.headGranted = false
+	r.pending = r.pending[1:]
+	r.nextGlobal++
+	r.stats.Sections++
+	r.tryGrant()
+	if r.primaryDead && len(r.pending) == 0 {
+		r.finishPromotion()
+	}
+}
+
+func (r *Replayer) verify(w *replWaiter, op pthread.Op, obj uint64) {
+	tu := w.tuple
+	if tu.Op == op && tu.Obj == obj && tu.ThreadSeq == w.th.seq {
+		return
+	}
+	r.diverge(fmt.Sprintf("tuple %v does not match section op=%v obj=%d thread-seq=%d ft_pid=%d",
+		tu, op, obj, w.th.seq, w.th.ftpid))
+}
+
+func (r *Replayer) diverge(msg string) {
+	r.stats.Divergences++
+	if r.cfg.PanicOnDivergence {
+		r.kern.Panic("replay divergence: "+msg, nil)
+	}
+}
+
+func (r *Replayer) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
+	if r.live {
+		fn()
+		return
+	}
+	w := r.park(th)
+	if w.liveFlush {
+		fn()
+		return
+	}
+	th.task.Busy(r.cfg.ReplaySectionCost)
+	r.verify(w, op, obj)
+	fn()
+	th.seq++
+	r.sectionDone()
+}
+
+// resolve replays a resolve section: block is skipped (the outcome is the
+// recorded one), settle is executed to apply the same state mutation, and
+// the outcomes are compared for divergence detection.
+func (r *Replayer) resolve(th *Thread, op pthread.Op, obj uint64, block func(), settle func() (uint64, []byte)) (uint64, []byte) {
+	if r.live {
+		block()
+		return settle()
+	}
+	w := r.park(th)
+	if w.liveFlush {
+		block()
+		return settle()
+	}
+	th.task.Busy(r.cfg.ReplaySectionCost)
+	r.verify(w, op, obj)
+	out, _ := settle()
+	if out != w.tuple.Outcome {
+		r.diverge(fmt.Sprintf("resolve outcome %d differs from recorded %d (%v obj=%d)", out, w.tuple.Outcome, op, obj))
+	}
+	th.seq++
+	r.sectionDone()
+	return w.tuple.Outcome, w.tuple.Data
+}
+
+// replayed replays a syscall section whose effect must NOT be re-executed
+// locally (socket reads, clock reads): it returns the recorded result.
+func (r *Replayer) replayed(th *Thread, op pthread.Op, obj uint64) (uint64, []byte, bool) {
+	if r.live {
+		return 0, nil, false
+	}
+	w := r.park(th)
+	if w.liveFlush {
+		return 0, nil, false
+	}
+	th.task.Busy(r.cfg.ReplaySectionCost)
+	r.verify(w, op, obj)
+	th.seq++
+	r.sectionDone()
+	return w.tuple.Outcome, w.tuple.Data, true
+}
+
+// Promote switches the replica from replay to live execution after the
+// primary's death (§3.7): the remaining log is drained and replayed to the
+// last stable point, then every parked shadow thread is released into
+// unmanaged execution.
+func (r *Replayer) Promote() {
+	if r.primaryDead || r.live {
+		return
+	}
+	r.primaryDead = true
+	r.puller.Kill()
+	// Drain what the dead primary left in shared memory (§3.5: messages in
+	// the mailbox survive the sender's death).
+	for _, m := range r.log.Drain() {
+		r.processed++
+		r.ingest(m)
+	}
+	if len(r.pending) == 0 {
+		r.finishPromotion()
+	}
+	// Otherwise replay continues as shadow threads arrive; the last
+	// sectionDone (or a detected log gap) completes the promotion.
+}
+
+func (r *Replayer) finishPromotion() {
+	if r.live {
+		return
+	}
+	r.live = true
+	order := r.waitOrder
+	r.waitOrder = nil
+	for _, ftpid := range order {
+		w := r.waiting[ftpid]
+		delete(r.waiting, ftpid)
+		w.liveFlush = true
+		w.granted = true
+		r.kern.FutexWakeRaw(w.key, 1)
+	}
+	r.envReady = true
+	r.envQ.WakeAll(0)
+	r.promoted.WakeAll(0)
+}
+
+// Live reports whether promotion has completed.
+func (r *Replayer) Live() bool { return r.live }
+
+// AwaitLive blocks the calling task until promotion completes.
+func (r *Replayer) AwaitLive(t *kernel.Task) {
+	for !r.live {
+		r.promoted.Wait(t.Proc())
+	}
+}

@@ -1,0 +1,154 @@
+// Package replication implements FT-Linux's core contribution: transparent
+// Primary-Backup replication of race-free multithreaded applications via
+// record/replay of deterministic sections (§3.2, §3.3).
+//
+// The primary executes the application normally, except that every
+// interposed operation (Pthreads primitives, selected syscalls) runs inside
+// a deterministic section serialized by a namespace-wide global mutex; on
+// leaving the section the primary streams a tuple
+//
+//	<Seq_thread, Seq_global, ft_pid> (+ op, object, outcome)
+//
+// to the secondary over the shared-memory messaging layer and increments
+// both sequence numbers — the __det_start/__det_end protocol of Figure 3.
+// The secondary replays: each shadow thread's deterministic section blocks
+// until the tuple matching its thread and sequence number is at the head of
+// the log, yielding the primary's total order while unordered code runs in
+// parallel.
+//
+// Syscall results the secondary must not recompute (gettimeofday, bytes
+// returned by reads, poll results) are recorded as resolve sections whose
+// outcome (and payload bytes) travel with the tuple; the secondary returns
+// the recorded result instead of executing the call.
+//
+// The package also implements output stability (§3.5): the primary's
+// network output is released only once the secondary has acknowledged every
+// log message the output depends on; the relaxed single-machine mode
+// releases immediately, counting on cache coherency to deliver in-flight
+// messages even across a primary failure.
+package replication
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pthread"
+)
+
+// Role is a replica's role in the namespace.
+type Role int
+
+const (
+	// RolePrimary records and streams deterministic sections.
+	RolePrimary Role = iota + 1
+	// RoleSecondary replays the primary's log.
+	RoleSecondary
+	// RoleLive runs unreplicated — the state after failover (either side).
+	RoleLive
+)
+
+var roleNames = map[Role]string{
+	RolePrimary:   "primary",
+	RoleSecondary: "secondary",
+	RoleLive:      "live",
+}
+
+func (r Role) String() string {
+	if s, ok := roleNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// Extended deterministic-section ops beyond the Pthreads set.
+const (
+	// OpThreadCreate assigns an ft_pid to a newly spawned replicated
+	// thread, so thread identity matches across replicas.
+	OpThreadCreate pthread.Op = 100 + iota
+	// OpGetTimeOfDay replicates clock reads (§3.3).
+	OpGetTimeOfDay
+	// OpSockData replicates a socket syscall result carrying data bytes.
+	OpSockData
+	// OpSockResult replicates a scalar socket syscall result.
+	OpSockResult
+	// OpPoll replicates poll/epoll readiness results (§3.2).
+	OpPoll
+)
+
+// Message kinds on the replication log ring.
+const (
+	msgTuple = iota + 1
+	msgEnv
+)
+
+// tupleBytes is the accounted shared-memory footprint of one log tuple:
+// one cache line of sequence numbers and op metadata (the 64-byte slot
+// header is added by the messaging layer).
+const tupleBytes = 64
+
+// Tuple is one deterministic-section record.
+type Tuple struct {
+	ThreadSeq uint64
+	GlobalSeq uint64
+	FTPid     int
+	Op        pthread.Op
+	Obj       uint64
+	// Outcome is the recorded result for resolve sections.
+	Outcome uint64
+	// Data carries payload bytes for data-bearing syscalls (reads).
+	Data []byte
+}
+
+func (tu Tuple) size() int { return tupleBytes + len(tu.Data) }
+
+func (tu Tuple) String() string {
+	return fmt.Sprintf("<%d,%d,%d> %v obj=%d out=%d len=%d",
+		tu.ThreadSeq, tu.GlobalSeq, tu.FTPid, tu.Op, tu.Obj, tu.Outcome, len(tu.Data))
+}
+
+// Config tunes the replication engine.
+type Config struct {
+	// SectionCost is the CPU cost of one deterministic section on the
+	// primary (global-mutex critical section plus tuple write).
+	SectionCost time.Duration
+	// ReplayDispatchCost is the secondary's serial CPU cost to pull one
+	// tuple off the ring and hand it to the waiting shadow thread; this
+	// path (which rides wake_up_process) is the bottleneck of §4.1.
+	ReplayDispatchCost time.Duration
+	// ReplaySectionCost is the CPU cost of running one replayed section on
+	// the shadow thread.
+	ReplaySectionCost time.Duration
+	// LogRingBytes is the in-flight log buffer; it absorbs bursts, and its
+	// exhaustion is what drops sustained throughput to the secondary's
+	// replay rate (§4.1).
+	LogRingBytes int64
+	// StrictOutputCommit selects waiting for secondary acknowledgements
+	// before releasing network output; false is the §3.5 relaxed mode.
+	StrictOutputCommit bool
+	// AckEvery makes the secondary acknowledge after every N processed
+	// messages (1 = eager, required for low-latency strict output commit).
+	AckEvery int
+	// PanicOnDivergence makes the secondary kernel panic when replay
+	// diverges (default counts divergences, for the FIFO-futex ablation).
+	PanicOnDivergence bool
+}
+
+// DefaultConfig returns the calibrated engine configuration.
+func DefaultConfig() Config {
+	return Config{
+		SectionCost:        8 * time.Microsecond,
+		ReplayDispatchCost: 58 * time.Microsecond,
+		ReplaySectionCost:  3 * time.Microsecond,
+		LogRingBytes:       2 << 20,
+		StrictOutputCommit: true,
+		AckEvery:           1,
+	}
+}
+
+// Stats summarizes one side's replication activity.
+type Stats struct {
+	Sections    uint64 // deterministic sections recorded or replayed
+	LogMessages uint64 // messages sent (primary) or processed (secondary)
+	Divergences uint64 // replay mismatches detected (secondary)
+	Dropped     uint64 // log tuples discarded at promotion (gap after fault)
+}

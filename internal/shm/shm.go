@@ -1,0 +1,272 @@
+// Package shm models FT-Linux's inter-replica messaging layer: "mail box"
+// areas in shared memory through which the otherwise fully isolated kernel
+// replicas communicate (§3, first design bullet).
+//
+// A Ring is a unidirectional bounded message channel with cache-coherency
+// propagation latency. Senders block when the ring is full — this is the
+// mechanism behind the paper's burst-vs-sustained throughput split (§4.1):
+// in a short burst the primary only fills buffers; over a long period it
+// must slow to the secondary's drain rate.
+//
+// Because the rings live in shared memory, messages survive the death of
+// the sending kernel: only a cache-coherency-disrupting fault can lose the
+// messages still in flight from the failed partition (§3.5). A Fabric
+// groups all rings of a deployment, implements that loss semantics, and
+// aggregates the message/byte counters reported in Figures 5 and 7.
+package shm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// headerBytes is the per-message overhead accounted by the traffic
+// counters: one cache line for the slot header, as in Popcorn's messaging
+// layer.
+const headerBytes = 64
+
+// Message is one entry in a mailbox ring. Payload is the structured content
+// the receiver reads out of shared memory; Size is the payload's footprint
+// in bytes for traffic accounting.
+type Message struct {
+	Kind    int
+	Payload any
+	Size    int
+	SentAt  sim.Time
+}
+
+// Stats counts traffic through a ring or fabric.
+type Stats struct {
+	Messages int64
+	Bytes    int64 // includes per-message header overhead
+	Dropped  int64 // messages lost to coherency faults
+}
+
+func (s Stats) add(o Stats) Stats {
+	return Stats{Messages: s.Messages + o.Messages, Bytes: s.Bytes + o.Bytes, Dropped: s.Dropped + o.Dropped}
+}
+
+// inflight is a message written by the sender but not yet visible to the
+// receiver (still propagating through the cache hierarchy).
+type inflight struct {
+	msg   Message
+	ev    *sim.Event
+	bytes int64
+}
+
+// Ring is a bounded unidirectional mailbox. It is identified by the sending
+// partition so that a coherency fault on that partition can drop its
+// in-flight messages.
+type Ring struct {
+	name     string
+	src      int // sending partition index
+	sim      *sim.Simulation
+	fabric   *Fabric
+	capBytes int64
+	latency  time.Duration
+
+	used      int64 // bytes occupied: delivered + in flight
+	delivered int64
+	onDeliver []func()
+	buf       []Message
+	inflight  []*inflight
+	sendQ     *sim.WaitQueue
+	recvQ     *sim.WaitQueue
+	stats     Stats
+}
+
+// Fabric owns every ring of a deployment.
+type Fabric struct {
+	sim     *sim.Simulation
+	latency time.Duration
+	rings   []*Ring
+}
+
+// NewFabric creates a fabric whose rings propagate messages with the given
+// cross-partition latency (typically Partition.CrossLatency).
+func NewFabric(s *sim.Simulation, latency time.Duration) *Fabric {
+	return &Fabric{sim: s, latency: latency}
+}
+
+// NewRing creates a bounded mailbox of capBytes sent by partition src.
+func (f *Fabric) NewRing(name string, src int, capBytes int64) *Ring {
+	if capBytes < headerBytes {
+		panic(fmt.Sprintf("shm: ring %q capacity %d below one slot", name, capBytes))
+	}
+	r := &Ring{
+		name:     name,
+		src:      src,
+		sim:      f.sim,
+		fabric:   f,
+		capBytes: capBytes,
+		latency:  f.latency,
+		sendQ:    sim.NewWaitQueue(f.sim),
+		recvQ:    sim.NewWaitQueue(f.sim),
+	}
+	f.rings = append(f.rings, r)
+	return r
+}
+
+// Stats aggregates traffic across all rings of the fabric.
+func (f *Fabric) Stats() Stats {
+	var total Stats
+	for _, r := range f.rings {
+		total = total.add(r.stats)
+	}
+	return total
+}
+
+// DropInflight models a cache-coherency-disrupting fault on the given
+// sending partition: every message from that partition that has not yet
+// become visible to its receiver is lost (§3.5). It reports how many
+// messages were dropped.
+func (f *Fabric) DropInflight(src int) int {
+	dropped := 0
+	for _, r := range f.rings {
+		if r.src != src {
+			continue
+		}
+		for _, in := range r.inflight {
+			in.ev.Cancel()
+			r.used -= in.bytes
+			r.stats.Dropped++
+			dropped++
+		}
+		r.inflight = nil
+	}
+	return dropped
+}
+
+// Name returns the ring's name.
+func (r *Ring) Name() string { return r.name }
+
+// Stats returns the ring's traffic counters.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// Len reports the number of messages delivered and waiting to be received.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// InFlight reports the number of messages still propagating.
+func (r *Ring) InFlight() int { return len(r.inflight) }
+
+// Latency reports the ring's propagation delay.
+func (r *Ring) Latency() time.Duration { return r.latency }
+
+// Delivered reports how many messages have become visible to the receiver
+// (the consumer-side slot state a sender can poll for receipt, §3.5).
+func (r *Ring) Delivered() int64 { return r.delivered }
+
+// OnDelivered registers a callback fired each time a message becomes
+// visible to the receiver. Callbacks run in scheduler context and must not
+// block; the output-commit machinery uses them to learn of receipt without
+// waiting for the receiver to be scheduled.
+func (r *Ring) OnDelivered(fn func()) { r.onDeliver = append(r.onDeliver, fn) }
+
+// Free reports the remaining capacity in bytes. Producers that must not
+// block (e.g. packet-ingress hooks) check it to apply backpressure by
+// dropping work instead of messages.
+func (r *Ring) Free() int64 { return r.capBytes - r.used }
+
+func (r *Ring) footprint(m Message) int64 {
+	return int64(m.Size) + headerBytes
+}
+
+// TrySend attempts a non-blocking send. It reports false if the ring lacks
+// space.
+func (r *Ring) TrySend(m Message) bool {
+	if r.footprint(m) > r.capBytes-r.used {
+		return false
+	}
+	r.send(m)
+	return true
+}
+
+// Send writes a message into the ring, blocking the calling process while
+// the ring is full. Messages from concurrent senders are admitted in FIFO
+// block order.
+func (r *Ring) Send(p *sim.Proc, m Message) {
+	for r.footprint(m) > r.capBytes-r.used {
+		r.sendQ.Wait(p)
+	}
+	r.send(m)
+}
+
+func (r *Ring) send(m Message) {
+	m.SentAt = r.sim.Now()
+	in := &inflight{msg: m, bytes: r.footprint(m)}
+	r.used += in.bytes
+	r.stats.Messages++
+	r.stats.Bytes += in.bytes
+	in.ev = r.sim.Schedule(r.latency, func() { r.deliver(in) })
+	r.inflight = append(r.inflight, in)
+}
+
+func (r *Ring) deliver(in *inflight) {
+	for i, x := range r.inflight {
+		if x == in {
+			r.inflight = append(r.inflight[:i], r.inflight[i+1:]...)
+			break
+		}
+	}
+	r.buf = append(r.buf, in.msg)
+	r.delivered++
+	for _, fn := range r.onDeliver {
+		fn()
+	}
+	r.recvQ.WakeOne(0)
+}
+
+// TryRecv attempts a non-blocking receive. It reports false if no message
+// is available.
+func (r *Ring) TryRecv() (Message, bool) {
+	if len(r.buf) == 0 {
+		return Message{}, false
+	}
+	return r.pop(), true
+}
+
+// Recv blocks the calling process until a message is available, then
+// returns it.
+func (r *Ring) Recv(p *sim.Proc) Message {
+	for len(r.buf) == 0 {
+		r.recvQ.Wait(p)
+	}
+	return r.pop()
+}
+
+// RecvTimeout is like Recv but gives up after d, reporting false.
+func (r *Ring) RecvTimeout(p *sim.Proc, d time.Duration) (Message, bool) {
+	deadline := r.sim.Now().Add(d)
+	for len(r.buf) == 0 {
+		remain := deadline.Sub(r.sim.Now())
+		if remain <= 0 || !r.recvQ.WaitTimeout(p, remain) {
+			if len(r.buf) > 0 {
+				break
+			}
+			return Message{}, false
+		}
+	}
+	return r.pop(), true
+}
+
+func (r *Ring) pop() Message {
+	m := r.buf[0]
+	r.buf = r.buf[1:]
+	r.used -= r.footprint(m)
+	r.sendQ.WakeOne(0)
+	return m
+}
+
+// Drain removes and returns every delivered message without blocking. The
+// failover path uses it to collect the log the dead primary left behind.
+func (r *Ring) Drain() []Message {
+	out := r.buf
+	r.buf = nil
+	for _, m := range out {
+		r.used -= r.footprint(m)
+	}
+	r.sendQ.WakeAll(0)
+	return out
+}

@@ -1,0 +1,227 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine provides a virtual clock, a time-ordered event queue, and
+// goroutine-backed simulated processes (Proc). At most one process runs at a
+// time and all ties are broken by insertion order, so a simulation is fully
+// deterministic for a given seed: running it twice produces the identical
+// sequence of events, context switches, and random numbers.
+//
+// Everything else in this repository — the simulated hardware, the kernels,
+// the replication protocol, and the benchmark workloads — is built on this
+// package.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant in virtual time, expressed in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since the simulation started.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds since the simulation started.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped or cancelled-and-removed
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when the simulation was halted by Stop.
+var ErrStopped = errors.New("sim: stopped")
+
+// Simulation owns the virtual clock, the event queue, and all processes.
+// A Simulation must be created with New and is not safe for concurrent use;
+// it is driven from a single goroutine by Run or RunUntil.
+type Simulation struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	yield    chan struct{}
+	current  *Proc
+	stopped  bool
+	failure  any // panic value propagated from a proc
+	liveProc int
+
+	// OnSwitch, if non-nil, is invoked on every context switch to a process
+	// with the current virtual time and the process name. It exists so tests
+	// can record and compare full execution traces.
+	OnSwitch func(Time, string)
+}
+
+// New returns a simulation whose random source is seeded with seed.
+func New(seed int64) *Simulation {
+	return &Simulation{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// Pending reports the number of scheduled (uncancelled) events.
+func (s *Simulation) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Live reports the number of processes that have been spawned and have not
+// yet finished.
+func (s *Simulation) Live() int { return s.liveProc }
+
+// Schedule arranges for fn to run at virtual time now+d on the scheduler
+// goroutine. It must not block; to do blocking work, spawn a Proc instead.
+func (s *Simulation) Schedule(d time.Duration, fn func()) *Event {
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt is like Schedule but takes an absolute instant. Scheduling in
+// the past panics: it would violate causality.
+func (s *Simulation) ScheduleAt(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", at, s.now))
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Stop halts the simulation: Run returns ErrStopped once the currently
+// running process blocks or finishes.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Run processes events until the event queue is empty, Stop is called, or a
+// process panics (in which case Run re-panics with the original value and a
+// note naming the process). Processes blocked on wait queues with no pending
+// wake-up are left parked; callers can detect that via Live.
+func (s *Simulation) Run() error {
+	return s.run(func() bool { return false })
+}
+
+// RunUntil processes events with firing time <= t, then advances the clock
+// to exactly t and returns. Events scheduled after t remain pending.
+func (s *Simulation) RunUntil(t Time) error {
+	err := s.run(func() bool { return len(s.events) > 0 && s.events[0].at > t })
+	if err == nil && s.now < t && !s.stopped {
+		s.now = t
+	}
+	return err
+}
+
+// RunFor is shorthand for RunUntil(Now()+d).
+func (s *Simulation) RunFor(d time.Duration) error { return s.RunUntil(s.now.Add(d)) }
+
+func (s *Simulation) run(stop func() bool) error {
+	for len(s.events) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		if stop() {
+			return nil
+		}
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", e.at, s.now))
+		}
+		s.now = e.at
+		e.fn()
+		if s.failure != nil {
+			f := s.failure
+			s.failure = nil
+			panic(f)
+		}
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// switchTo transfers control to p and waits for it to block or finish.
+// It must only be called from the scheduler goroutine (inside an event).
+func (s *Simulation) switchTo(p *Proc) {
+	prev := s.current
+	s.current = p
+	if s.OnSwitch != nil {
+		s.OnSwitch(s.now, p.name)
+	}
+	p.resume <- struct{}{}
+	<-s.yield
+	s.current = prev
+}

@@ -1,0 +1,153 @@
+package tcprep
+
+import (
+	"time"
+
+	"repro/internal/replication"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tcpstack"
+)
+
+// Primary wires a primary kernel's TCP stack for replication: it installs
+// the output-commit egress gate, the ingress backpressure hook, and the
+// event callbacks that stream logical-state updates to the secondary.
+type Primary struct {
+	ns    *replication.Namespace
+	stack *tcpstack.Stack
+	sync  *shm.Ring
+
+	// Aborted counts connections reset because a mandatory state update
+	// could not be synced (sync ring exhausted despite backpressure).
+	Aborted int
+}
+
+// GateConfig models the primary's per-packet replication bookkeeping cost:
+// every output packet traverses the Netfilter egress hook and the
+// output-commit queue, paying a fixed per-packet cost plus a per-byte copy
+// cost. This serial path is what keeps FT-Linux's bulk transfer at ~85% of
+// Ubuntu's (§4.4) and contributes to the §4.2 ceiling under high request
+// rates. It applies only while replication is active: after failover the
+// promoted replica sends at native speed.
+type GateConfig struct {
+	PerSegment time.Duration
+	PerByte    time.Duration
+}
+
+// DefaultGateConfig returns the calibrated egress cost model.
+func DefaultGateConfig() GateConfig {
+	return GateConfig{PerSegment: 20 * time.Microsecond, PerByte: 9 * time.Nanosecond}
+}
+
+// NewPrimary attaches replication to the given stack. sync is the
+// shared-memory ring to the secondary.
+func NewPrimary(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring) *Primary {
+	return NewPrimaryGate(ns, stack, sync, DefaultGateConfig())
+}
+
+// NewPrimaryGate is NewPrimary with an explicit egress cost model.
+func NewPrimaryGate(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring, gate GateConfig) *Primary {
+	p := &Primary{ns: ns, stack: stack, sync: sync}
+	stack.SetEgress(&stabilityGate{ns: ns, cfg: gate, sim: ns.Kernel().Sim()})
+	stack.SetIngress(p.ingress)
+	stack.OnEstablished = p.onEstablished
+	stack.OnDataIn = p.onDataIn
+	stack.OnAckIn = p.onAckIn
+	stack.OnPeerFin = p.onPeerFin
+	stack.OnReaped = p.onReaped
+	return p
+}
+
+// stabilityGate releases outgoing segments only once the secondary has
+// acknowledged every log message sent so far — the output-commit rule
+// (§3.5; with relaxed output commit the namespace releases immediately) —
+// and paces releases by the per-packet bookkeeping cost while replication
+// is active.
+type stabilityGate struct {
+	ns       *replication.Namespace
+	cfg      GateConfig
+	sim      *sim.Simulation
+	nextFree sim.Time
+}
+
+var _ tcpstack.EgressGate = (*stabilityGate)(nil)
+
+// Transmit implements tcpstack.EgressGate.
+func (g *stabilityGate) Transmit(seg *tcpstack.Segment, send func()) {
+	if !g.ns.Recording() {
+		send()
+		return
+	}
+	cost := g.cfg.PerSegment + time.Duration(seg.WireSize())*g.cfg.PerByte
+	g.ns.OnStable(func() {
+		now := g.sim.Now()
+		release := now
+		if g.nextFree > release {
+			release = g.nextFree
+		}
+		g.nextFree = release.Add(cost)
+		if release == now {
+			send()
+			return
+		}
+		g.sim.ScheduleAt(release, send)
+	})
+}
+
+// ingress is the Netfilter-style backpressure hook: data segments that the
+// sync ring could not hold are dropped *before* the TCP layer, so the stack
+// never acknowledges input the secondary might miss; the client simply
+// retransmits.
+func (p *Primary) ingress(seg *tcpstack.Segment) bool {
+	if len(seg.Data) == 0 {
+		return true
+	}
+	return p.sync.Free() >= int64(len(seg.Data))+128
+}
+
+// trySync sends a state update without blocking (callbacks run in segment
+// context). mustHave marks updates whose loss would break failover
+// transparency: if one cannot be synced the connection is reset instead.
+func (p *Primary) trySync(c *tcpstack.Conn, kind int, payload any, size int, mustHave bool) {
+	if p.sync.TrySend(shm.Message{Kind: kind, Payload: payload, Size: size}) {
+		return
+	}
+	if mustHave && c != nil {
+		p.Aborted++
+		c.Abort()
+	}
+}
+
+func (p *Primary) onEstablished(c *tcpstack.Conn) {
+	meta := connMeta{Key: keyOf(c), ISS: c.ISS(), IRS: c.IRS()}
+	p.trySync(c, syncConnMeta, meta, 48, true)
+}
+
+func (p *Primary) onDataIn(c *tcpstack.Conn, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.trySync(c, syncDataIn, dataIn{Key: keyOf(c), Data: cp}, 32+len(cp), true)
+}
+
+func (p *Primary) onAckIn(c *tcpstack.Conn, acked uint64) {
+	// Losing an ack update only means extra retransmission after failover.
+	p.trySync(c, syncAckOut, ackOut{Key: keyOf(c), Acked: acked}, 40, false)
+}
+
+func (p *Primary) onPeerFin(c *tcpstack.Conn) {
+	p.trySync(c, syncPeerFin, peerFin{Key: keyOf(c)}, 32, true)
+}
+
+func (p *Primary) onReaped(c *tcpstack.Conn) {
+	p.trySync(nil, syncGone, gone{Key: keyOf(c)}, 32, false)
+}
+
+// bindConn announces the det-log socket ID for an accepted connection.
+// Called from task context, so it may block on the ring.
+func (p *Primary) bindConn(th *replication.Thread, id uint64, c *tcpstack.Conn) {
+	p.sync.Send(th.Task().Proc(), shm.Message{
+		Kind:    syncBind,
+		Payload: bind{ID: id, Key: keyOf(c)},
+		Size:    40,
+	})
+}

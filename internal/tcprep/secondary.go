@@ -1,0 +1,260 @@
+package tcprep
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tcpstack"
+)
+
+// LogicalConn is the secondary's synchronized copy of one replicated
+// connection's logical TCP state (§3.4). Offsets are 0-based stream
+// offsets; meta maps them back to raw sequence numbers at promotion.
+type LogicalConn struct {
+	key      ConnKey
+	iss, irs uint64
+
+	// in holds input bytes [inBase, inBase+len): streamed from the primary
+	// but not yet consumed by the replica's replayed reads.
+	in     []byte
+	inBase uint64
+
+	// out holds replica-regenerated output bytes [outBase, outBase+len):
+	// everything the client has not acknowledged, retransmittable after
+	// failover. outBase advances with ackOut updates.
+	out     []byte
+	outBase uint64
+
+	peerFin   bool
+	appClosed bool
+	gone      bool
+
+	dataQ *sim.WaitQueue
+
+	// live is the real connection after promotion.
+	live *tcpstack.Conn
+}
+
+// Key returns the connection's four-tuple.
+func (lc *LogicalConn) Key() ConnKey { return lc.key }
+
+// InBuffered reports synced input bytes not yet consumed by replay.
+func (lc *LogicalConn) InBuffered() int { return len(lc.in) }
+
+// OutBuffered reports replica output bytes not yet acknowledged by the
+// client.
+func (lc *LogicalConn) OutBuffered() int { return len(lc.out) }
+
+// Live returns the promoted real connection, or nil before failover.
+func (lc *LogicalConn) Live() *tcpstack.Conn { return lc.live }
+
+// Secondary maintains the logical TCP states on the backup replica and
+// promotes them into a live stack at failover (§3.7).
+type Secondary struct {
+	kern *kernel.Kernel
+	sync *shm.Ring
+
+	syncCost time.Duration
+	conns    map[ConnKey]*LogicalConn
+	order    []ConnKey // insertion order, for deterministic promotion
+	binds    map[uint64]ConnKey
+	bindQ    *sim.WaitQueue
+	puller   *kernel.Task
+	promoted bool
+
+	// Stats.
+	DataBytes int64 // input bytes synced
+	Updates   int64 // sync messages applied
+}
+
+// NewSecondary starts the sync-state maintainer on the secondary kernel
+// with the default per-update processing cost.
+func NewSecondary(k *kernel.Kernel, sync *shm.Ring) *Secondary {
+	return NewSecondaryCost(k, sync, 25*time.Microsecond)
+}
+
+// NewSecondaryCost is NewSecondary with an explicit per-update CPU cost —
+// the serial TCP-state maintenance path whose expense makes network I/O
+// synchronization costlier than Pthreads schedule replication (§4.2).
+func NewSecondaryCost(k *kernel.Kernel, sync *shm.Ring, cost time.Duration) *Secondary {
+	s := &Secondary{
+		kern:     k,
+		sync:     sync,
+		syncCost: cost,
+		conns:    make(map[ConnKey]*LogicalConn),
+		binds:    make(map[uint64]ConnKey),
+		bindQ:    sim.NewWaitQueue(k.Sim()),
+	}
+	s.puller = k.Spawn("tcprep-sync", s.pullLoop)
+	return s
+}
+
+// Conns reports the number of logical connections held.
+func (s *Secondary) Conns() int { return len(s.conns) }
+
+func (s *Secondary) pullLoop(t *kernel.Task) {
+	for {
+		m := s.sync.Recv(t.Proc())
+		if s.syncCost > 0 {
+			t.Compute(s.syncCost)
+		}
+		s.apply(m)
+	}
+}
+
+func (s *Secondary) logical(key ConnKey) *LogicalConn {
+	lc, ok := s.conns[key]
+	if !ok {
+		lc = &LogicalConn{key: key, dataQ: sim.NewWaitQueue(s.kern.Sim())}
+		s.conns[key] = lc
+		s.order = append(s.order, key)
+	}
+	return lc
+}
+
+func (s *Secondary) apply(m shm.Message) {
+	s.Updates++
+	switch m.Kind {
+	case syncConnMeta:
+		meta := m.Payload.(connMeta)
+		lc := s.logical(meta.Key)
+		lc.iss, lc.irs = meta.ISS, meta.IRS
+		s.bindQ.WakeAll(0)
+	case syncDataIn:
+		d := m.Payload.(dataIn)
+		lc := s.logical(d.Key)
+		lc.in = append(lc.in, d.Data...)
+		s.DataBytes += int64(len(d.Data))
+		lc.dataQ.WakeAll(0)
+	case syncAckOut:
+		a := m.Payload.(ackOut)
+		lc := s.logical(a.Key)
+		lc.trimOut(a.Acked)
+	case syncPeerFin:
+		f := m.Payload.(peerFin)
+		lc := s.logical(f.Key)
+		lc.peerFin = true
+		lc.dataQ.WakeAll(0)
+	case syncBind:
+		b := m.Payload.(bind)
+		s.binds[b.ID] = b.Key
+		s.bindQ.WakeAll(0)
+	case syncGone:
+		g := m.Payload.(gone)
+		if lc, ok := s.conns[g.Key]; ok {
+			lc.gone = true
+			s.maybeDrop(lc)
+		}
+	}
+}
+
+func (lc *LogicalConn) trimOut(acked uint64) {
+	if acked <= lc.outBase {
+		return
+	}
+	n := acked - lc.outBase
+	if n > uint64(len(lc.out)) {
+		n = uint64(len(lc.out))
+	}
+	lc.out = lc.out[n:]
+	lc.outBase += n
+}
+
+func (s *Secondary) maybeDrop(lc *LogicalConn) {
+	if !(lc.gone && lc.appClosed) || s.promoted {
+		return
+	}
+	delete(s.conns, lc.key)
+	for i, k := range s.order {
+		if k == lc.key {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// bindWait blocks until the connection bound to the replicated socket ID is
+// known, then returns its logical state.
+func (s *Secondary) bindWait(t *kernel.Task, id uint64) *LogicalConn {
+	for {
+		if key, ok := s.binds[id]; ok {
+			lc := s.logical(key)
+			if lc.iss != 0 || lc.irs != 0 {
+				return lc
+			}
+		}
+		s.bindQ.Wait(t.Proc())
+	}
+}
+
+// readReplay consumes exactly n synced input bytes, blocking until the sync
+// stream has delivered them (they are guaranteed to arrive: the primary
+// recorded the read only after its stack delivered the bytes).
+func (s *Secondary) readReplay(t *kernel.Task, lc *LogicalConn, n int) []byte {
+	for len(lc.in) < n {
+		lc.dataQ.Wait(t.Proc())
+	}
+	out := make([]byte, n)
+	copy(out, lc.in[:n])
+	lc.in = lc.in[n:]
+	lc.inBase += uint64(n)
+	return out
+}
+
+// appendOut accumulates replica-regenerated output bytes.
+func (s *Secondary) appendOut(lc *LogicalConn, data []byte) {
+	lc.out = append(lc.out, data...)
+}
+
+// markClosed records the replayed application's close.
+func (s *Secondary) markClosed(lc *LogicalConn) {
+	lc.appClosed = true
+	s.maybeDrop(lc)
+}
+
+// Promote drains the sync ring and materializes every live logical
+// connection in the given stack, returning the restored connections. Call
+// after the replication log has been replayed to the stable point and the
+// NIC driver is loaded.
+func (s *Secondary) Promote(stack *tcpstack.Stack) ([]*tcpstack.Conn, error) {
+	if s.promoted {
+		return nil, fmt.Errorf("tcprep: already promoted")
+	}
+	s.promoted = true
+	s.puller.Kill()
+	for _, m := range s.sync.Drain() {
+		s.apply(m)
+	}
+	var restored []*tcpstack.Conn
+	for _, key := range s.order {
+		lc := s.conns[key]
+		if lc.gone && lc.appClosed {
+			continue
+		}
+		snap := tcpstack.ConnSnapshot{
+			LocalPort: key.LocalPort,
+			Remote:    tcpstack.Addr{Host: key.RemoteHost, Port: key.RemotePort},
+			ISS:       lc.iss,
+			IRS:       lc.irs,
+			SndUna:    lc.iss + 1 + lc.outBase,
+			SndData:   lc.out,
+			RcvNxt:    lc.irs + 1 + lc.inBase + uint64(len(lc.in)),
+			RcvData:   lc.in,
+			PeerFin:   lc.peerFin,
+		}
+		if lc.peerFin {
+			snap.RcvNxt++ // the FIN consumed one sequence number
+		}
+		c, err := stack.Restore(snap)
+		if err != nil {
+			return restored, fmt.Errorf("tcprep: promote %v: %w", key, err)
+		}
+		lc.live = c
+		c.Kick()
+		restored = append(restored, c)
+	}
+	return restored, nil
+}

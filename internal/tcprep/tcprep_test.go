@@ -1,0 +1,64 @@
+package tcprep
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/tcpstack"
+)
+
+func TestResultEncoding(t *testing.T) {
+	cases := []struct {
+		n    int
+		err  error
+		want error
+	}{
+		{42, nil, nil},
+		{0, nil, nil},
+		{0, tcpstack.EOF, tcpstack.EOF},
+		{0, tcpstack.ErrReset, tcpstack.ErrReset},
+		{0, tcpstack.ErrClosed, tcpstack.ErrClosed},
+		{0, errors.New("weird"), nil}, // mapped to a generic error
+	}
+	for _, c := range cases {
+		v := encodeRes(c.n, c.err)
+		n, err := decodeRes(v)
+		if c.err == nil {
+			if err != nil || n != c.n {
+				t.Errorf("round trip (%d,nil) = (%d,%v)", c.n, n, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("round trip error %v lost", c.err)
+			continue
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("round trip %v = %v", c.err, err)
+		}
+	}
+}
+
+func TestLogicalConnTrim(t *testing.T) {
+	lc := &LogicalConn{}
+	lc.out = append(lc.out, make([]byte, 1000)...)
+	lc.trimOut(400)
+	if len(lc.out) != 600 || lc.outBase != 400 {
+		t.Errorf("after trim(400): len=%d base=%d", len(lc.out), lc.outBase)
+	}
+	lc.trimOut(300) // stale ack: no effect
+	if len(lc.out) != 600 || lc.outBase != 400 {
+		t.Error("stale ack changed state")
+	}
+	lc.trimOut(5000) // beyond buffered: clamp
+	if len(lc.out) != 0 || lc.outBase != 1000 {
+		t.Errorf("after over-trim: len=%d base=%d", len(lc.out), lc.outBase)
+	}
+}
+
+func TestConnKeyString(t *testing.T) {
+	k := ConnKey{LocalPort: 80, RemoteHost: "client", RemotePort: 5000}
+	if k.String() != ":80<->client:5000" {
+		t.Errorf("String = %q", k.String())
+	}
+}

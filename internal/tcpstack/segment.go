@@ -1,0 +1,86 @@
+package tcpstack
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Addr is a transport address.
+type Addr struct {
+	Host string
+	Port int
+}
+
+func (a Addr) String() string { return a.Host + ":" + strconv.Itoa(a.Port) }
+
+// Flags is the TCP flag set carried by a segment.
+type Flags uint8
+
+// Segment flags.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// Has reports whether all flags in f are set.
+func (f Flags) Has(q Flags) bool { return f&q == q }
+
+func (f Flags) String() string {
+	s := ""
+	if f.Has(FlagSYN) {
+		s += "S"
+	}
+	if f.Has(FlagACK) {
+		s += "A"
+	}
+	if f.Has(FlagFIN) {
+		s += "F"
+	}
+	if f.Has(FlagRST) {
+		s += "R"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// segHeaderBytes is the wire overhead per segment (IP + TCP headers).
+const segHeaderBytes = 40
+
+// Segment is one TCP segment. Sequence numbers use an unwrapped 64-bit
+// space: a modelling simplification over the wrapping 32-bit wire format
+// that changes nothing about the protocol logic and keeps multi-gigabyte
+// transfers (the 10 GB download of §4.4) trivially correct.
+type Segment struct {
+	Src, Dst Addr
+	Seq, Ack uint64
+	Flags    Flags
+	Window   int
+	// Probe marks a zero-window probe: a data-less segment the receiver
+	// must acknowledge so the sender learns when the window reopens.
+	Probe bool
+	Data  []byte
+}
+
+// WireSize reports the segment's size on the wire.
+func (s *Segment) WireSize() int { return segHeaderBytes + len(s.Data) }
+
+func (s *Segment) String() string {
+	return fmt.Sprintf("%v>%v %s seq=%d ack=%d len=%d win=%d",
+		s.Src, s.Dst, s.Flags, s.Seq, s.Ack, len(s.Data), s.Window)
+}
+
+// connKey identifies a connection within a stack (the local host is the
+// stack itself).
+type connKey struct {
+	localPort  int
+	remoteHost string
+	remotePort int
+}
+
+func (k connKey) String() string {
+	return fmt.Sprintf(":%d<->%s:%d", k.localPort, k.remoteHost, k.remotePort)
+}
