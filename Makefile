@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every paper-figure benchmark; -benchtime=1x keeps it a
+# smoke test rather than a measurement run.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+check: vet build race bench

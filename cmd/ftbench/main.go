@@ -12,19 +12,28 @@
 //	ftbench -exp latency        # §1 intra- vs inter-machine latency
 //	ftbench -exp faults         # §2.2 fault outcome sweep
 //	ftbench -exp ablations      # design-choice ablations
+//	ftbench -exp batching       # log batching sweep (-batches 1,8,32 -json out.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
+var (
+	batchSizes = flag.String("batches", "1,8,32", "comma-separated BatchTuples sizes for -exp batching")
+	jsonOut    = flag.String("json", "", "also write the batching sweep as JSON to this file")
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced sweeps / scaled-down inputs")
 	flag.Parse()
@@ -51,6 +60,7 @@ func run(exp string, seed int64, quick bool) error {
 		{"latency", latency},
 		{"faults", faults},
 		{"ablations", ablations},
+		{"batching", batching},
 	} {
 		if !all && exp != e.name {
 			continue
@@ -258,6 +268,57 @@ func ablations(seed int64, quick bool) error {
 		return err
 	}
 	bench.Table(os.Stdout, []string{"ablation", "configuration", "result"}, rows)
+	fmt.Println()
+	return nil
+}
+
+func batching(seed int64, quick bool) error {
+	fmt.Println("== Log batching: mailbox traffic vs Config.BatchTuples (pbzip2-style det sections) ==")
+	var sizes []int
+	for _, f := range strings.Split(*batchSizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -batches entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	opts := bench.DefaultBatchSweepOpts()
+	opts.Seed = seed
+	if quick {
+		opts.Blocks = 24
+	}
+	points, err := bench.BatchSweep(sizes, opts)
+	if err != nil {
+		return err
+	}
+	var table [][]string
+	for _, p := range points {
+		table = append(table, []string{
+			fmt.Sprintf("%d", p.BatchTuples),
+			fmt.Sprintf("%d", p.Tuples),
+			fmt.Sprintf("%d", p.Messages),
+			fmt.Sprintf("%d", p.Bytes),
+			fmt.Sprintf("%d", p.AckMessages),
+			bench.F1(p.MsgPct), bench.F1(p.BytePct),
+			bench.F1(p.SimMS),
+			fmt.Sprintf("%d", p.Divergences),
+		})
+	}
+	bench.Table(os.Stdout,
+		[]string{"batch", "tuples", "messages", "bytes", "acks", "msg%", "byte%", "sim ms", "div"},
+		table)
+	fmt.Println("tuples and sim time must not move with the batch size; messages and")
+	fmt.Println("bytes (64B headers included) drop as tuples share slot headers")
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
 	fmt.Println()
 	return nil
 }

@@ -1,0 +1,38 @@
+package bench
+
+import "testing"
+
+// TestBatchSweepReduction is the batching acceptance criterion: on the
+// pbzip2-style det-section workload, BatchTuples=8 must cut both mailbox
+// messages and total bytes (headers included) by at least 30% versus
+// per-tuple streaming, while replaying the identical workload with zero
+// divergences.
+func TestBatchSweepReduction(t *testing.T) {
+	points, err := BatchSweep([]int{1, 8}, DefaultBatchSweepOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, batched := points[0], points[1]
+	t.Logf("batch=1: blocks=%d tuples=%d messages=%d bytes=%d acks=%d sim=%.1fms",
+		base.Blocks, base.Tuples, base.Messages, base.Bytes, base.AckMessages, base.SimMS)
+	t.Logf("batch=8: blocks=%d tuples=%d messages=%d bytes=%d acks=%d batches=%d sim=%.1fms (msg %.1f%% byte %.1f%%)",
+		batched.Blocks, batched.Tuples, batched.Messages, batched.Bytes, batched.AckMessages,
+		batched.LogBatches, batched.SimMS, batched.MsgPct, batched.BytePct)
+
+	if base.Blocks != batched.Blocks || base.Tuples != batched.Tuples {
+		t.Fatalf("workload not identical: %d/%d blocks, %d/%d tuples",
+			base.Blocks, batched.Blocks, base.Tuples, batched.Tuples)
+	}
+	if base.Divergences != 0 || batched.Divergences != 0 {
+		t.Fatalf("divergences: %d unbatched, %d batched", base.Divergences, batched.Divergences)
+	}
+	if batched.MsgPct > 70 {
+		t.Errorf("messages only reduced to %.1f%% of unbatched, need <=70%%", batched.MsgPct)
+	}
+	if batched.BytePct > 70 {
+		t.Errorf("bytes only reduced to %.1f%% of unbatched, need <=70%%", batched.BytePct)
+	}
+	if batched.LogBatches == 0 {
+		t.Error("no vectored transfers on the log ring")
+	}
+}

@@ -87,8 +87,12 @@ func mongoosePoint(step int, opts MongooseOpts) (MongoosePoint, error) {
 	}
 	point.Ubuntu = bab.Throughput(measured)
 
-	// FT-Linux.
-	sys, err := core.NewSystem(core.DefaultConfig(opts.Seed))
+	// FT-Linux. Per-update streaming, as in the paper's prototype: Figure
+	// 7's traffic counts are only comparable without log/sync batching.
+	ftCfg := core.DefaultConfig(opts.Seed)
+	ftCfg.Replication.BatchTuples = 1
+	ftCfg.TCPSync.BatchUpdates = 1
+	sys, err := core.NewSystem(ftCfg)
 	if err != nil {
 		return point, err
 	}

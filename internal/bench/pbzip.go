@@ -87,8 +87,13 @@ func pbzipPoint(kb int, opts PBZIPOpts) (PBZIPPoint, error) {
 		return point, fmt.Errorf("bench: pbzip2 baseline made no progress at %dKB", kb)
 	}
 
-	// FT-Linux.
-	sys, err := core.NewSystem(core.DefaultConfig(opts.Seed))
+	// FT-Linux. The paper's prototype streams every log tuple as its own
+	// mailbox message, so Figure 5's absolute message/byte rates are only
+	// comparable in that configuration; batched traffic is measured by
+	// BatchSweep (ftbench -exp batching).
+	ftCfg := core.DefaultConfig(opts.Seed)
+	ftCfg.Replication.BatchTuples = 1
+	sys, err := core.NewSystem(ftCfg)
 	if err != nil {
 		return point, err
 	}

@@ -49,6 +49,10 @@ type Config struct {
 	Kernel kernel.Params
 	// Replication tunes the record/replay engine.
 	Replication replication.Config
+	// TCPSync tunes logical-state delta batching on the tcprep.sync ring
+	// (zero value selects tcprep.DefaultSyncConfig; set BatchUpdates to 1
+	// to stream every update individually).
+	TCPSync tcprep.SyncConfig
 	// TCP tunes both replicas' TCP stacks.
 	TCP tcpstack.Params
 	// Failure tunes heart-beat detection.
@@ -68,6 +72,7 @@ func DefaultConfig(seed int64) Config {
 		SecondaryNodes:    []int{4, 5, 6, 7},
 		Kernel:            kernel.DefaultParams(),
 		Replication:       replication.DefaultConfig(),
+		TCPSync:           tcprep.DefaultSyncConfig(),
 		TCP:               tcpstack.DefaultParams(),
 		Failure:           failure.DefaultConfig(),
 		NICDriverLoadTime: 5 * time.Second,
@@ -84,6 +89,7 @@ type Replica struct {
 	Stack    *tcpstack.Stack
 	Detector *failure.Detector
 	TCPSync  *tcprep.Secondary // secondary only
+	TCPPrim  *tcprep.Primary   // primary only: sync batching/flush counters
 }
 
 // System is a running FT-Linux deployment.
@@ -120,6 +126,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Replication.LogRingBytes == 0 {
 		cfg.Replication = replication.DefaultConfig()
+	}
+	if cfg.TCPSync == (tcprep.SyncConfig{}) {
+		cfg.TCPSync = tcprep.DefaultSyncConfig()
 	}
 	if cfg.TCP.MSS == 0 {
 		cfg.TCP = tcpstack.DefaultParams()
@@ -175,7 +184,7 @@ func NewSystem(cfg Config) (*System, error) {
 	sns := replication.NewSecondary("ftns", sk, cfg.Replication, log, acks)
 
 	pStack := tcpstack.New(pk, "server", cfg.TCP)
-	prim := tcprep.NewPrimary(pns, pStack, tcpSync)
+	prim := tcprep.NewPrimaryFull(pns, pStack, tcpSync, tcprep.DefaultGateConfig(), cfg.TCPSync)
 	sec := tcprep.NewSecondary(sk, tcpSync)
 
 	sys := &System{
@@ -188,6 +197,7 @@ func NewSystem(cfg Config) (*System, error) {
 			NS:      pns,
 			Sockets: tcprep.NewSockets(pns, pStack, prim, nil),
 			Stack:   pStack,
+			TCPPrim: prim,
 		},
 		Secondary: &Replica{
 			Kernel:  sk,
@@ -204,8 +214,11 @@ func NewSystem(cfg Config) (*System, error) {
 	sys.Primary.Detector = pd
 	sys.Secondary.Detector = sd
 	pd.OnFail(func() {
-		// Secondary died: the primary continues unreplicated.
+		// Secondary died: the primary continues unreplicated. The TCP sync
+		// path goes live too, releasing output segments parked on the sync
+		// barrier and any flusher stalled on the dead ring.
 		pns.GoLive()
+		prim.GoLive()
 	})
 	sd.OnFail(func() { sys.failover() })
 	pd.Start()

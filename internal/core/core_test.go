@@ -533,3 +533,93 @@ func TestFailoverAtRandomPointsSeedSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPSyncBatchingCoalesces runs the same echo workload under per-update
+// streaming (BatchUpdates=1) and the default batched sync policy: the
+// secondary must end up with the identical logical TCP state either way
+// (same synced input bytes, zero divergences), while the batched run ships
+// the update stream in strictly fewer ring transfers and drains at least
+// some of them as vectored deliveries.
+func TestTCPSyncBatchingCoalesces(t *testing.T) {
+	run := func(batch int) (*core.System, int, []string) {
+		cfg := quietConfig(8)
+		cfg.TCPSync = tcprep.SyncConfig{BatchUpdates: batch, FlushInterval: 50 * time.Microsecond}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 8
+		var pDone, sDone int
+		sys.Primary.NS.Start("echo", nil, func(th *replication.Thread) {
+			echoApp(80, n, &pDone)(th, sys.Primary.Sockets)
+		})
+		sys.Secondary.NS.Start("echo", nil, func(th *replication.Thread) {
+			echoApp(80, n, &sDone)(th, sys.Secondary.Sockets)
+		})
+		var replies []string
+		client.Kernel.Spawn("client", func(tk *kernel.Task) {
+			req := make([]byte, 1024)
+			for i := 0; i < n; i++ {
+				c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+				if err != nil {
+					t.Errorf("connect %d: %v", i, err)
+					return
+				}
+				fillPattern(req, i)
+				if _, err := c.Send(tk, req); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				data, err := c.Recv(tk, 4096)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				replies = append(replies, string(data[:3]))
+				_ = c.Close(tk)
+			}
+		})
+		if err := sys.Sim.RunUntil(sim.Time(10 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if sDone != n {
+			t.Fatalf("batch=%d: secondary replayed %d of %d requests", batch, sDone, n)
+		}
+		if div := sys.Secondary.NS.Stats().Divergences; div != 0 {
+			t.Fatalf("batch=%d: %d replay divergences", batch, div)
+		}
+		return sys, sDone, replies
+	}
+
+	sysU, _, repU := run(1)
+	sysB, _, repB := run(8)
+	for i := range repU {
+		if repU[i] != "re:" || repB[i] != "re:" {
+			t.Fatalf("reply %d corrupted: %q / %q", i, repU[i], repB[i])
+		}
+	}
+	secU, secB := sysU.Secondary.TCPSync, sysB.Secondary.TCPSync
+	primB := sysB.Primary.TCPPrim
+	t.Logf("unbatched: updates=%d dataBytes=%d batches=%d", secU.Updates, secU.DataBytes, secU.Batches)
+	t.Logf("batched:   updates=%d dataBytes=%d batches=%d flushes=%d coalesced=%d",
+		secB.Updates, secB.DataBytes, secB.Batches, primB.SyncFlushes, primB.SyncCoalesced)
+	if secU.DataBytes != secB.DataBytes {
+		t.Errorf("synced input bytes differ: %d unbatched vs %d batched", secU.DataBytes, secB.DataBytes)
+	}
+	// Coalesced entries carry several logical updates in one message, so the
+	// batched secondary applies at most as many messages as the unbatched one.
+	if secB.Updates > secU.Updates {
+		t.Errorf("batched run applied %d updates, unbatched only %d", secB.Updates, secU.Updates)
+	}
+	// The whole point: fewer ring transfers for the same state stream.
+	if primB.SyncFlushes >= secU.Updates {
+		t.Errorf("batched run used %d ring transfers, not fewer than %d unbatched", primB.SyncFlushes, secU.Updates)
+	}
+	if secB.Batches == 0 {
+		t.Error("batched run drained no vectored deliveries")
+	}
+}

@@ -19,6 +19,7 @@ type trio struct {
 	pk, s1, s2 *kernel.Kernel
 	pns        *replication.Namespace
 	sns1, sns2 *replication.Namespace
+	logs       []*shm.Ring
 }
 
 func newTrio(t *testing.T, seed int64) *trio {
@@ -53,6 +54,7 @@ func newTrio(t *testing.T, seed int64) *trio {
 		pns:  replication.NewPrimaryN("ftns", pk, cfg, []*shm.Ring{log1, log2}, []*shm.Ring{ack1, ack2}),
 		sns1: replication.NewSecondary("ftns", s1, cfg, log1, ack1),
 		sns2: replication.NewSecondary("ftns", s2, cfg, log2, ack2),
+		logs: []*shm.Ring{log1, log2},
 	}
 }
 
@@ -141,5 +143,54 @@ func TestBackupDeathDegradesGracefully(t *testing.T) {
 	tr.pns.DropReplica(0)
 	if tr.pns.Role() != replication.RoleLive {
 		t.Errorf("primary role = %v after losing all backups, want live", tr.pns.Role())
+	}
+}
+
+// TestStrictCommitCoversAllBackupsAtRelease is the batching acceptance
+// check for strict output commit: when an onStable callback fires, every
+// live backup's receipt watermark (the delivered-payload count of its log
+// ring) must already cover every tuple flushed so far — batching included
+// (newTrio runs the default config, BatchTuples=8).
+func TestStrictCommitCoversAllBackupsAtRelease(t *testing.T) {
+	tr := newTrio(t, 7)
+	fired := 0
+	tr.pns.Start("app", nil, func(root *replication.Thread) {
+		lib := root.Lib()
+		m := lib.NewMutex()
+		for i := 0; i < 100; i++ {
+			m.Lock(root.Task())
+			m.Unlock(root.Task())
+			if i%10 == 9 {
+				sent := tr.pns.Stats().LogMessages
+				root.NS().OnStable(func() {
+					fired++
+					for b, log := range tr.logs {
+						if uint64(log.Delivered()) < sent {
+							t.Errorf("onStable fired with backup %d at watermark %d < %d flushed tuples",
+								b, log.Delivered(), sent)
+						}
+					}
+				})
+			}
+		}
+	})
+	app := func(root *replication.Thread) {
+		lib := root.Lib()
+		m := lib.NewMutex()
+		for i := 0; i < 100; i++ {
+			m.Lock(root.Task())
+			m.Unlock(root.Task())
+		}
+	}
+	tr.sns1.Start("app", nil, app)
+	tr.sns2.Start("app", nil, app)
+	if err := tr.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Fatalf("%d of 10 onStable callbacks fired", fired)
+	}
+	if d1, d2 := tr.sns1.Stats().Divergences, tr.sns2.Stats().Divergences; d1 != 0 || d2 != 0 {
+		t.Errorf("divergences %d/%d", d1, d2)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/pthread"
 	"repro/internal/shm"
+	"repro/internal/sim"
 )
 
 // stableWaiter is a piece of output waiting for its log watermark to be
@@ -14,12 +15,17 @@ type stableWaiter struct {
 }
 
 // replicaLink is the recorder's view of one backup replica: its log ring,
-// its acknowledgement ring, and the receipt watermark observed so far.
+// its acknowledgement ring, the receipt watermark observed so far, and the
+// tuples coalesced but not yet flushed to the ring.
 type replicaLink struct {
 	log   *shm.Ring
 	acks  *shm.Ring
 	acked uint64
 	dead  bool
+
+	pending  []shm.Message // tuples buffered for the next vectored flush
+	deadline sim.Time      // flush deadline armed when pending became non-empty
+	flushing bool          // a blocking SendBatch for this link is in progress
 }
 
 // Recorder is the primary-side engine: it serializes deterministic
@@ -28,6 +34,11 @@ type replicaLink struct {
 // §6 sketches the extension to more): the log is broadcast to every
 // backup and output is stable only when EVERY live backup has received it
 // — the conservative rule that also covers a future voting configuration.
+//
+// With Config.BatchTuples > 1 the recorder coalesces tuples per backup and
+// flushes them as one vectored ring transfer when the batch fills, when
+// FlushInterval expires, or — unconditionally — when an output-commit
+// waiter registers, so strict output commit never waits on buffering.
 type Recorder struct {
 	kern     *kernel.Kernel
 	cfg      Config
@@ -39,15 +50,25 @@ type Recorder struct {
 	stableQ   []stableWaiter
 	live      bool
 	stats     Stats
+
+	flushQ    *sim.WaitQueue // wakes the flusher task when work or deadlines change
+	flushDone *sim.WaitQueue // serializes blocking flushes per link
 }
 
 func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder {
 	if len(logs) == 0 || len(logs) != len(acks) {
 		panic("replication: recorder needs one log+ack ring pair per backup")
 	}
+	cfg = cfg.withBatchDefaults()
 	plib := pthread.NewLib(k, nil)
 	plib.SetOpCost(0)
-	r := &Recorder{kern: k, cfg: cfg, mu: plib.NewMutex()}
+	r := &Recorder{
+		kern:      k,
+		cfg:       cfg,
+		mu:        plib.NewMutex(),
+		flushQ:    sim.NewWaitQueue(k.Sim()),
+		flushDone: sim.NewWaitQueue(k.Sim()),
+	}
 	for i := range logs {
 		link := &replicaLink{log: logs[i], acks: acks[i]}
 		r.replicas = append(r.replicas, link)
@@ -68,6 +89,9 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 		// under backlog and serve as a liveness signal; they are consumed
 		// here so the ring never fills.
 		k.Spawn("ft-ack", func(t *kernel.Task) { r.ackLoop(t, link) })
+	}
+	if cfg.BatchTuples > 1 {
+		k.Spawn("ft-flush", r.flushLoop)
 	}
 	return r
 }
@@ -101,18 +125,103 @@ func (r *Recorder) ackedAll() uint64 {
 	return min
 }
 
-// emit streams one log message to every live backup, blocking (and thereby
-// throttling the primary to the slowest backup's drain rate) when an
-// in-flight buffer is full.
+// emit streams one log message to every live backup. Unbatched, it sends
+// immediately; batched, it coalesces into the link's pending buffer and
+// flushes when the batch fills. Either way a full in-flight buffer blocks
+// the caller, throttling the primary to the slowest backup's drain rate.
 func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size int) {
+	m := shm.Message{Kind: kind, Payload: payload, Size: size}
 	for _, link := range r.replicas {
 		if link.dead {
 			continue
 		}
-		link.log.Send(t.Proc(), shm.Message{Kind: kind, Payload: payload, Size: size})
+		if r.cfg.BatchTuples <= 1 {
+			link.log.Send(t.Proc(), m)
+			continue
+		}
+		if len(link.pending) == 0 {
+			link.deadline = r.kern.Sim().Now().Add(r.cfg.FlushInterval)
+			r.flushQ.WakeAll(0)
+		}
+		link.pending = append(link.pending, m)
+		if len(link.pending) >= r.cfg.BatchTuples {
+			r.flushLink(t.Proc(), link)
+		}
 	}
 	r.sent++
 	r.stats.LogMessages++
+}
+
+// flushLink sends the link's buffered batch as one vectored transfer,
+// blocking while the ring is full. Flushes are serialized per link: a
+// later, smaller batch must never overtake an earlier one stalled on a
+// full ring, because the replayer treats out-of-order GlobalSeq as a fatal
+// log gap.
+func (r *Recorder) flushLink(p *sim.Proc, link *replicaLink) {
+	for link.flushing {
+		r.flushDone.Wait(p)
+	}
+	if link.dead || len(link.pending) == 0 {
+		return
+	}
+	batch := link.pending
+	link.pending = nil
+	link.flushing = true
+	link.log.SendBatch(p, batch)
+	link.flushing = false
+	r.stats.LogBatches++
+	r.flushDone.WakeAll(0)
+	r.flushQ.WakeAll(0) // tuples may have buffered while the send was stalled
+}
+
+// flushLoop is the background flusher: it pushes out partially filled
+// batches once their FlushInterval deadline expires, bounding how long a
+// tuple can sit buffered when the primary goes quiet.
+func (r *Recorder) flushLoop(t *kernel.Task) {
+	p := t.Proc()
+	for {
+		var link *replicaLink
+		var dl sim.Time
+		for _, l := range r.replicas {
+			if l.dead || l.flushing || len(l.pending) == 0 {
+				continue
+			}
+			if link == nil || l.deadline < dl {
+				link, dl = l, l.deadline
+			}
+		}
+		if link == nil {
+			r.flushQ.Wait(p)
+			continue
+		}
+		now := r.kern.Sim().Now()
+		if dl > now {
+			r.flushQ.WaitTimeout(p, dl.Sub(now))
+			continue
+		}
+		r.flushLink(p, link)
+	}
+}
+
+// flushForCommit pushes every buffered tuple toward the backups before an
+// output-commit watermark is armed. It may run in scheduler context, so it
+// must not block: if a ring cannot take the batch (or a blocking flush is
+// already in progress) the flusher task finishes the job immediately — the
+// waiter's watermark is r.sent, which covers buffered tuples, so output
+// cannot be released before they are genuinely delivered.
+func (r *Recorder) flushForCommit() {
+	for _, link := range r.replicas {
+		if link.dead || len(link.pending) == 0 {
+			continue
+		}
+		if !link.flushing && link.log.TrySendBatch(link.pending) {
+			link.pending = nil
+			r.stats.LogBatches++
+			continue
+		}
+		link.deadline = r.kern.Sim().Now()
+		r.flushQ.WakeAll(0)
+	}
 }
 
 func (r *Recorder) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
@@ -164,13 +273,16 @@ func (r *Recorder) sendEnv(t *kernel.Task, env map[string]string) {
 }
 
 // onStable invokes fn once the secondary has acknowledged every log message
-// sent so far. Under relaxed output commit (or after going live) fn runs
+// sent so far. A strict waiter always forces a flush of buffered tuples
+// BEFORE the watermark is armed, so batching never adds to output-commit
+// latency. Under relaxed output commit (or after going live) fn runs
 // immediately.
 func (r *Recorder) onStable(fn func()) {
 	if !r.cfg.StrictOutputCommit || r.live {
 		fn()
 		return
 	}
+	r.flushForCommit()
 	w := r.sent
 	if r.ackedAll() >= w {
 		fn()
@@ -196,6 +308,7 @@ func (r *Recorder) dropReplica(i int) {
 		return
 	}
 	r.replicas[i].dead = true
+	r.replicas[i].pending = nil
 	r.replicas[i].log.Drain() // unblock senders stalled on the dead ring
 	r.fireStable()
 	for _, link := range r.replicas {
@@ -219,6 +332,7 @@ func (r *Recorder) goLive() {
 	// gone, so the buffered log is discarded and the senders released.
 	for _, link := range r.replicas {
 		link.dead = true
+		link.pending = nil
 		link.log.Drain()
 	}
 }

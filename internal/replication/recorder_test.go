@@ -1,0 +1,89 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+// newRecorderHarness boots a bare recorder on a primary kernel with one
+// backup link, so the ack path can be driven directly.
+func newRecorderHarness(t *testing.T, cfg Config, ackRingBytes int64) (*sim.Simulation, *shm.Ring, *shm.Ring, *Recorder) {
+	t.Helper()
+	s := sim.New(1)
+	m := hw.New(s, hw.Opteron6376x4())
+	pp, err := m.NewPartition("primary", 0, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := m.NewPartition("secondary", 4, 5, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp := kernel.DefaultParams()
+	kp.IdleWakeMin, kp.IdleWakeMax = 0, 0
+	pk, err := kernel.Boot(pp, kernel.Config{Name: "primary", Params: kp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := shm.NewFabric(s, pp.CrossLatency(sp))
+	log := fabric.NewRing("log", 0, cfg.LogRingBytes)
+	acks := fabric.NewRing("acks", 1, ackRingBytes)
+	rec := newRecorder(pk, cfg, []*shm.Ring{log}, []*shm.Ring{acks})
+	return s, log, acks, rec
+}
+
+// TestAckLoopIgnoresStaleWatermark verifies that a non-increasing receipt
+// watermark on the acks ring never rolls the recorder's view backwards:
+// acks are cumulative, and reordering relative to the receipt-observation
+// path must be harmless.
+func TestAckLoopIgnoresStaleWatermark(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchTuples = 1
+	s, _, acks, rec := newRecorderHarness(t, cfg, 64<<10)
+	var observed []uint64
+	s.Spawn("fake-secondary", func(p *sim.Proc) {
+		for _, v := range []uint64{5, 3, 5, 7} {
+			acks.Send(p, shm.Message{Kind: msgTuple, Payload: v, Size: 16})
+			p.Sleep(time.Millisecond)
+			observed = append(observed, rec.replicas[0].acked)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{5, 5, 5, 7}
+	for i, w := range want {
+		if i >= len(observed) || observed[i] != w {
+			t.Fatalf("acked after each ack = %v, want %v (stale watermarks ignored)", observed, want)
+		}
+	}
+}
+
+// TestAcksRingNeverFillsUnderBacklog verifies the recorder's dedicated
+// ack-consumer keeps draining a tiny acks ring faster than a backlogged
+// secondary can fill it: a blocking ack sender must never stall for good.
+func TestAcksRingNeverFillsUnderBacklog(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _, acks, rec := newRecorderHarness(t, cfg, 1<<10) // ~12 ack slots
+	done := false
+	s.Spawn("fake-secondary", func(p *sim.Proc) {
+		for i := 1; i <= 200; i++ {
+			acks.Send(p, shm.Message{Kind: msgTuple, Payload: uint64(i), Size: 16})
+		}
+		done = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("ack sender blocked forever: acks ring filled up")
+	}
+	if got := rec.replicas[0].acked; got != 200 {
+		t.Errorf("final acked watermark = %d, want 200", got)
+	}
+}

@@ -49,7 +49,7 @@ type Replayer struct {
 func newReplayer(k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Replayer {
 	r := &Replayer{
 		kern:     k,
-		cfg:      cfg,
+		cfg:      cfg.withBatchDefaults(),
 		log:      log,
 		acks:     acks,
 		waiting:  make(map[int]*replWaiter),
@@ -64,18 +64,32 @@ func newReplayer(k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Replayer {
 // wake_up_process to hand turns to shadow threads) bounds the secondary's
 // replay rate — the §4.1 bottleneck.
 func (r *Replayer) pullLoop(t *kernel.Task) {
+	max := r.cfg.BatchTuples
+	if max < 1 {
+		max = 1
+	}
+	var lastAcked uint64
 	for {
-		m := r.log.Recv(t.Proc())
-		// Acknowledge at receipt (§3.5): the message is already safe in
-		// this replica's memory for subsequent live replay.
-		r.processed++
-		if r.cfg.AckEvery > 0 && r.processed%uint64(r.cfg.AckEvery) == 0 {
-			r.acks.TrySend(shm.Message{Kind: msgTuple, Payload: r.processed, Size: 16})
+		batch := r.log.RecvBatch(t.Proc(), max)
+		// Acknowledge at receipt (§3.5): the whole batch is already safe in
+		// this replica's memory for subsequent live replay, so one
+		// cumulative ack covers all of it.
+		r.processed += uint64(len(batch))
+		if len(batch) > 1 {
+			r.stats.LogBatches++
 		}
-		if r.cfg.ReplayDispatchCost > 0 {
-			t.Compute(r.cfg.ReplayDispatchCost)
+		if r.cfg.AckEvery > 0 && r.processed-lastAcked >= uint64(r.cfg.AckEvery) {
+			if r.acks.TrySend(shm.Message{Kind: msgTuple, Payload: r.processed, Size: 16}) {
+				lastAcked = r.processed
+				r.stats.AckMessages++
+			}
 		}
-		r.ingest(m)
+		for _, m := range batch {
+			if r.cfg.ReplayDispatchCost > 0 {
+				t.Compute(r.cfg.ReplayDispatchCost)
+			}
+			r.ingest(m)
+		}
 	}
 }
 

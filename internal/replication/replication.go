@@ -125,12 +125,41 @@ type Config struct {
 	// StrictOutputCommit selects waiting for secondary acknowledgements
 	// before releasing network output; false is the §3.5 relaxed mode.
 	StrictOutputCommit bool
-	// AckEvery makes the secondary acknowledge after every N processed
-	// messages (1 = eager, required for low-latency strict output commit).
+	// AckEvery makes the secondary acknowledge once at least N messages
+	// have been processed since the last ack (1 = eager, required for
+	// low-latency strict output commit). Acks are cumulative, so a single
+	// ack covers a whole ingested batch.
 	AckEvery int
 	// PanicOnDivergence makes the secondary kernel panic when replay
 	// diverges (default counts divergences, for the FIFO-futex ablation).
 	PanicOnDivergence bool
+	// BatchTuples coalesces up to N log tuples per backup into one vectored
+	// ring transfer sharing a single slot header and delivery event
+	// (<= 1 streams every tuple individually, the pre-batching behavior).
+	// An output-commit waiter always forces an immediate flush, so strict
+	// output-commit latency never waits on a partially filled batch.
+	BatchTuples int
+	// FlushInterval bounds how long a partially filled batch may sit
+	// buffered on the primary before the flusher pushes it out (0 with
+	// BatchTuples > 1 selects defaultFlushInterval).
+	FlushInterval time.Duration
+}
+
+// defaultFlushInterval bounds buffered-tuple latency when batching is on
+// but no interval was configured.
+const defaultFlushInterval = 50 * time.Microsecond
+
+// withBatchDefaults normalizes the batching knobs: a zero BatchTuples means
+// batching off (1), and batching without a flush interval gets the default
+// so buffered tuples can never sit forever.
+func (c Config) withBatchDefaults() Config {
+	if c.BatchTuples < 1 {
+		c.BatchTuples = 1
+	}
+	if c.BatchTuples > 1 && c.FlushInterval <= 0 {
+		c.FlushInterval = defaultFlushInterval
+	}
+	return c
 }
 
 // DefaultConfig returns the calibrated engine configuration.
@@ -142,13 +171,17 @@ func DefaultConfig() Config {
 		LogRingBytes:       2 << 20,
 		StrictOutputCommit: true,
 		AckEvery:           1,
+		BatchTuples:        8,
+		FlushInterval:      defaultFlushInterval,
 	}
 }
 
 // Stats summarizes one side's replication activity.
 type Stats struct {
 	Sections    uint64 // deterministic sections recorded or replayed
-	LogMessages uint64 // messages sent (primary) or processed (secondary)
+	LogMessages uint64 // log entries emitted (primary) or processed (secondary)
+	LogBatches  uint64 // vectored ring transfers: flushes (primary) or multi-tuple deliveries drained (secondary)
+	AckMessages uint64 // cumulative acknowledgements sent (secondary)
 	Divergences uint64 // replay mismatches detected (secondary)
 	Dropped     uint64 // log tuples discarded at promotion (gap after fault)
 }

@@ -21,6 +21,8 @@ type duo struct {
 	pk, sk *kernel.Kernel
 	pns    *replication.Namespace
 	sns    *replication.Namespace
+	log    *shm.Ring
+	acks   *shm.Ring
 }
 
 func newDuo(t *testing.T, seed int64, cfg replication.Config, fifo bool) *duo {
@@ -56,6 +58,7 @@ func newDuo(t *testing.T, seed int64, cfg replication.Config, fifo bool) *duo {
 		sim: s, mach: m, fabric: fabric, pk: pk, sk: sk,
 		pns: replication.NewPrimary("ftns", pk, cfg, log, acks),
 		sns: replication.NewSecondary("ftns", sk, cfg, log, acks),
+		log: log, acks: acks,
 	}
 }
 
@@ -544,6 +547,10 @@ func TestSecondaryLagsButStaysBounded(t *testing.T) {
 	cfg := replication.DefaultConfig()
 	cfg.LogRingBytes = 2 << 10 // ~16 tuples
 	cfg.ReplayDispatchCost = 200 * time.Microsecond
+	// The bounds below are calibrated in per-tuple ring units: stream every
+	// tuple individually. TestSecondaryLagsBoundedWithBatching covers the
+	// coalesced path.
+	cfg.BatchTuples = 1
 	d := newDuo(t, 13, cfg, true)
 	var pDone, sDone sim.Time
 	done := func(at *sim.Time, out *int) func(*replication.Thread) {
@@ -576,6 +583,43 @@ func TestSecondaryLagsButStaysBounded(t *testing.T) {
 	}
 }
 
+// TestSecondaryLagsBoundedWithBatching is the batched counterpart: tuple
+// coalescing widens the in-flight window by at most one batch per side (the
+// primary's pending buffer plus the replayer's drained-but-undispatched
+// batch), so throttling to the secondary's drain rate must survive.
+func TestSecondaryLagsBoundedWithBatching(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.LogRingBytes = 2 << 10 // ~16 tuples in flight
+	cfg.ReplayDispatchCost = 200 * time.Microsecond
+	cfg.BatchTuples = 8
+	d := newDuo(t, 13, cfg, true)
+	var pDone, sDone sim.Time
+	done := func(at *sim.Time, out *int) func(*replication.Thread) {
+		app := lockCounterApp(out, 2, 50)
+		return func(root *replication.Thread) {
+			app(root)
+			*at = root.Task().Now()
+		}
+	}
+	var pCount, sCount int
+	d.pns.Start("app", nil, done(&pDone, &pCount))
+	d.sns.Start("app", nil, done(&sDone, &sCount))
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sDone < sim.Time(20*time.Millisecond) {
+		t.Errorf("secondary done at %v — replay cost not applied", sDone)
+	}
+	if pDone < sim.Time(12*time.Millisecond) {
+		t.Errorf("primary done at %v — no backpressure from the log ring", pDone)
+	}
+	// One ring (~16 tuples) + one pending batch + one drained batch ≈ 32
+	// tuples ≈ 6.4ms of replay work; allow a little slack on top.
+	if lead := sDone.Sub(pDone); lead > 8*time.Millisecond {
+		t.Errorf("primary leads secondary by %v with batching — in-flight window unbounded", lead)
+	}
+}
+
 func TestTaskOutsideNamespacePanics(t *testing.T) {
 	d := newDuo(t, 14, replication.DefaultConfig(), true)
 	lib := d.pns.Lib()
@@ -601,3 +645,106 @@ func TestTaskOutsideNamespacePanics(t *testing.T) {
 type recoverSilencer struct{}
 
 var _ pthread.Det = (*replication.Namespace)(nil)
+
+// TestStrictCommitForcesFlush pins the batching invariant: a strict
+// output-commit waiter flushes buffered tuples immediately, so commit
+// latency never waits out a FlushInterval or a partially filled batch.
+func TestStrictCommitForcesFlush(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.BatchTuples = 64                // far more than the app emits: no size-triggered flush
+	cfg.FlushInterval = 1 * time.Second // the timer must never be what releases output
+	d := newDuo(t, 31, cfg, true)
+	var requestedAt, releasedAt sim.Time
+	d.pns.Start("app", nil, func(root *replication.Thread) {
+		lib := root.Lib()
+		mx := lib.NewMutex()
+		for i := 0; i < 5; i++ {
+			mx.Lock(root.Task())
+			mx.Unlock(root.Task())
+		}
+		requestedAt = root.Task().Now()
+		root.NS().OnStable(func() { releasedAt = d.sim.Now() })
+	})
+	d.sns.Start("app", nil, func(root *replication.Thread) {
+		lib := root.Lib()
+		mx := lib.NewMutex()
+		for i := 0; i < 5; i++ {
+			mx.Lock(root.Task())
+			mx.Unlock(root.Task())
+		}
+	})
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if releasedAt == 0 || releasedAt < requestedAt {
+		t.Fatalf("release at %v, requested at %v", releasedAt, requestedAt)
+	}
+	if gap := releasedAt.Sub(requestedAt); gap > time.Millisecond {
+		t.Errorf("output-commit gap %v — the waiter did not force a flush", gap)
+	}
+	// Without the forced flush nothing (not even the env message) would
+	// reach the secondary before the 1s timer, so release would happen at
+	// >= 1s. (The run itself may still end at ~1s: tuples emitted after
+	// the last commit point legitimately wait for the timer.)
+	if releasedAt > sim.Time(10*time.Millisecond) {
+		t.Errorf("released at %v — output commit waited for the flush timer", releasedAt)
+	}
+}
+
+// TestAckEveryCumulativeAcks verifies AckEvery>1 produces cumulative
+// acknowledgements: roughly one ack message per N processed tuples, each
+// carrying the full processed count.
+func TestAckEveryCumulativeAcks(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.BatchTuples = 1
+	cfg.AckEvery = 4
+	d := newDuo(t, 32, cfg, true)
+	var pCount, sCount int
+	d.pns.Start("app", nil, lockCounterApp(&pCount, 2, 30))
+	d.sns.Start("app", nil, lockCounterApp(&sCount, 2, 30))
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.sns.Stats()
+	total := st.LogMessages
+	if total < 40 {
+		t.Fatalf("only %d log messages processed", total)
+	}
+	if st.AckMessages != uint64(d.acks.Stats().Payloads) {
+		t.Errorf("AckMessages=%d but acks ring carried %d payloads", st.AckMessages, d.acks.Stats().Payloads)
+	}
+	lo, hi := total/4-1, total/4+2
+	if st.AckMessages < lo || st.AckMessages > hi {
+		t.Errorf("AckMessages = %d for %d processed, want ~%d (cumulative every 4)", st.AckMessages, total, total/4)
+	}
+}
+
+// TestBatchedAcksCoalesce verifies batch ingestion acks once per drained
+// batch even with AckEvery=1: the acks ring traffic drops well below one
+// message per tuple while output commit still completes.
+func TestBatchedAcksCoalesce(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.BatchTuples = 8
+	cfg.AckEvery = 1
+	d := newDuo(t, 33, cfg, true)
+	var pCount, sCount int
+	var released sim.Time
+	d.pns.Start("app", nil, func(root *replication.Thread) {
+		lockCounterApp(&pCount, 2, 50)(root)
+		root.NS().OnStable(func() { released = d.sim.Now() })
+	})
+	d.sns.Start("app", nil, lockCounterApp(&sCount, 2, 50))
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.sns.Stats()
+	if st.AckMessages == 0 || st.AckMessages*2 > st.LogMessages {
+		t.Errorf("AckMessages = %d for %d tuples — acks not coalesced per batch", st.AckMessages, st.LogMessages)
+	}
+	if released == 0 {
+		t.Error("output never committed with batched acks")
+	}
+	if pCount != 100 || sCount != 100 {
+		t.Errorf("counts %d/%d, want 100 each", pCount, sCount)
+	}
+}

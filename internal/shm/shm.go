@@ -8,6 +8,10 @@
 // in a short burst the primary only fills buffers; over a long period it
 // must slow to the secondary's drain rate.
 //
+// Rings support vectored transfers: SendBatch coalesces N payloads behind
+// one slot header and one propagation event, so the replication layer can
+// amortize the per-message overhead that dominates Figure 5/7 traffic.
+//
 // Because the rings live in shared memory, messages survive the death of
 // the sending kernel: only a cache-coherency-disrupting fault can lose the
 // messages still in flight from the failed partition (§3.5). A Fabric
@@ -22,9 +26,9 @@ import (
 	"repro/internal/sim"
 )
 
-// headerBytes is the per-message overhead accounted by the traffic
+// headerBytes is the per-transfer overhead accounted by the traffic
 // counters: one cache line for the slot header, as in Popcorn's messaging
-// layer.
+// layer. A batch shares a single header across all of its payloads.
 const headerBytes = 64
 
 // Message is one entry in a mailbox ring. Payload is the structured content
@@ -37,22 +41,40 @@ type Message struct {
 	SentAt  sim.Time
 }
 
-// Stats counts traffic through a ring or fabric.
+// Stats counts traffic through a ring or fabric. Messages counts ring
+// transfers (each paying one slot header), Payloads counts the application
+// messages carried — Payloads/Messages is the batching efficiency.
 type Stats struct {
-	Messages int64
-	Bytes    int64 // includes per-message header overhead
-	Dropped  int64 // messages lost to coherency faults
+	Messages int64 // ring transfers; a batch counts once
+	Payloads int64 // application payloads carried; batch members count individually
+	Batches  int64 // transfers that carried more than one payload
+	Bytes    int64 // includes per-transfer header overhead
+	Dropped  int64 // payloads lost to coherency faults
 }
 
 func (s Stats) add(o Stats) Stats {
-	return Stats{Messages: s.Messages + o.Messages, Bytes: s.Bytes + o.Bytes, Dropped: s.Dropped + o.Dropped}
+	return Stats{
+		Messages: s.Messages + o.Messages,
+		Payloads: s.Payloads + o.Payloads,
+		Batches:  s.Batches + o.Batches,
+		Bytes:    s.Bytes + o.Bytes,
+		Dropped:  s.Dropped + o.Dropped,
+	}
 }
 
-// inflight is a message written by the sender but not yet visible to the
-// receiver (still propagating through the cache hierarchy).
+// inflight is a transfer written by the sender but not yet visible to the
+// receiver (still propagating through the cache hierarchy). A vectored
+// transfer propagates — and is lost to a coherency fault — as a unit.
 type inflight struct {
-	msg   Message
+	msgs  []Message
 	ev    *sim.Event
+	bytes int64
+}
+
+// slot is one delivered message plus the ring bytes it occupies (the first
+// member of a batch carries the shared header).
+type slot struct {
+	msg   Message
 	bytes int64
 }
 
@@ -70,7 +92,7 @@ type Ring struct {
 	used      int64 // bytes occupied: delivered + in flight
 	delivered int64
 	onDeliver []func()
-	buf       []Message
+	buf       []slot
 	inflight  []*inflight
 	sendQ     *sim.WaitQueue
 	recvQ     *sim.WaitQueue
@@ -121,20 +143,27 @@ func (f *Fabric) Stats() Stats {
 // DropInflight models a cache-coherency-disrupting fault on the given
 // sending partition: every message from that partition that has not yet
 // become visible to its receiver is lost (§3.5). It reports how many
-// messages were dropped.
+// payloads were dropped. Freed capacity wakes blocked senders — without
+// the wake-up a sender parked on a full ring would hang forever after the
+// fault even though space is available again.
 func (f *Fabric) DropInflight(src int) int {
 	dropped := 0
 	for _, r := range f.rings {
 		if r.src != src {
 			continue
 		}
+		freed := false
 		for _, in := range r.inflight {
 			in.ev.Cancel()
 			r.used -= in.bytes
-			r.stats.Dropped++
-			dropped++
+			r.stats.Dropped += int64(len(in.msgs))
+			dropped += len(in.msgs)
+			freed = true
 		}
 		r.inflight = nil
+		if freed {
+			r.wakeSenders()
+		}
 	}
 	return dropped
 }
@@ -148,7 +177,7 @@ func (r *Ring) Stats() Stats { return r.stats }
 // Len reports the number of messages delivered and waiting to be received.
 func (r *Ring) Len() int { return len(r.buf) }
 
-// InFlight reports the number of messages still propagating.
+// InFlight reports the number of transfers still propagating.
 func (r *Ring) InFlight() int { return len(r.inflight) }
 
 // Latency reports the ring's propagation delay.
@@ -156,9 +185,11 @@ func (r *Ring) Latency() time.Duration { return r.latency }
 
 // Delivered reports how many messages have become visible to the receiver
 // (the consumer-side slot state a sender can poll for receipt, §3.5).
+// Every payload of a vectored transfer counts individually, so watermarks
+// derived from Delivered stay comparable to per-message send counts.
 func (r *Ring) Delivered() int64 { return r.delivered }
 
-// OnDelivered registers a callback fired each time a message becomes
+// OnDelivered registers a callback fired each time a transfer becomes
 // visible to the receiver. Callbacks run in scheduler context and must not
 // block; the output-commit machinery uses them to learn of receipt without
 // waiting for the receiver to be scheduled.
@@ -173,31 +204,82 @@ func (r *Ring) footprint(m Message) int64 {
 	return int64(m.Size) + headerBytes
 }
 
+// batchFootprint is the ring space a vectored transfer occupies: the sum of
+// the payload sizes plus one shared slot header.
+func (r *Ring) batchFootprint(msgs []Message) int64 {
+	total := int64(headerBytes)
+	for _, m := range msgs {
+		total += int64(m.Size)
+	}
+	return total
+}
+
 // TrySend attempts a non-blocking send. It reports false if the ring lacks
 // space.
 func (r *Ring) TrySend(m Message) bool {
 	if r.footprint(m) > r.capBytes-r.used {
 		return false
 	}
-	r.send(m)
+	r.send([]Message{m})
+	return true
+}
+
+// TrySendBatch attempts a non-blocking vectored send of all msgs as one
+// transfer. It reports false (sending nothing) if the ring lacks space for
+// the whole batch. An empty batch trivially succeeds.
+func (r *Ring) TrySendBatch(msgs []Message) bool {
+	if len(msgs) == 0 {
+		return true
+	}
+	if r.batchFootprint(msgs) > r.capBytes-r.used {
+		return false
+	}
+	r.send(msgs)
 	return true
 }
 
 // Send writes a message into the ring, blocking the calling process while
-// the ring is full. Messages from concurrent senders are admitted in FIFO
-// block order.
+// the ring is full. Blocked senders are woken in FIFO order as capacity
+// frees and re-check their footprint, so a small message may be admitted
+// ahead of an earlier, larger one that still does not fit.
 func (r *Ring) Send(p *sim.Proc, m Message) {
 	for r.footprint(m) > r.capBytes-r.used {
 		r.sendQ.Wait(p)
 	}
-	r.send(m)
+	r.send([]Message{m})
 }
 
-func (r *Ring) send(m Message) {
-	m.SentAt = r.sim.Now()
-	in := &inflight{msg: m, bytes: r.footprint(m)}
+// SendBatch writes all msgs into the ring as one vectored transfer sharing
+// a single slot header and a single propagation event, blocking while the
+// batch does not fit. The batch is delivered atomically: receivers observe
+// its members contiguously and in order.
+func (r *Ring) SendBatch(p *sim.Proc, msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	fp := r.batchFootprint(msgs)
+	if fp > r.capBytes {
+		panic(fmt.Sprintf("shm: batch of %d bytes exceeds ring %q capacity %d", fp, r.name, r.capBytes))
+	}
+	for fp > r.capBytes-r.used {
+		r.sendQ.Wait(p)
+	}
+	r.send(msgs)
+}
+
+func (r *Ring) send(msgs []Message) {
+	now := r.sim.Now()
+	in := &inflight{msgs: make([]Message, len(msgs)), bytes: r.batchFootprint(msgs)}
+	for i, m := range msgs {
+		m.SentAt = now
+		in.msgs[i] = m
+	}
 	r.used += in.bytes
 	r.stats.Messages++
+	r.stats.Payloads += int64(len(msgs))
+	if len(msgs) > 1 {
+		r.stats.Batches++
+	}
 	r.stats.Bytes += in.bytes
 	in.ev = r.sim.Schedule(r.latency, func() { r.deliver(in) })
 	r.inflight = append(r.inflight, in)
@@ -210,8 +292,14 @@ func (r *Ring) deliver(in *inflight) {
 			break
 		}
 	}
-	r.buf = append(r.buf, in.msg)
-	r.delivered++
+	for i, m := range in.msgs {
+		b := int64(m.Size)
+		if i == 0 {
+			b += headerBytes // the batch's shared header travels with its first member
+		}
+		r.buf = append(r.buf, slot{msg: m, bytes: b})
+	}
+	r.delivered += int64(len(in.msgs))
 	for _, fn := range r.onDeliver {
 		fn()
 	}
@@ -236,6 +324,25 @@ func (r *Ring) Recv(p *sim.Proc) Message {
 	return r.pop()
 }
 
+// RecvBatch blocks until at least one message is available, then returns
+// up to max delivered messages (all of them if max <= 0) without waiting
+// for more. Hot-path receivers use it to drain a vectored delivery in one
+// scheduling round.
+func (r *Ring) RecvBatch(p *sim.Proc, max int) []Message {
+	for len(r.buf) == 0 {
+		r.recvQ.Wait(p)
+	}
+	n := len(r.buf)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.pop())
+	}
+	return out
+}
+
 // RecvTimeout is like Recv but gives up after d, reporting false.
 func (r *Ring) RecvTimeout(p *sim.Proc, d time.Duration) (Message, bool) {
 	deadline := r.sim.Now().Add(d)
@@ -252,21 +359,29 @@ func (r *Ring) RecvTimeout(p *sim.Proc, d time.Duration) (Message, bool) {
 }
 
 func (r *Ring) pop() Message {
-	m := r.buf[0]
+	s := r.buf[0]
 	r.buf = r.buf[1:]
-	r.used -= r.footprint(m)
-	r.sendQ.WakeOne(0)
-	return m
+	r.used -= s.bytes
+	r.wakeSenders()
+	return s.msg
 }
+
+// wakeSenders wakes every blocked sender after capacity frees. Each woken
+// sender re-checks its footprint in Send's admission loop (in FIFO wake
+// order) and re-parks if it still does not fit — so one large receive can
+// admit several small pending messages, instead of waking exactly one
+// sender and leaving the rest parked beside free space.
+func (r *Ring) wakeSenders() { r.sendQ.WakeAll(0) }
 
 // Drain removes and returns every delivered message without blocking. The
 // failover path uses it to collect the log the dead primary left behind.
 func (r *Ring) Drain() []Message {
-	out := r.buf
-	r.buf = nil
-	for _, m := range out {
-		r.used -= r.footprint(m)
+	out := make([]Message, 0, len(r.buf))
+	for _, s := range r.buf {
+		out = append(out, s.msg)
+		r.used -= s.bytes
 	}
-	r.sendQ.WakeAll(0)
+	r.buf = nil
+	r.wakeSenders()
 	return out
 }

@@ -263,3 +263,198 @@ func TestRingQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSendBatchSharesHeader(t *testing.T) {
+	s := sim.New(1)
+	r := newRing(s, 1<<20)
+	var got []int
+	s.Spawn("sender", func(p *sim.Proc) {
+		batch := make([]Message, 8)
+		for i := range batch {
+			batch[i] = Message{Kind: 1, Payload: i, Size: 64}
+		}
+		r.SendBatch(p, batch)
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			got = append(got, r.Recv(p).Payload.(int))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("received %v, want batch members in order", got)
+		}
+	}
+	st := r.Stats()
+	if st.Messages != 1 || st.Payloads != 8 || st.Batches != 1 {
+		t.Errorf("stats = %+v, want 1 transfer / 8 payloads / 1 batch", st)
+	}
+	if want := int64(8*64 + 64); st.Bytes != want {
+		t.Errorf("Bytes = %d, want %d (one shared header)", st.Bytes, want)
+	}
+	if r.Delivered() != 8 {
+		t.Errorf("Delivered = %d, want 8 (per payload)", r.Delivered())
+	}
+	if r.Free() != 1<<20 {
+		t.Errorf("Free = %d after draining batch, want full capacity", r.Free())
+	}
+}
+
+func TestSendBatchOneDeliveryEvent(t *testing.T) {
+	s := sim.New(1)
+	f := NewFabric(s, time.Millisecond)
+	r := f.NewRing("x", 0, 1<<20)
+	var fires int
+	r.OnDelivered(func() { fires++ })
+	var recvAt []sim.Time
+	s.Spawn("sender", func(p *sim.Proc) {
+		r.SendBatch(p, []Message{{Kind: 1, Size: 8}, {Kind: 2, Size: 8}, {Kind: 3, Size: 8}})
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			r.Recv(p)
+			recvAt = append(recvAt, p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fires != 1 {
+		t.Errorf("OnDelivered fired %d times, want 1 (one event per batch)", fires)
+	}
+	for _, at := range recvAt {
+		if at != sim.Time(time.Millisecond) {
+			t.Errorf("batch members delivered at %v, want all at 1ms", recvAt)
+			break
+		}
+	}
+}
+
+func TestRecvBatchDrainsDelivery(t *testing.T) {
+	s := sim.New(1)
+	r := newRing(s, 1<<20)
+	var first, second []Message
+	s.Spawn("sender", func(p *sim.Proc) {
+		r.SendBatch(p, []Message{{Payload: 0, Size: 8}, {Payload: 1, Size: 8}, {Payload: 2, Size: 8}})
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		first = r.RecvBatch(p, 2)
+		second = r.RecvBatch(p, 0) // 0 = no cap
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(first) != 2 || len(second) != 1 {
+		t.Fatalf("RecvBatch sizes = %d,%d, want 2,1", len(first), len(second))
+	}
+	if first[0].Payload.(int) != 0 || first[1].Payload.(int) != 1 || second[0].Payload.(int) != 2 {
+		t.Error("RecvBatch broke FIFO order")
+	}
+}
+
+func TestTrySendBatchFull(t *testing.T) {
+	s := sim.New(1)
+	r := newRing(s, 256)
+	if !r.TrySendBatch([]Message{{Size: 64}, {Size: 64}}) {
+		t.Fatal("batch of 192 bytes rejected from empty 256-byte ring")
+	}
+	if r.TrySendBatch([]Message{{Size: 32}, {Size: 32}}) {
+		t.Fatal("TrySendBatch admitted a batch that does not fit")
+	}
+	if !r.TrySendBatch(nil) {
+		t.Fatal("empty batch should trivially succeed")
+	}
+	if st := r.Stats(); st.Messages != 1 || st.Payloads != 2 {
+		t.Errorf("stats = %+v, want exactly the first batch", st)
+	}
+}
+
+// Regression test for the coherency-fault hang: a sender blocked on a ring
+// whose space is entirely consumed by in-flight messages must be woken when
+// DropInflight frees those bytes, or it parks forever.
+func TestDropInflightWakesBlockedSender(t *testing.T) {
+	s := sim.New(1)
+	f := NewFabric(s, 10*time.Millisecond) // slow: messages stay in flight
+	r := f.NewRing("x", 0, 256)
+	var sentAt sim.Time
+	done := false
+	s.Spawn("sender", func(p *sim.Proc) {
+		r.Send(p, Message{Kind: 1, Size: 64}) // fills 128 bytes
+		r.Send(p, Message{Kind: 2, Size: 64}) // fills the rest
+		r.Send(p, Message{Kind: 3, Size: 64}) // blocks: ring full of in-flight bytes
+		sentAt = p.Now()
+		done = true
+	})
+	s.Schedule(time.Millisecond, func() { f.DropInflight(0) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Fatal("sender still blocked after DropInflight freed the ring")
+	}
+	if sentAt != sim.Time(time.Millisecond) {
+		t.Errorf("third send completed at %v, want 1ms (the fault time)", sentAt)
+	}
+}
+
+// Regression test for single-wake under mixed sizes: one large receive
+// frees enough space for several small blocked senders; all of them must
+// be admitted, not just the first.
+func TestPopWakesAllFittingSenders(t *testing.T) {
+	s := sim.New(1)
+	r := newRing(s, 320) // fits one 256-byte-payload message (256+64)
+	var sentA, sentB bool
+	s.Spawn("big", func(p *sim.Proc) {
+		r.Send(p, Message{Kind: 0, Size: 256}) // fills the ring
+	})
+	s.Spawn("smallA", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond) // queue up behind the full ring
+		r.Send(p, Message{Kind: 1, Size: 32})
+		sentA = true
+	})
+	s.Spawn("smallB", func(p *sim.Proc) {
+		p.Sleep(20 * time.Microsecond)
+		r.Send(p, Message{Kind: 2, Size: 32})
+		sentB = true
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		m := r.Recv(p) // frees 320 bytes: room for both small messages
+		if m.Kind != 0 {
+			t.Errorf("first receive Kind=%d, want 0", m.Kind)
+		}
+		p.Sleep(time.Hour) // do not receive again; both sends must already fit
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sentA || !sentB {
+		t.Fatalf("sentA=%v sentB=%v, want both admitted by the single large receive", sentA, sentB)
+	}
+}
+
+func TestDropInflightDropsWholeBatch(t *testing.T) {
+	s := sim.New(1)
+	f := NewFabric(s, time.Millisecond)
+	r := f.NewRing("x", 0, 1<<20)
+	s.Spawn("sender", func(p *sim.Proc) {
+		r.SendBatch(p, []Message{{Size: 8}, {Size: 8}, {Size: 8}})
+	})
+	s.Schedule(100*time.Microsecond, func() {
+		if n := f.DropInflight(0); n != 3 {
+			t.Errorf("DropInflight = %d payloads, want 3", n)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Stats().Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", r.Stats().Dropped)
+	}
+	if r.Len() != 0 || r.Free() != 1<<20 {
+		t.Errorf("Len=%d Free=%d after dropping the batch", r.Len(), r.Free())
+	}
+}

@@ -3,6 +3,7 @@ package tcprep
 import (
 	"time"
 
+	"repro/internal/kernel"
 	"repro/internal/replication"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -12,14 +13,70 @@ import (
 // Primary wires a primary kernel's TCP stack for replication: it installs
 // the output-commit egress gate, the ingress backpressure hook, and the
 // event callbacks that stream logical-state updates to the secondary.
+//
+// With SyncConfig.BatchUpdates > 1 consecutive updates are coalesced
+// between output commits — data-in deltas for the same connection merge
+// into one growing buffer, ack-out deltas for the same connection collapse
+// to the latest watermark — and ship as one vectored ring transfer. Output
+// never outruns the buffer: every outgoing segment passes a sync barrier
+// that forces a flush and waits until all previously enqueued updates are
+// on the ring, so a primary crash cannot lose an update the client has
+// already seen acknowledged (buffered updates live in private memory and
+// die with the primary; ring messages survive in shared memory, §3.5).
 type Primary struct {
 	ns    *replication.Namespace
 	stack *tcpstack.Stack
 	sync  *shm.Ring
+	cfg   SyncConfig
+
+	pending      []syncPending
+	pendingBytes int64
+	deadline     sim.Time
+	flushing     bool // a blocking SendBatch is in progress
+	flushQ       *sim.WaitQueue
+	flushDone    *sim.WaitQueue
+
+	enqueued uint64 // logical updates accepted for syncing
+	synced   uint64 // logical updates pushed onto the ring
+	barrierQ []syncWaiter
+	live     bool
 
 	// Aborted counts connections reset because a mandatory state update
 	// could not be synced (sync ring exhausted despite backpressure).
 	Aborted int
+	// SyncFlushes counts vectored transfers pushed onto the sync ring.
+	SyncFlushes int64
+	// SyncCoalesced counts updates merged into an already-pending entry
+	// (they ride along without their own ring slot).
+	SyncCoalesced int64
+}
+
+// syncPending is one buffered sync-ring entry plus the number of logical
+// updates coalesced into it.
+type syncPending struct {
+	msg  shm.Message
+	reps uint64
+}
+
+// syncWaiter is an output segment waiting for the sync watermark.
+type syncWaiter struct {
+	watermark uint64
+	fn        func()
+}
+
+// SyncConfig tunes logical-state delta batching on the tcprep.sync ring.
+type SyncConfig struct {
+	// BatchUpdates coalesces up to N updates per vectored transfer
+	// (<= 1 sends every update individually, the pre-batching behavior).
+	BatchUpdates int
+	// FlushInterval bounds how long a partially filled batch may sit
+	// buffered when no output commit forces it out sooner.
+	FlushInterval time.Duration
+}
+
+// DefaultSyncConfig returns the calibrated sync batching policy.
+func DefaultSyncConfig() SyncConfig {
+	return SyncConfig{BatchUpdates: 8, FlushInterval: 50 * time.Microsecond}
 }
 
 // GateConfig models the primary's per-packet replication bookkeeping cost:
@@ -39,32 +96,70 @@ func DefaultGateConfig() GateConfig {
 	return GateConfig{PerSegment: 20 * time.Microsecond, PerByte: 9 * time.Nanosecond}
 }
 
-// NewPrimary attaches replication to the given stack. sync is the
-// shared-memory ring to the secondary.
+// NewPrimary attaches replication to the given stack with the default
+// egress cost model and sync batching policy. sync is the shared-memory
+// ring to the secondary.
 func NewPrimary(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring) *Primary {
-	return NewPrimaryGate(ns, stack, sync, DefaultGateConfig())
+	return NewPrimaryFull(ns, stack, sync, DefaultGateConfig(), DefaultSyncConfig())
 }
 
 // NewPrimaryGate is NewPrimary with an explicit egress cost model.
 func NewPrimaryGate(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring, gate GateConfig) *Primary {
-	p := &Primary{ns: ns, stack: stack, sync: sync}
-	stack.SetEgress(&stabilityGate{ns: ns, cfg: gate, sim: ns.Kernel().Sim()})
+	return NewPrimaryFull(ns, stack, sync, gate, DefaultSyncConfig())
+}
+
+// NewPrimaryFull is NewPrimary with explicit egress and sync policies.
+func NewPrimaryFull(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring, gate GateConfig, syncCfg SyncConfig) *Primary {
+	if syncCfg.BatchUpdates > 1 && syncCfg.FlushInterval <= 0 {
+		syncCfg.FlushInterval = DefaultSyncConfig().FlushInterval
+	}
+	p := &Primary{
+		ns:        ns,
+		stack:     stack,
+		sync:      sync,
+		cfg:       syncCfg,
+		flushQ:    sim.NewWaitQueue(ns.Kernel().Sim()),
+		flushDone: sim.NewWaitQueue(ns.Kernel().Sim()),
+	}
+	stack.SetEgress(&stabilityGate{ns: ns, prim: p, cfg: gate, sim: ns.Kernel().Sim()})
 	stack.SetIngress(p.ingress)
 	stack.OnEstablished = p.onEstablished
 	stack.OnDataIn = p.onDataIn
 	stack.OnAckIn = p.onAckIn
 	stack.OnPeerFin = p.onPeerFin
 	stack.OnReaped = p.onReaped
+	if syncCfg.BatchUpdates > 1 {
+		ns.Kernel().Spawn("tcprep-flush", p.flushLoop)
+	}
 	return p
 }
 
-// stabilityGate releases outgoing segments only once the secondary has
-// acknowledged every log message sent so far — the output-commit rule
-// (§3.5; with relaxed output commit the namespace releases immediately) —
-// and paces releases by the per-packet bookkeeping cost while replication
-// is active.
+// GoLive stops syncing after the backup's death: buffered updates are
+// discarded, barrier waiters released, and a flusher stalled on the dead
+// ring unblocked, so the primary keeps serving at native speed.
+func (p *Primary) GoLive() {
+	if p.live {
+		return
+	}
+	p.live = true
+	p.pending = nil
+	p.pendingBytes = 0
+	p.synced = p.enqueued
+	p.fireBarrier()
+	p.sync.Drain() // unblock a flusher parked on the dead ring
+	p.flushQ.WakeAll(0)
+}
+
+// stabilityGate releases outgoing segments only once (a) every sync-ring
+// update enqueued so far is on the ring — the sync barrier that keeps
+// batching from letting output outrun the logical-state stream — and (b)
+// the secondary has acknowledged every log message sent so far — the
+// output-commit rule (§3.5; with relaxed output commit the namespace
+// releases immediately). Releases are paced by the per-packet bookkeeping
+// cost while replication is active.
 type stabilityGate struct {
 	ns       *replication.Namespace
+	prim     *Primary
 	cfg      GateConfig
 	sim      *sim.Simulation
 	nextFree sim.Time
@@ -79,42 +174,223 @@ func (g *stabilityGate) Transmit(seg *tcpstack.Segment, send func()) {
 		return
 	}
 	cost := g.cfg.PerSegment + time.Duration(seg.WireSize())*g.cfg.PerByte
-	g.ns.OnStable(func() {
-		now := g.sim.Now()
-		release := now
-		if g.nextFree > release {
-			release = g.nextFree
-		}
-		g.nextFree = release.Add(cost)
-		if release == now {
-			send()
-			return
-		}
-		g.sim.ScheduleAt(release, send)
+	g.prim.syncBarrier(func() {
+		g.ns.OnStable(func() {
+			now := g.sim.Now()
+			release := now
+			if g.nextFree > release {
+				release = g.nextFree
+			}
+			g.nextFree = release.Add(cost)
+			if release == now {
+				send()
+				return
+			}
+			g.sim.ScheduleAt(release, send)
+		})
 	})
 }
 
 // ingress is the Netfilter-style backpressure hook: data segments that the
-// sync ring could not hold are dropped *before* the TCP layer, so the stack
+// sync path could not hold are dropped *before* the TCP layer, so the stack
 // never acknowledges input the secondary might miss; the client simply
-// retransmits.
+// retransmits. Buffered-but-unflushed bytes count against the budget so the
+// pending buffer stays bounded by the ring capacity.
 func (p *Primary) ingress(seg *tcpstack.Segment) bool {
 	if len(seg.Data) == 0 {
 		return true
 	}
-	return p.sync.Free() >= int64(len(seg.Data))+128
+	return p.sync.Free()-p.pendingBytes >= int64(len(seg.Data))+128
 }
 
-// trySync sends a state update without blocking (callbacks run in segment
-// context). mustHave marks updates whose loss would break failover
-// transparency: if one cannot be synced the connection is reset instead.
-func (p *Primary) trySync(c *tcpstack.Conn, kind int, payload any, size int, mustHave bool) {
-	if p.sync.TrySend(shm.Message{Kind: kind, Payload: payload, Size: size}) {
+// syncBarrier runs fn once every sync update enqueued so far is on the
+// ring, forcing an immediate flush (output commit must never wait out a
+// FlushInterval). Runs in segment/scheduler context; fn fires inline in
+// the common case where the forced flush is admitted at once.
+func (p *Primary) syncBarrier(fn func()) {
+	if p.live || p.cfg.BatchUpdates <= 1 {
+		fn()
 		return
 	}
-	if mustHave && c != nil {
-		p.Aborted++
-		c.Abort()
+	p.flushForCommit()
+	if p.synced >= p.enqueued {
+		fn()
+		return
+	}
+	p.barrierQ = append(p.barrierQ, syncWaiter{watermark: p.enqueued, fn: fn})
+}
+
+func (p *Primary) fireBarrier() {
+	for len(p.barrierQ) > 0 && p.barrierQ[0].watermark <= p.synced {
+		fn := p.barrierQ[0].fn
+		p.barrierQ = p.barrierQ[1:]
+		fn()
+	}
+}
+
+// trySync accepts a state update without blocking (callbacks run in segment
+// context). Unbatched it goes straight to the ring; batched it lands in the
+// pending buffer, merging with the newest pending entry when both describe
+// the same stream. mustHave marks updates whose loss would break failover
+// transparency: if one cannot be accepted the connection is reset instead.
+func (p *Primary) trySync(c *tcpstack.Conn, kind int, payload any, size int, mustHave bool) {
+	if p.live {
+		return
+	}
+	if p.cfg.BatchUpdates <= 1 {
+		if p.sync.TrySend(shm.Message{Kind: kind, Payload: payload, Size: size}) {
+			return
+		}
+		if mustHave && c != nil {
+			p.Aborted++
+			c.Abort()
+		}
+		return
+	}
+	p.enqueued++
+	if p.coalesce(kind, payload) {
+		return
+	}
+	if len(p.pending) == 0 {
+		p.deadline = p.ns.Kernel().Sim().Now().Add(p.cfg.FlushInterval)
+		p.flushQ.WakeAll(0)
+	}
+	p.pending = append(p.pending, syncPending{
+		msg:  shm.Message{Kind: kind, Payload: payload, Size: size},
+		reps: 1,
+	})
+	p.pendingBytes += int64(size)
+	if len(p.pending) >= p.cfg.BatchUpdates {
+		p.flushForCommit() // non-blocking; the flusher finishes if the ring is full
+	}
+}
+
+// coalesce merges an update into the newest pending entry when both target
+// the same connection stream: data-in bytes append (one entry per input
+// burst), ack-out watermarks replace (they are cumulative). Only the tail
+// entry is considered so the ring order of updates is preserved exactly.
+func (p *Primary) coalesce(kind int, payload any) bool {
+	n := len(p.pending)
+	if n == 0 {
+		return false
+	}
+	tail := &p.pending[n-1]
+	if tail.msg.Kind != kind {
+		return false
+	}
+	switch kind {
+	case syncDataIn:
+		a, _ := tail.msg.Payload.(dataIn)
+		b := payload.(dataIn)
+		if a.Key != b.Key {
+			return false
+		}
+		a.Data = append(a.Data, b.Data...)
+		tail.msg.Payload = a
+		tail.msg.Size += len(b.Data)
+		p.pendingBytes += int64(len(b.Data))
+	case syncAckOut:
+		a, _ := tail.msg.Payload.(ackOut)
+		b := payload.(ackOut)
+		if a.Key != b.Key {
+			return false
+		}
+		if b.Acked > a.Acked {
+			tail.msg.Payload = b
+		}
+	default:
+		return false
+	}
+	tail.reps++
+	p.SyncCoalesced++
+	return true
+}
+
+// takePending snapshots and clears the pending buffer.
+func (p *Primary) takePending() ([]shm.Message, uint64) {
+	msgs := make([]shm.Message, len(p.pending))
+	var reps uint64
+	for i, e := range p.pending {
+		msgs[i] = e.msg
+		reps += e.reps
+	}
+	p.pending = nil
+	p.pendingBytes = 0
+	return msgs, reps
+}
+
+// flushForCommit pushes the pending buffer out without blocking. If the
+// ring cannot take the batch (or a blocking flush is in progress) the
+// flusher task finishes the job immediately; barrier waiters keep output
+// held until then.
+func (p *Primary) flushForCommit() {
+	if len(p.pending) == 0 {
+		return
+	}
+	if p.flushing {
+		p.deadline = p.ns.Kernel().Sim().Now()
+		p.flushQ.WakeAll(0)
+		return
+	}
+	msgs := make([]shm.Message, len(p.pending))
+	for i, e := range p.pending {
+		msgs[i] = e.msg
+	}
+	if !p.sync.TrySendBatch(msgs) {
+		p.deadline = p.ns.Kernel().Sim().Now()
+		p.flushQ.WakeAll(0)
+		return
+	}
+	var reps uint64
+	for _, e := range p.pending {
+		reps += e.reps
+	}
+	p.pending = nil
+	p.pendingBytes = 0
+	p.synced += reps
+	p.SyncFlushes++
+	p.fireBarrier()
+}
+
+// flushSync is the blocking flush used from task context. Flushes are
+// serialized so batches are admitted to the ring in snapshot order.
+func (p *Primary) flushSync(proc *sim.Proc) {
+	for p.flushing {
+		p.flushDone.Wait(proc)
+	}
+	if p.live || len(p.pending) == 0 {
+		return
+	}
+	msgs, reps := p.takePending()
+	p.flushing = true
+	p.sync.SendBatch(proc, msgs)
+	p.flushing = false
+	p.synced += reps
+	p.SyncFlushes++
+	p.fireBarrier()
+	p.flushDone.WakeAll(0)
+	p.flushQ.WakeAll(0)
+}
+
+// flushLoop is the background flusher bounding buffered-update latency
+// when no output commit forces a flush sooner.
+func (p *Primary) flushLoop(t *kernel.Task) {
+	proc := t.Proc()
+	for {
+		if p.live {
+			p.flushQ.Wait(proc)
+			continue
+		}
+		if len(p.pending) == 0 || p.flushing {
+			p.flushQ.Wait(proc)
+			continue
+		}
+		now := p.ns.Kernel().Sim().Now()
+		if p.deadline > now {
+			p.flushQ.WaitTimeout(proc, p.deadline.Sub(now))
+			continue
+		}
+		p.flushSync(proc)
 	}
 }
 
@@ -143,11 +419,20 @@ func (p *Primary) onReaped(c *tcpstack.Conn) {
 }
 
 // bindConn announces the det-log socket ID for an accepted connection.
-// Called from task context, so it may block on the ring.
+// Called from task context, so it may block on the ring; the bind is
+// appended behind any pending updates and flushed immediately so the
+// secondary's bindWait is never delayed by batching.
 func (p *Primary) bindConn(th *replication.Thread, id uint64, c *tcpstack.Conn) {
-	p.sync.Send(th.Task().Proc(), shm.Message{
-		Kind:    syncBind,
-		Payload: bind{ID: id, Key: keyOf(c)},
-		Size:    40,
-	})
+	m := shm.Message{Kind: syncBind, Payload: bind{ID: id, Key: keyOf(c)}, Size: 40}
+	if p.cfg.BatchUpdates <= 1 {
+		p.sync.Send(th.Task().Proc(), m)
+		return
+	}
+	if p.live {
+		return
+	}
+	p.enqueued++
+	p.pending = append(p.pending, syncPending{msg: m, reps: 1})
+	p.pendingBytes += int64(m.Size)
+	p.flushSync(th.Task().Proc())
 }

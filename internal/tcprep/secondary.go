@@ -68,6 +68,7 @@ type Secondary struct {
 	// Stats.
 	DataBytes int64 // input bytes synced
 	Updates   int64 // sync messages applied
+	Batches   int64 // vectored deliveries drained (more than one update at once)
 }
 
 // NewSecondary starts the sync-state maintainer on the secondary kernel
@@ -97,11 +98,16 @@ func (s *Secondary) Conns() int { return len(s.conns) }
 
 func (s *Secondary) pullLoop(t *kernel.Task) {
 	for {
-		m := s.sync.Recv(t.Proc())
-		if s.syncCost > 0 {
-			t.Compute(s.syncCost)
+		batch := s.sync.RecvBatch(t.Proc(), 0)
+		if len(batch) > 1 {
+			s.Batches++
 		}
-		s.apply(m)
+		for _, m := range batch {
+			if s.syncCost > 0 {
+				t.Compute(s.syncCost)
+			}
+			s.apply(m)
+		}
 	}
 }
 

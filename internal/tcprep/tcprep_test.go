@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/shm"
 	"repro/internal/tcpstack"
 )
 
@@ -60,5 +61,62 @@ func TestConnKeyString(t *testing.T) {
 	k := ConnKey{LocalPort: 80, RemoteHost: "client", RemotePort: 5000}
 	if k.String() != ":80<->client:5000" {
 		t.Errorf("String = %q", k.String())
+	}
+}
+
+func TestCoalesceMergesTailOnly(t *testing.T) {
+	k1 := ConnKey{LocalPort: 80, RemoteHost: "c", RemotePort: 1}
+	k2 := ConnKey{LocalPort: 80, RemoteHost: "c", RemotePort: 2}
+	p := &Primary{cfg: SyncConfig{BatchUpdates: 8}}
+
+	// Seed one pending data-in entry for k1.
+	p.pending = append(p.pending, syncPending{
+		msg:  shm.Message{Kind: syncDataIn, Payload: dataIn{Key: k1, Data: []byte("abc")}, Size: 35},
+		reps: 1,
+	})
+	p.pendingBytes = 35
+
+	// Same key, same kind: appends into the tail entry.
+	if !p.coalesce(syncDataIn, dataIn{Key: k1, Data: []byte("def")}) {
+		t.Fatal("data-in for the same stream did not coalesce")
+	}
+	tail := p.pending[len(p.pending)-1]
+	if d := tail.msg.Payload.(dataIn); string(d.Data) != "abcdef" {
+		t.Errorf("merged data = %q, want abcdef", d.Data)
+	}
+	if tail.msg.Size != 38 || tail.reps != 2 || p.SyncCoalesced != 1 {
+		t.Errorf("size=%d reps=%d coalesced=%d, want 38/2/1", tail.msg.Size, tail.reps, p.SyncCoalesced)
+	}
+
+	// Different key: must NOT merge (it is a different stream).
+	if p.coalesce(syncDataIn, dataIn{Key: k2, Data: []byte("x")}) {
+		t.Error("data-in for another connection coalesced")
+	}
+	// Different kind: must NOT merge.
+	if p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 10}) {
+		t.Error("ack-out coalesced into a data-in entry")
+	}
+
+	// Ack-out entries collapse to the highest watermark; stale acks are
+	// absorbed without rolling it back.
+	p.pending = []syncPending{{msg: shm.Message{Kind: syncAckOut, Payload: ackOut{Key: k1, Acked: 100}, Size: 40}, reps: 1}}
+	if !p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 250}) {
+		t.Fatal("higher ack-out did not coalesce")
+	}
+	if !p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 180}) {
+		t.Fatal("stale ack-out did not coalesce")
+	}
+	if a := p.pending[0].msg.Payload.(ackOut); a.Acked != 250 {
+		t.Errorf("collapsed ack watermark = %d, want 250", a.Acked)
+	}
+	if p.pending[0].reps != 3 {
+		t.Errorf("reps = %d, want 3", p.pending[0].reps)
+	}
+
+	// Only the tail is eligible: a newer entry of another kind fences off
+	// older ones, preserving ring order exactly.
+	p.pending = append(p.pending, syncPending{msg: shm.Message{Kind: syncPeerFin, Payload: peerFin{Key: k1}, Size: 32}, reps: 1})
+	if p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 300}) {
+		t.Error("ack-out merged past an interleaved update, breaking order")
 	}
 }
