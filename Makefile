@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet lint test race bench check
 
 all: check
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# ftvet enforces the FT-specific invariants go vet cannot see:
+# determinism of replicated code, det-section purity, lock ordering,
+# and flush-before-watermark. See DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/ftvet ./...
 
 test:
 	$(GO) test ./...
@@ -21,4 +27,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-check: vet build race bench
+check: vet lint build race bench

@@ -1,0 +1,164 @@
+// Command ftvet is the FT-Linux invariant multichecker: it runs the
+// determinism and replication analyzers (nondet, detsection, lockorder,
+// watermark) over the module and exits non-zero on findings, mirroring
+// `go vet` usage:
+//
+//	go run ./cmd/ftvet ./...          # whole module (the default)
+//	go run ./cmd/ftvet ./internal/tcprep ./internal/replication
+//	go run ./cmd/ftvet -list          # describe the analyzers
+//	go run ./cmd/ftvet -run nondet    # subset by name
+//
+// Findings print in the canonical file:line:col format. Suppressions use
+// the audited escape hatch documented in internal/analysis/ftvet:
+//
+//	//ftvet:allow <analyzer>: <justification>
+//
+// The analyzers are built on the in-repo framework (internal/analysis/
+// ftvet) rather than golang.org/x/tools/go/analysis, which is not
+// vendorable in this offline container; for the same reason ftvet runs
+// as a standalone multichecker instead of a -vettool plugin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/detsection"
+	"repro/internal/analysis/ftvet"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/nondet"
+	"repro/internal/analysis/watermark"
+)
+
+// All is the registered analyzer suite.
+var All = []*ftvet.Analyzer{
+	nondet.Analyzer,
+	detsection.Analyzer,
+	lockorder.Analyzer,
+	watermark.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the registered analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	lockgraph := flag.Bool("lockgraph", false, "dump the static lock-acquisition graph (the lockorder audit artifact)")
+	flag.Parse()
+	if *lockgraph {
+		lockorder.Debug = os.Stdout
+	}
+
+	if *list {
+		for _, a := range All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := All
+	if *run != "" {
+		byName := map[string]*ftvet.Analyzer{}
+		for _, a := range All {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ftvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, module, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftvet:", err)
+		os.Exit(2)
+	}
+	loader := ftvet.NewLoader(root, module)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftvet:", err)
+		os.Exit(2)
+	}
+	if args := flag.Args(); len(args) > 0 && !(len(args) == 1 && (args[0] == "./..." || args[0] == "all")) {
+		pkgs = filterPackages(pkgs, args, module, root)
+		if len(pkgs) == 0 {
+			fmt.Fprintln(os.Stderr, "ftvet: no packages match the given patterns")
+			os.Exit(2)
+		}
+	}
+	diags, err := ftvet.Run(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if n := ftvet.Print(os.Stdout, loader.Fset, diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "ftvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// findModule locates the enclosing go.mod and returns its directory and
+// module path.
+func findModule() (root, module string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPackages keeps packages matching go-style patterns: ./x,
+// ./x/... (relative to root), or full import paths, with "..." matching
+// any suffix.
+func filterPackages(pkgs []*ftvet.Package, patterns []string, module, root string) []*ftvet.Package {
+	match := func(path string) bool {
+		for _, pat := range patterns {
+			pat = strings.TrimSuffix(pat, "/")
+			if rel, ok := strings.CutPrefix(pat, "./"); ok {
+				pat = module
+				if rel != "" {
+					pat = module + "/" + rel
+				}
+			}
+			if strings.HasSuffix(pat, "/...") {
+				prefix := strings.TrimSuffix(pat, "/...")
+				if path == prefix || strings.HasPrefix(path, prefix+"/") {
+					return true
+				}
+				continue
+			}
+			if path == pat {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*ftvet.Package
+	for _, p := range pkgs {
+		if match(p.Path) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

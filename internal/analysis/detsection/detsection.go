@@ -1,0 +1,142 @@
+// Package detsection polices the bodies of deterministic sections.
+//
+// A deterministic section (pthread.Det.Section, or the settle callback
+// of Det.Resolve) is the state update of one interposed operation. On
+// the primary it runs under the namespace-wide global mutex and its
+// position in the global order is streamed to the secondary as a
+// <Seq_thread, Seq_global, ft_pid> tuple (Figure 3); on the secondary it
+// runs when replay reaches that tuple. Two rules follow:
+//
+//   - the body must not block: the global mutex serializes every
+//     replicated thread's sections, so a blocked section stalls the
+//     whole namespace — and on the secondary a section that waits on
+//     something only the primary provides deadlocks replay;
+//   - the body must not re-enter the replication machinery: calling
+//     into the shared-memory mailbox (internal/shm) from inside a
+//     section can block on ring backpressure while holding the global
+//     mutex — the flusher that would drain the ring may itself need a
+//     section, a cycle the runtime cannot detect.
+//
+// detsection therefore flags, inside function literals passed as the
+// section body to Section (or as the settle callback to Resolve) on a
+// pthread.Det implementation: goroutine spawns, channel operations
+// (send, receive, select, close), and any call into internal/shm.
+//
+// The check is syntactic and local: only literal callbacks at the call
+// site are inspected, not named functions passed by reference.
+package detsection
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/ftvet"
+)
+
+// Analyzer is the detsection pass.
+var Analyzer = &ftvet.Analyzer{
+	Name: "detsection",
+	Doc: "flag goroutine spawns, channel operations, and internal/shm calls inside " +
+		"deterministic-section callbacks: sections run under the namespace global " +
+		"mutex and must stay short and non-blocking (Figure 3)",
+	Run: run,
+}
+
+func run(pass *ftvet.Pass) error {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			body := sectionBody(pkg, call)
+			if body == nil {
+				return true
+			}
+			checkBody(pass, pkg, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// sectionBody returns the function literal that will execute inside a
+// deterministic section for this call, or nil. For Section(t, op, obj,
+// fn) that is fn; for Resolve(t, op, obj, block, settle) it is settle —
+// block runs outside the global mutex by design (§3.3: it may park, like
+// accept or read).
+func sectionBody(pkg *ftvet.Package, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if !strings.Contains(path, "internal/pthread") && !strings.Contains(path, "internal/replication") {
+		return nil
+	}
+	switch fn.Name() {
+	case "Section", "section":
+		if len(call.Args) == 0 {
+			return nil
+		}
+		lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		return lit
+	case "Resolve", "resolve":
+		if len(call.Args) == 0 {
+			return nil
+		}
+		lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		return lit
+	}
+	return nil
+}
+
+// checkBody walks a section body (including nested literals — a closure
+// built inside the section is assumed to run inside it) and reports the
+// forbidden constructs.
+func checkBody(pass *ftvet.Pass, pkg *ftvet.Package, body *ast.FuncLit) {
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "goroutine spawned inside a deterministic section: the spawn order would race the section order that replay reproduces; spawn outside the section (thread identity is assigned via OpThreadCreate sections)")
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "channel send inside a deterministic section can block while holding the namespace global mutex, stalling every replicated thread (Figure 3); hand the value off after the section returns")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Report(n.Pos(), "channel receive inside a deterministic section can block while holding the namespace global mutex, stalling every replicated thread (Figure 3)")
+			}
+		case *ast.SelectStmt:
+			pass.Report(n.Pos(), "select inside a deterministic section: channel operations can block (or nondeterministically choose) while holding the namespace global mutex (Figure 3)")
+			return false // one finding per select; don't re-flag its comm clauses
+		case *ast.CallExpr:
+			checkSectionCall(pass, pkg, n)
+		}
+		return true
+	})
+}
+
+func checkSectionCall(pass *ftvet.Pass, pkg *ftvet.Package, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			pass.Report(call.Pos(), "close of a channel inside a deterministic section: channel state changes must not be interleaved with the section order (Figure 3)")
+			return
+		}
+	}
+	fn := pkg.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if strings.Contains(fn.Pkg().Path(), "internal/shm") {
+		pass.Reportf(call.Pos(), "call into the shared-memory mailbox (%s.%s) inside a deterministic section: re-entering the mailbox while holding the namespace global mutex can block on ring backpressure and breaks the <Seq_thread, Seq_global, ft_pid> serialization (Figure 3); buffer the message and send after the section", fn.Pkg().Name(), fn.Name())
+	}
+}

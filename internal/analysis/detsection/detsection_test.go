@@ -1,0 +1,17 @@
+package detsection_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detsection"
+)
+
+func TestDetSection(t *testing.T) {
+	td, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, td, detsection.Analyzer, "repro/internal/detfix")
+}

@@ -1,0 +1,107 @@
+package ftvet
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces the source-comment escape hatch:
+//
+//	//ftvet:allow <analyzer>: <justification>
+//
+// The comment suppresses that analyzer's diagnostics on its own source
+// line (trailing form) and on the line directly below (standalone form).
+// The justification is mandatory: an allow with no stated reason is
+// itself a diagnostic, so every suppression in the tree documents why
+// the invariant may be waived there. Unknown analyzer names are also
+// diagnosed, so a typo cannot silently disable enforcement.
+const allowPrefix = "//ftvet:allow"
+
+// allowMark is one parsed escape-hatch comment.
+type allowMark struct {
+	analyzer string
+	pos      token.Pos
+}
+
+// collectAllows parses every //ftvet:allow comment in the package set.
+// Malformed allows are reported as diagnostics under the pseudo-analyzer
+// name "ftvet" (which cannot itself be suppressed).
+func collectAllows(fset *token.FileSet, pkgs []*Package, known map[string]bool) (marks []allowMark, malformed []Diagnostic) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(text, allowPrefix)
+					if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ftvet",
+							Pos:      c.Pos(),
+							Message:  "malformed ftvet:allow: want \"//ftvet:allow <analyzer>: <justification>\"",
+						})
+						continue
+					}
+					name, justification, okColon := strings.Cut(strings.TrimSpace(rest), ":")
+					name = strings.TrimSpace(name)
+					if !known[name] {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ftvet",
+							Pos:      c.Pos(),
+							Message:  "ftvet:allow names unknown analyzer " + quote(name),
+						})
+						continue
+					}
+					if !okColon || strings.TrimSpace(justification) == "" {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ftvet",
+							Pos:      c.Pos(),
+							Message:  "ftvet:allow " + name + " requires a justification: \"//ftvet:allow " + name + ": <why this waiver is sound>\"",
+						})
+						continue
+					}
+					marks = append(marks, allowMark{analyzer: name, pos: c.Pos()})
+				}
+			}
+		}
+	}
+	return marks, malformed
+}
+
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	return `"` + s + `"`
+}
+
+// filterAllows drops diagnostics covered by an allow mark: same analyzer
+// on the mark's line (trailing comment) or the line directly below
+// (standalone comment above the flagged statement).
+func filterAllows(fset *token.FileSet, diags []Diagnostic, marks []allowMark) []Diagnostic {
+	if len(marks) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := map[key]bool{}
+	for _, m := range marks {
+		p := fset.Position(m.pos)
+		allowed[key{p.Filename, p.Line, m.analyzer}] = true
+		allowed[key{p.Filename, p.Line + 1, m.analyzer}] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if allowed[key{p.Filename, p.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package ftvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages without the go/packages driver
+// (unavailable offline). Packages inside the analyzed tree are loaded
+// from source by the loader itself; everything else (the standard
+// library) is delegated to go/types' source importer, which resolves
+// from GOROOT/src.
+type Loader struct {
+	// Root is the directory packages are loaded from.
+	Root string
+
+	// Module is the module path that maps onto Root ("repro" for the
+	// real tree). Empty means fixture mode: an import path is used
+	// verbatim as a directory relative to Root, the layout analysistest
+	// uses under testdata/src.
+	Module string
+
+	Fset *token.FileSet
+
+	pkgs map[string]*Package
+	std  types.ImporterFrom
+}
+
+// NewLoader creates a loader rooted at dir for the given module path
+// (empty for fixture mode).
+func NewLoader(dir, module string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   dir,
+		Module: module,
+		Fset:   fset,
+		pkgs:   map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// dirFor maps an import path to a directory under Root, or "" when the
+// path is outside the analyzed tree (standard library).
+func (l *Loader) dirFor(path string) string {
+	switch {
+	case l.Module == "":
+		dir := filepath.Join(l.Root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+		return ""
+	case path == l.Module:
+		return l.Root
+	case strings.HasPrefix(path, l.Module+"/"):
+		return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/")))
+	default:
+		return ""
+	}
+}
+
+// Load parses and type-checks the package at the given import path,
+// memoized across the loader's lifetime. Test files are excluded: ftvet
+// guards the shipped code, and test-only packages would drag in external
+// test dependencies the offline importer cannot see.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("ftvet: import path %q is outside the analyzed tree", path)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, name))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("ftvet: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importFor),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("ftvet: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ftvet: type-checking %s: %v", path, err)
+	}
+	p := &Package{Path: path, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importFor resolves an import encountered while type-checking: tree
+// packages recurse into Load, everything else goes to the standard
+// library source importer.
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.Root, 0)
+}
+
+// LoadAll loads every package under Root, skipping testdata trees,
+// hidden directories, and directories without non-test Go files. The
+// result is sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != l.Root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.Root, p)
+				if err != nil {
+					return err
+				}
+				ip := l.Module
+				if rel != "." {
+					ip = l.Module + "/" + filepath.ToSlash(rel)
+				}
+				paths = append(paths, ip)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

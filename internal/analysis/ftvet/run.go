@@ -1,0 +1,50 @@
+package ftvet
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// Run executes the analyzers over the package set and returns the
+// surviving diagnostics: per-package analyzers run once per package,
+// Module analyzers once over the whole set; //ftvet:allow marks are
+// applied afterwards, and malformed allow comments are appended as
+// findings of the pseudo-analyzer "ftvet".
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		if a.Module {
+			pass := &Pass{Analyzer: a, Fset: fset, All: pkgs, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("ftvet: %s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: pkgs, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("ftvet: %s(%s): %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	marks, malformed := collectAllows(fset, pkgs, known)
+	diags = filterAllows(fset, diags, marks)
+	diags = append(diags, malformed...)
+	sortDiags(fset, diags)
+	return diags, nil
+}
+
+// Print writes diagnostics in the canonical file:line:col format used by
+// go vet, returning the number printed.
+func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) int {
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", p.Filename, p.Line, p.Column, d.Message, d.Analyzer)
+	}
+	return len(diags)
+}

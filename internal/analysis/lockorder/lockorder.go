@@ -1,0 +1,537 @@
+// Package lockorder builds a static lock-acquisition graph and reports
+// ordering cycles as potential deadlocks.
+//
+// The record/replay hot path threads several blocking resources: the
+// namespace global mutex (replication.Recorder.mu, Figure 3), the
+// hand-rolled per-link flush serialization flags ("flushing", the flush
+// lock PR 1 introduced), and the shared-memory rings, whose blocking
+// Send/Recv act as bounded locks under backpressure. A PR that acquires
+// two of them in inconsistent orders on different paths creates a
+// deadlock the simulator only hits under just the right backlog — the
+// kind of latent cycle that static ordering analysis catches for free.
+//
+// The model, deliberately simple and conservative:
+//
+//   - acquisitions: pthread Mutex.Lock / RWLock.RdLock / RWLock.WrLock,
+//     sync.Mutex/RWMutex Lock/RLock, and the pseudo-lock "x.flushing =
+//     true" (released by "= false") that serializes batched flushes;
+//   - transient acquisitions: blocking shm.Ring operations (Send,
+//     SendBatch, Recv, RecvBatch, RecvTimeout) — held only for the call,
+//     but ordered after everything currently held;
+//   - lock identity is the receiver's field path (Type.field) or the
+//     package-level variable; distinct locals of the same type within a
+//     function collapse onto one node (an approximation);
+//   - effects propagate through direct static calls between analyzed
+//     packages to a fixpoint, so holding a lock while calling a function
+//     that (transitively) locks another adds an edge;
+//   - branches are walked with a copy of the held set, so alternative
+//     if/else acquisitions do not contaminate each other;
+//   - go statements start with an empty held set (the goroutine does
+//     not inherit the spawner's locks);
+//   - deferred unlocks are ignored: the lock is modeled as held until
+//     the function returns, which is exactly what defer does.
+//
+// A cycle in the resulting graph (including a self-loop: reacquiring a
+// held, non-reentrant pthread mutex) is reported once per cycle.
+// Condition-variable Wait, which releases and reacquires its mutex, is
+// outside the model.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/ftvet"
+)
+
+// Debug, when set (cmd/ftvet -lockgraph), receives a dump of every edge
+// in the acquisition graph — the artifact behind the DESIGN.md ordering
+// audit. A silent clean run proves the absence of cycles; the dump shows
+// which orderings are actually being relied on.
+var Debug io.Writer
+
+// Analyzer is the lockorder pass. It is a Module analyzer: the lock
+// graph spans packages (tcprep holds its flush flag while calling into
+// shm; replication does the same with its own).
+var Analyzer = &ftvet.Analyzer{
+	Name:   "lockorder",
+	Doc:    "build a static lock-acquisition graph over pthread/sync mutexes, flush-serialization flags, and blocking shm ring operations; report ordering cycles as potential deadlocks",
+	Module: true,
+	Run:    run,
+}
+
+type acquisition struct {
+	id        string
+	pos       token.Pos
+	held      []string
+	transient bool
+}
+
+type callSite struct {
+	fn   *types.Func
+	pos  token.Pos
+	held []string
+}
+
+type funcSummary struct {
+	acqs  []acquisition
+	calls []callSite
+}
+
+func run(pass *ftvet.Pass) error {
+	sums := map[*types.Func]*funcSummary{}
+	// Pass 1: per-function walk collecting acquisitions and calls.
+	for _, pkg := range pass.All {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				w := &walker{pass: pass, pkg: pkg, fname: obj.FullName(), sum: &funcSummary{}}
+				w.stmts(fd.Body.List)
+				sums[obj] = w.sum
+			}
+		}
+	}
+
+	// Pass 2: fixpoint of the lock set each function may acquire,
+	// propagated through static calls.
+	inside := map[*types.Func]map[string]bool{}
+	for fn := range sums {
+		inside[fn] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range sums {
+			set := inside[fn]
+			for _, a := range sum.acqs {
+				if !set[a.id] {
+					set[a.id] = true
+					changed = true
+				}
+			}
+			for _, c := range sum.calls {
+				for id := range inside[c.fn] {
+					if !set[id] {
+						set[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: edges held-lock -> acquired-lock.
+	type edge struct {
+		to  string
+		pos token.Pos
+	}
+	edges := map[string]map[string]token.Pos{}
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		m := edges[from]
+		if m == nil {
+			m = map[string]token.Pos{}
+			edges[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = pos
+		}
+	}
+	for _, sum := range sums {
+		for _, a := range sum.acqs {
+			for _, h := range a.held {
+				addEdge(h, a.id, a.pos)
+			}
+		}
+		for _, c := range sum.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for id := range inside[c.fn] {
+				for _, h := range c.held {
+					addEdge(h, id, c.pos)
+				}
+			}
+		}
+	}
+
+	// Pass 4: cycle detection (deterministic DFS over sorted ids).
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	if Debug != nil {
+		for _, n := range nodes {
+			var succs []string
+			for s := range edges[n] {
+				succs = append(succs, s)
+			}
+			sort.Strings(succs)
+			for _, s := range succs {
+				fmt.Fprintf(Debug, "lockorder: %s -> %s (%s)\n", n, s, pass.Fset.Position(edges[n][s]))
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	reported := map[string]bool{}
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		var succs []string
+		for s := range edges[n] {
+			succs = append(succs, s)
+		}
+		sort.Strings(succs)
+		for _, s := range succs {
+			switch color[s] {
+			case white:
+				visit(s)
+			case gray:
+				// Back edge: extract the cycle from the stack.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != s {
+					i--
+				}
+				cycle := append(append([]string{}, stack[i:]...), s)
+				key := canonical(cycle)
+				if !reported[key] {
+					reported[key] = true
+					pass.Reportf(edges[n][s],
+						"lock-order cycle (potential deadlock): %s; acquiring %q here while holding %q — pick one global order and stick to it",
+						strings.Join(cycle, " -> "), s, n)
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	return nil
+}
+
+// canonical normalizes a cycle (first element repeated at the end) to a
+// rotation-independent key.
+func canonical(cycle []string) string {
+	body := cycle[:len(cycle)-1]
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, body[min:]...), body[:min]...)
+	return strings.Join(rot, "->")
+}
+
+// walker performs the held-set statement walk for one function.
+type walker struct {
+	pass  *ftvet.Pass
+	pkg   *ftvet.Package
+	fname string
+	sum   *funcSummary
+	held  []string
+}
+
+func (w *walker) snapshot() []string { return append([]string{}, w.held...) }
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// branch walks a statement with a copy of the held set, discarding its
+// effects: alternative control-flow arms must not see each other's
+// acquisitions.
+func (w *walker) branch(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	saved := w.snapshot()
+	w.stmt(s)
+	w.held = saved
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.branch(s.Body)
+		w.branch(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.stmt(s.Post)
+		w.held = saved
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.branch(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		for _, c := range s.Body.List {
+			w.branch(c)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		for _, c := range s.Body.List {
+			w.branch(c)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.branch(c)
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.stmts(s.Body)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		w.stmts(s.Body)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		w.checkFlushFlag(s)
+	case *ast.GoStmt:
+		// The goroutine does not inherit the spawner's held locks.
+		saved := w.snapshot()
+		w.held = nil
+		w.expr(s.Call.Fun)
+		w.call(s.Call)
+		w.held = saved
+	case *ast.DeferStmt:
+		// Deferred releases are intentionally ignored: the lock stays
+		// held (in the model as in reality) until the function returns.
+		// Deferred acquires/calls are walked with the current held set,
+		// the state they will most likely see at exit.
+		if kind, _ := w.classify(s.Call); kind != opRelease {
+			w.call(s.Call)
+		}
+	}
+}
+
+// expr walks an expression in evaluation order, processing calls and
+// inlining function literals (a literal built here is assumed to run
+// while the current locks are held — conservative for stored closures).
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				w.expr(a)
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				w.expr(sel.X)
+			}
+			w.call(n)
+			return false
+		case *ast.FuncLit:
+			w.stmts(n.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	opAcquire
+	opRelease
+	opTransient
+)
+
+// call classifies and records one call expression.
+func (w *walker) call(call *ast.CallExpr) {
+	kind, id := w.classify(call)
+	switch kind {
+	case opAcquire:
+		for _, h := range w.held {
+			if h == id {
+				w.pass.Reportf(call.Pos(), "lock %q acquired while already held (pthread mutexes are not reentrant): this self-deadlocks at runtime", id)
+				return
+			}
+		}
+		w.sum.acqs = append(w.sum.acqs, acquisition{id: id, pos: call.Pos(), held: w.snapshot()})
+		w.held = append(w.held, id)
+	case opRelease:
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i] == id {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				break
+			}
+		}
+	case opTransient:
+		w.sum.acqs = append(w.sum.acqs, acquisition{id: id, pos: call.Pos(), held: w.snapshot(), transient: true})
+	case opNone:
+		if fn := w.pkg.CalleeFunc(call); fn != nil {
+			w.sum.calls = append(w.sum.calls, callSite{fn: fn, pos: call.Pos(), held: w.snapshot()})
+		}
+	}
+}
+
+// classify maps a call to a lock operation.
+func (w *walker) classify(call *ast.CallExpr) (opKind, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return opNone, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone, ""
+	}
+	path := fn.Pkg().Path()
+	name := fn.Name()
+	switch {
+	case strings.Contains(path, "internal/pthread"):
+		switch name {
+		case "Lock", "RdLock", "WrLock":
+			return opAcquire, w.lockID(sel.X)
+		case "Unlock", "RdUnlock", "WrUnlock":
+			return opRelease, w.lockID(sel.X)
+		}
+	case path == "sync":
+		switch name {
+		case "Lock", "RLock":
+			return opAcquire, w.lockID(sel.X)
+		case "Unlock", "RUnlock":
+			return opRelease, w.lockID(sel.X)
+		}
+	case strings.Contains(path, "internal/shm"):
+		switch name {
+		case "Send", "SendBatch", "Recv", "RecvBatch", "RecvTimeout":
+			return opTransient, w.lockID(sel.X) + "(ring)"
+		}
+	}
+	return opNone, ""
+}
+
+// checkFlushFlag models "x.flushing = true/false" as a lock the flush
+// path holds across its blocking ring send (the PR 1 flush lock).
+func (w *walker) checkFlushFlag(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !strings.Contains(strings.ToLower(sel.Sel.Name), "flushing") {
+			continue
+		}
+		val, ok := ast.Unparen(s.Rhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		id := w.lockID(lhs)
+		switch val.Name {
+		case "true":
+			w.sum.acqs = append(w.sum.acqs, acquisition{id: id, pos: s.Pos(), held: w.snapshot()})
+			w.held = append(w.held, id)
+		case "false":
+			for j := len(w.held) - 1; j >= 0; j-- {
+				if w.held[j] == id {
+					w.held = append(w.held[:j], w.held[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// lockID names the lock object behind a receiver expression: a field
+// selector becomes Type.field, a package-level var becomes pkg.var, and
+// a local collapses onto a per-function node.
+func (w *walker) lockID(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if t := w.pkg.TypeOf(e.X); t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				prefix := obj.Name()
+				if obj.Pkg() != nil {
+					prefix = obj.Pkg().Name() + "." + obj.Name()
+				}
+				return prefix + "." + e.Sel.Name
+			}
+		}
+		return "?." + e.Sel.Name
+	case *ast.Ident:
+		if obj := w.pkg.ObjectOf(e); obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		return w.fname + " local " + e.Name
+	default:
+		if t := w.pkg.TypeOf(e); t != nil {
+			return types.TypeString(t, nil)
+		}
+		return fmt.Sprintf("anon@%d", int(e.Pos()))
+	}
+}

@@ -1,0 +1,274 @@
+// Package nondet flags raw nondeterminism sources in replicated code.
+//
+// The record/replay protocol only works if every nondeterministic input
+// the application observes flows through the replication layer: clock
+// reads are replicated as gettimeofday tuples precisely so both replicas
+// agree on time (§3.3), thread identity is the replicated ft_pid, and
+// random draws must come from the simulation's seeded source. A direct
+// time.Now(), os.Getpid(), or math/rand call in replicated code gives
+// the primary and the secondary different values — a silent divergence
+// that surfaces only as a replay mismatch long after the fact.
+//
+// nondet applies to the replicated packages (internal/apps/...,
+// internal/pthread, internal/tcprep) and flags:
+//
+//   - time.Now / time.Since — use the replicated clock
+//     (*replication.Thread).Now or the kernel clock (*kernel.Kernel).Now
+//   - os.Getpid — use the replicated thread identity
+//     (*replication.Thread).FTPid
+//   - any package-level use of math/rand — use the simulation's seeded
+//     deterministic source (sim.Simulation.Rand); method calls on a
+//     *rand.Rand obtained from the simulation are sanctioned
+//   - map-range iteration whose loop variables escape into ordered
+//     output (append, channel send, string concatenation, or a
+//     send/write/emit-like call): Go randomizes map iteration order per
+//     process, so replicas emit different sequences. Iterate a sorted
+//     key slice instead. Commutative aggregation (numeric +=, map
+//     writes, len) is not flagged, and neither is the collect-then-sort
+//     idiom — appending into a slice that is sorted (sort.* /
+//     slices.Sort*) later in the same function.
+package nondet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/ftvet"
+)
+
+// replicatedPrefixes lists the package paths ftvet treats as replicated
+// application code. Entries ending in "/" match a whole subtree.
+var replicatedPrefixes = []string{
+	"repro/internal/apps/",
+	"repro/internal/pthread",
+	"repro/internal/tcprep",
+}
+
+// orderedSink matches call names that serialize their arguments into an
+// ordered stream visible to the other replica.
+var orderedSink = regexp.MustCompile(`(?i)^(send|write|emit|record|print|printf|println|log|sync|push|put|append|enqueue|trysync|fprintf)`)
+
+// Analyzer is the nondet pass.
+var Analyzer = &ftvet.Analyzer{
+	Name: "nondet",
+	Doc: "flag raw nondeterminism (time.Now, time.Since, os.Getpid, math/rand, " +
+		"order-escaping map ranges) in replicated packages; replicated code must " +
+		"use the sanctioned wrappers so both replicas observe identical values (§3.3)",
+	Run: run,
+}
+
+// Replicated reports whether a package path is subject to the nondet
+// invariant.
+func Replicated(path string) bool {
+	for _, p := range replicatedPrefixes {
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+		} else if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *ftvet.Pass) error {
+	pkg := pass.Pkg
+	if !Replicated(pkg.Path) {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkQualified(pass, pkg, sel)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if rs, ok := n.(*ast.RangeStmt); ok {
+					checkMapRange(pass, pkg, rs, fd.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkQualified flags pkgname.Ident references into the denied standard
+// library surface. Only qualified identifiers are considered, so a
+// method call on a *rand.Rand value handed out by the simulation is not
+// flagged — that source is seeded identically on both replicas.
+func checkQualified(pass *ftvet.Pass, pkg *ftvet.Package, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isPkg := pkg.ObjectOf(id).(*types.PkgName); !isPkg {
+		return
+	}
+	obj := pkg.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now":
+			pass.Report(sel.Pos(), "time.Now in replicated code reads the local clock and diverges across replicas; use the replicated gettimeofday (*replication.Thread).Now or the kernel clock (*kernel.Kernel).Now (§3.3)")
+		case "Since":
+			pass.Report(sel.Pos(), "time.Since reads the local clock and diverges across replicas; compute deltas from the replicated clock (*replication.Thread).Now (§3.3)")
+		}
+	case "os":
+		if obj.Name() == "Getpid" {
+			pass.Report(sel.Pos(), "os.Getpid is not replicated and differs across replicas; use the replicated thread identity (*replication.Thread).FTPid")
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Report(sel.Pos(), "package-level math/rand draws are seeded per process and diverge across replicas; use the simulation's deterministic source (sim.Simulation.Rand)")
+	}
+}
+
+// checkMapRange flags map iteration whose loop variables flow into an
+// ordered sink, making the (randomized) iteration order observable.
+// body is the enclosing function body, used to recognize the
+// collect-then-sort idiom.
+func checkMapRange(pass *ftvet.Pass, pkg *ftvet.Package, rs *ast.RangeStmt, body *ast.BlockStmt) {
+	t := pkg.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true // range assigns to an existing variable
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	derived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[pkg.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	report := func(sink string) {
+		pass.Reportf(rs.For, "map iteration order escapes into replicated output via %s and diverges across replicas (Go randomizes map order per process); iterate a sorted key slice instead", sink)
+	}
+	flagged := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if flagged {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if derived(n.Value) {
+				report("a channel send")
+				flagged = true
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Rhs) == 1 && derived(n.Rhs[0]) {
+				if lt := pkg.TypeOf(n.Lhs[0]); lt != nil {
+					if b, ok := lt.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report("string concatenation")
+						flagged = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if name == "" {
+				return true
+			}
+			argDerived := false
+			for _, a := range n.Args {
+				if derived(a) {
+					argDerived = true
+					break
+				}
+			}
+			if !argDerived {
+				return true
+			}
+			if name == "append" {
+				if sortedAfter(pkg, body, rs, n.Args[0]) {
+					return true // collect-then-sort: order is re-established
+				}
+				report("append")
+				flagged = true
+			} else if fn := pkg.CalleeFunc(n); fn != nil && orderedSink.MatchString(name) {
+				report(name)
+				flagged = true
+			}
+		}
+		return !flagged
+	})
+}
+
+// sortedAfter reports whether the slice collected by an in-loop append
+// is passed to a sort.* or slices.* call after the range statement in
+// the same function — the deterministic collect-then-sort idiom.
+func sortedAfter(pkg *ftvet.Package, body *ast.BlockStmt, rs *ast.RangeStmt, slice ast.Expr) bool {
+	id, ok := ast.Unparen(slice).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	target := pkg.ObjectOf(id)
+	if target == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := pkg.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if aid, ok := ast.Unparen(a).(*ast.Ident); ok && pkg.ObjectOf(aid) == target {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

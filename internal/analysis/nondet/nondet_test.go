@@ -1,0 +1,36 @@
+package nondet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	td, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, td, nondet.Analyzer,
+		"repro/internal/apps/nondetfix", // positive: replicated package
+		"repro/internal/notrep",         // negative: outside the replicated set
+	)
+}
+
+func TestReplicated(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/apps/pbzip2":    true,
+		"repro/internal/apps/memcached": true,
+		"repro/internal/pthread":        true,
+		"repro/internal/tcprep":         true,
+		"repro/internal/bench":          false,
+		"repro/internal/sim":            false,
+		"repro/internal/pthreadx":       false, // prefix must match a whole path element
+	} {
+		if got := nondet.Replicated(path); got != want {
+			t.Errorf("Replicated(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package nondetfix
+
+import (
+	"sort"
+	"time"
+)
+
+// keysSorted is the sanctioned collect-then-sort idiom: the append
+// escapes the map order, but the sort re-establishes a deterministic
+// order before anything observes it.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// total is commutative aggregation: iteration order cannot be observed.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes into another map: order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// benchClock demonstrates the audited escape hatch: the waiver names
+// the analyzer and states why the invariant may be waived here.
+func benchClock() time.Time {
+	return time.Now() //ftvet:allow nondet: wall clock is reported to the operator only, never fed back into replicated state
+}

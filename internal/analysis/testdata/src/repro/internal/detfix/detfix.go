@@ -1,0 +1,64 @@
+// Package detfix is the golden fixture for the detsection analyzer:
+// deterministic-section callbacks must stay short, local, and
+// non-blocking (Figure 3).
+package detfix
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/pthread"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+type state struct {
+	det  pthread.Det
+	ring *shm.Ring
+	n    int
+}
+
+func work() {}
+
+func (s *state) bad(t *kernel.Task, ch chan int, p *sim.Proc) {
+	s.det.Section(t, pthread.OpMutexLock, 1, func() {
+		go work() // want "goroutine spawned inside a deterministic section"
+		ch <- s.n // want "channel send inside a deterministic section"
+		s.n = <-ch // want "channel receive inside a deterministic section"
+		close(ch) // want "close of a channel inside a deterministic section"
+		s.ring.TrySend(shm.Message{}) // want "shared-memory mailbox"
+	})
+}
+
+func (s *state) badSelect(t *kernel.Task, ch chan int) {
+	s.det.Section(t, pthread.OpMutexLock, 2, func() {
+		select { // want "select inside a deterministic section"
+		case v := <-ch:
+			s.n = v
+		default:
+		}
+	})
+}
+
+// resolveSettle: the settle callback runs inside the deterministic
+// section; the block callback runs outside the global mutex and MAY
+// block (that is its purpose, §3.3) — only settle is policed.
+func (s *state) resolveSettle(t *kernel.Task, ch chan int) uint64 {
+	return s.det.Resolve(t, pthread.OpSyscall, 3,
+		func() { <-ch }, // block parks outside the mutex: not flagged
+		func() uint64 {
+			s.ring.TrySend(shm.Message{}) // want "shared-memory mailbox"
+			return 0
+		})
+}
+
+// good: sections that only update local state, with mailbox traffic
+// moved after the section returns.
+func (s *state) good(t *kernel.Task, p *sim.Proc) {
+	var out *shm.Message
+	s.det.Section(t, pthread.OpMutexLock, 4, func() {
+		s.n++
+		out = &shm.Message{Kind: 1, Size: s.n}
+	})
+	if out != nil {
+		s.ring.Send(p, *out)
+	}
+}

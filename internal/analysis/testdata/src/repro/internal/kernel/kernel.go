@@ -1,0 +1,11 @@
+// Package kernel is a fixture stub mirroring the shape of the real
+// repro/internal/kernel just enough for analyzer golden tests. Fixture
+// packages resolve import paths verbatim under testdata/src, so this
+// stub shadows the real package for fixtures only.
+package kernel
+
+// Task stands in for the real kernel task.
+type Task struct{ name string }
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }

@@ -1,0 +1,48 @@
+// Package pthread is a fixture stub mirroring the real
+// repro/internal/pthread surface the analyzers key on: the Det
+// deterministic-section interface and the interposed lock types. The
+// analyzers match methods by name within a package path containing
+// "internal/pthread", so fixtures importing this stub exercise the same
+// code paths as the real tree.
+package pthread
+
+import "repro/internal/kernel"
+
+// Op identifies an interposed operation.
+type Op int
+
+// Interposed operation codes used by fixtures.
+const (
+	OpMutexLock Op = iota + 1
+	OpSyscall
+)
+
+// Det is the deterministic-section protocol (see the real package).
+type Det interface {
+	Section(t *kernel.Task, op Op, obj uint64, fn func())
+	Resolve(t *kernel.Task, op Op, obj uint64, block func(), settle func() uint64) uint64
+}
+
+// Mutex mirrors the interposed pthread_mutex_t.
+type Mutex struct{ locked bool }
+
+// Lock acquires the mutex.
+func (m *Mutex) Lock(t *kernel.Task) { m.locked = true }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(t *kernel.Task) { m.locked = false }
+
+// RWLock mirrors the interposed pthread_rwlock_t.
+type RWLock struct{ readers int }
+
+// RdLock acquires a read lock.
+func (rw *RWLock) RdLock(t *kernel.Task) { rw.readers++ }
+
+// RdUnlock releases a read lock.
+func (rw *RWLock) RdUnlock(t *kernel.Task) { rw.readers-- }
+
+// WrLock acquires the write lock.
+func (rw *RWLock) WrLock(t *kernel.Task) {}
+
+// WrUnlock releases the write lock.
+func (rw *RWLock) WrUnlock(t *kernel.Task) {}

@@ -1,0 +1,32 @@
+// Package shm is a fixture stub mirroring the real repro/internal/shm
+// mailbox surface: the analyzers treat calls into a package path
+// containing "internal/shm" as mailbox re-entry (detsection) and its
+// blocking ring operations as transient lock acquisitions (lockorder).
+package shm
+
+import "repro/internal/sim"
+
+// Message mirrors the real mailbox message.
+type Message struct {
+	Kind    int
+	Payload any
+	Size    int
+}
+
+// Ring mirrors the bounded mailbox ring.
+type Ring struct{ used int64 }
+
+// Send blocks until the ring can take m.
+func (r *Ring) Send(p *sim.Proc, m Message) { r.used += int64(m.Size) }
+
+// SendBatch blocks until the ring can take the whole batch.
+func (r *Ring) SendBatch(p *sim.Proc, msgs []Message) {}
+
+// TrySend delivers without blocking, reporting success.
+func (r *Ring) TrySend(m Message) bool { return true }
+
+// TrySendBatch delivers a batch without blocking, reporting success.
+func (r *Ring) TrySendBatch(msgs []Message) bool { return true }
+
+// Recv blocks until a message arrives.
+func (r *Ring) Recv(p *sim.Proc) Message { return Message{} }

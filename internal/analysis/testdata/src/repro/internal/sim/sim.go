@@ -1,0 +1,9 @@
+// Package sim is a fixture stub mirroring the shape of the real
+// repro/internal/sim for analyzer golden tests.
+package sim
+
+// Proc stands in for the real simulation process handle.
+type Proc struct{}
+
+// Time mirrors the simulation clock type.
+type Time int64

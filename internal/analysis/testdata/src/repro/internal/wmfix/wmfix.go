@@ -1,0 +1,72 @@
+// Package wmfix is the golden fixture for the watermark analyzer: every
+// path that arms an output-commit waiter (appending a watermark-struct)
+// must be dominated by a force-flush, so batched log tuples can never
+// stall output release (§3.5).
+package wmfix
+
+type waiter struct {
+	watermark uint64
+	fn        func()
+}
+
+type Q struct {
+	q      []waiter
+	pq     []*waiter
+	sent   uint64
+	buffed int
+}
+
+func (q *Q) flushForCommit() { q.buffed = 0 }
+
+// bad arms a waiter with no flush anywhere in sight.
+func (q *Q) bad(fn func()) {
+	q.q = append(q.q, waiter{watermark: q.sent, fn: fn}) // want "without a dominating force-flush"
+}
+
+// good flushes first: the watermark covers only in-flight data.
+func (q *Q) good(fn func()) {
+	q.flushForCommit()
+	q.q = append(q.q, waiter{watermark: q.sent, fn: fn})
+}
+
+// goodGuarded mirrors Recorder.onStable: early-return guards before the
+// flush are fine, those paths never arm.
+func (q *Q) goodGuarded(fn func()) {
+	if q.buffed == 0 {
+		fn()
+		return
+	}
+	q.flushForCommit()
+	if q.sent == 0 {
+		fn()
+		return
+	}
+	q.q = append(q.q, waiter{watermark: q.sent, fn: fn})
+}
+
+// badBranch: a flush inside one arm does not dominate an arm site after
+// the branch.
+func (q *Q) badBranch(fn func(), cond bool) {
+	if cond {
+		q.flushForCommit()
+	}
+	q.q = append(q.q, waiter{watermark: q.sent, fn: fn}) // want "without a dominating force-flush"
+}
+
+// goodBranch: arming inside a branch after an unconditional flush.
+func (q *Q) goodBranch(fn func(), cond bool) {
+	q.flushForCommit()
+	if cond {
+		q.q = append(q.q, waiter{watermark: q.sent, fn: fn})
+	}
+}
+
+// badPtr: pointer-element waiter queues are armed the same way.
+func (q *Q) badPtr(w *waiter) {
+	q.pq = append(q.pq, w) // want "without a dominating force-flush"
+}
+
+// unrelated appends are not output-commit waiters.
+func (q *Q) unrelated(xs []int, x int) []int {
+	return append(xs, x)
+}

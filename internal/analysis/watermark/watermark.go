@@ -1,0 +1,192 @@
+// Package watermark enforces the force-flush-before-output-commit rule.
+//
+// Output commit (§3.5) holds externally visible output until every live
+// backup has received the log describing it. PR 1 made the log *buffered*
+// (tuple and sync-delta batching), which created a subtle failure mode:
+// if a path arms an output-commit waiter — registering a watermark to be
+// released when the ack arrives — while tuples that the watermark covers
+// are still sitting in a batch buffer, nothing pushes them out, and the
+// output waits out a FlushInterval (or worse, forever if the flusher is
+// quiescent). The fix, applied by hand in PR 1, is an invariant: every
+// path that arms a watermark waiter must first force-flush the buffers
+// (Recorder.flushForCommit, Primary.flushForCommit/flushSync).
+//
+// watermark enforces that invariant statically: in any function that
+// appends to a slice of watermark-carrying structs (a struct with a
+// field named "watermark", the shape of replication.stableWaiter and
+// tcprep.syncWaiter), the append must be dominated by a call to a
+// flush-family function (a callee whose name contains "flush", case-
+// insensitive). Dominance is approximated structurally: the flush call
+// must appear earlier in the same or an enclosing statement block, so a
+// flush inside one if-arm does not satisfy an arm-site on another path.
+// Early returns before the flush are fine — those paths never arm.
+package watermark
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/ftvet"
+)
+
+// Analyzer is the watermark pass.
+var Analyzer = &ftvet.Analyzer{
+	Name: "watermark",
+	Doc: "require a dominating force-flush before arming an output-commit watermark " +
+		"waiter, so batched log tuples can never stall output release (§3.5; the " +
+		"flush-before-watermark invariant established in PR 1)",
+	Run: run,
+}
+
+func run(pass *ftvet.Pass) error {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanBlock(pass, pkg, fd.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// scanBlock walks one statement list in order. flushSeen reports whether
+// a flush-family call dominates the current point (it was seen earlier
+// in this block or an enclosing one). Nested control-flow arms inherit
+// the current value but do not export theirs: a flush inside an if-arm
+// only dominates statements within that arm.
+func scanBlock(pass *ftvet.Pass, pkg *ftvet.Package, stmts []ast.Stmt, flushSeen bool) {
+	for _, s := range stmts {
+		// A flush call directly in this statement establishes dominance
+		// for everything after it — but a flush buried in a nested
+		// control-flow arm of s does not, so look only at calls outside
+		// nested blocks.
+		checkArm(pass, pkg, s, flushSeen)
+		if stmtCallsFlush(pkg, s) {
+			flushSeen = true
+		}
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			scanBlock(pass, pkg, s.List, flushSeen)
+		case *ast.IfStmt:
+			scanBlock(pass, pkg, s.Body.List, flushSeen)
+			if s.Else != nil {
+				scanBlock(pass, pkg, []ast.Stmt{s.Else}, flushSeen)
+			}
+		case *ast.ForStmt:
+			scanBlock(pass, pkg, s.Body.List, flushSeen)
+		case *ast.RangeStmt:
+			scanBlock(pass, pkg, s.Body.List, flushSeen)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBlock(pass, pkg, cc.Body, flushSeen)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBlock(pass, pkg, cc.Body, flushSeen)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanBlock(pass, pkg, cc.Body, flushSeen)
+				}
+			}
+		case *ast.LabeledStmt:
+			scanBlock(pass, pkg, []ast.Stmt{s.Stmt}, flushSeen)
+		}
+	}
+}
+
+// checkArm reports watermark-arming appends in the non-nested part of s
+// when no flush dominates them. Function literals open a fresh scope
+// (they run later, when the dominating flush no longer helps).
+func checkArm(pass *ftvet.Pass, pkg *ftvet.Package, s ast.Stmt, flushSeen bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			return false // nested arms handled by scanBlock
+		case *ast.FuncLit:
+			scanBlock(pass, pkg, n.Body.List, false)
+			return false
+		case *ast.CallExpr:
+			if !flushSeen && armsWatermark(pkg, n) {
+				pass.Report(n.Pos(),
+					"output-commit waiter armed without a dominating force-flush: tuples buffered by batching could stall (or deadlock) output release; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5)")
+			}
+		}
+		return true
+	})
+}
+
+// stmtCallsFlush reports whether s directly (outside nested blocks and
+// function literals) calls a flush-family function.
+func stmtCallsFlush(pkg *ftvet.Package, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			name := ""
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if strings.Contains(strings.ToLower(name), "flush") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// armsWatermark reports whether the call is append(q, w...) where the
+// slice's element type is a struct carrying a watermark field.
+func armsWatermark(pkg *ftvet.Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := pkg.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := sl.Elem()
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if strings.EqualFold(st.Field(i).Name(), "watermark") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package watermark_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/watermark"
+)
+
+func TestWatermark(t *testing.T) {
+	td, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, td, watermark.Analyzer, "repro/internal/wmfix")
+}
