@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench check
+.PHONY: all build vet lint test race bench check trace
 
 all: check
 
@@ -28,3 +28,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 check: vet lint build race bench
+
+# A small failover run with full tracing: writes trace.json (open it at
+# https://ui.perfetto.dev) and prints the flight-recorder dump.
+trace:
+	$(GO) run ./cmd/ftsim -size 33554432 -fail 2s -trace trace.json

@@ -3,6 +3,14 @@
 // fault, printing the timeline and the client's view.
 //
 //	ftsim -size 2147483648 -fail 5s -fault coherency -relaxed
+//	ftsim -trace out.json        # Perfetto-loadable timeline of the run
+//
+// With -trace the full event stream is retained and written as a Chrome
+// trace-event file (open it at https://ui.perfetto.dev). The trace is
+// deterministic: two runs with the same flags and seed produce
+// byte-identical files. On runs that kill the primary, the flight
+// recorder's dump (the last events each component saw at the moment of
+// failure) is printed after the timeline.
 package main
 
 import (
@@ -27,8 +35,9 @@ func main() {
 	fault := flag.String("fault", "failstop", "fault kind: failstop, mem, bus, coherency")
 	relaxed := flag.Bool("relaxed", false, "use relaxed output commit (§3.5)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	trace := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
 	flag.Parse()
-	if err := run(*size, *failAt, *fault, *relaxed, *seed); err != nil {
+	if err := run(*size, *failAt, *fault, *relaxed, *seed, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "ftsim:", err)
 		os.Exit(1)
 	}
@@ -49,7 +58,7 @@ func faultKind(name string) (hw.FaultKind, error) {
 	}
 }
 
-func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int64) error {
+func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int64, trace string) error {
 	kind, err := faultKind(fault)
 	if err != nil {
 		return err
@@ -57,6 +66,7 @@ func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int6
 	cfg := core.DefaultConfig(seed)
 	cfg.TCP.MSS = 32 << 10
 	cfg.Replication.StrictOutputCommit = !relaxed
+	cfg.Obs.Trace = trace != ""
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return err
@@ -103,7 +113,27 @@ func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int6
 		}
 	}
 	st := sys.Fabric.Stats()
-	fmt.Printf("inter-replica traffic: %d messages, %.1f MB\n", st.Messages, float64(st.Bytes)/1e6)
+	fmt.Printf("inter-replica traffic: %d messages, %.1f MB (peak ring occupancy %d B)\n",
+		st.Messages, float64(st.Bytes)/1e6, st.HighWaterBytes)
+	if sys.Flight != nil {
+		fmt.Println()
+		sys.Flight.Tail(40).WriteText(os.Stdout)
+	}
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := sys.Obs.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events); open it at https://ui.perfetto.dev\n",
+			trace, len(sys.Obs.Events()))
+	}
 	if !dl.Complete || dl.Corrupted {
 		return fmt.Errorf("client-visible stream was damaged")
 	}

@@ -75,6 +75,14 @@ func run() error {
 	}
 	fmt.Printf("\nfailure detected %v after injection; failover done in %v (NIC driver reload: %v)\n",
 		sys.FailedAt.Sub(sim.Time(6*time.Second)), sys.LiveAt.Sub(sys.FailedAt), sys.Cfg.NICDriverLoadTime)
+
+	// The flight recorder captured the moment the failure was declared:
+	// the last acked watermark, the detector's state machine, the replay
+	// lag — the post-mortem a real crash would have left behind.
+	if sys.Flight != nil {
+		fmt.Println()
+		sys.Flight.Tail(25).WriteText(os.Stdout)
+	}
 	fmt.Printf("received %d/%d bytes, complete=%v corrupted=%v\n",
 		dl.Received, fcfg.FileSize, dl.Complete, dl.Corrupted)
 	if !dl.Complete || dl.Corrupted {

@@ -27,6 +27,15 @@
 //     writes, len) is not flagged, and neither is the collect-then-sort
 //     idiom — appending into a slice that is sorted (sort.* /
 //     slices.Sort*) later in the same function.
+//
+// The repro/internal/obs API is a sanctioned sink: its events are local
+// observability, never part of the replicated log, so an Emit inside
+// replicated code is not an ordered-output escape. The API carries its
+// own, stricter determinism contract instead — trace attributes must be
+// derived from simulation state so same-seed traces are byte-identical —
+// and nondet enforces that side in EVERY package (replicated or not): a
+// time.Now or time.Since smuggled into the arguments of an obs call is
+// diagnosed as a trace-determinism violation.
 package nondet
 
 import (
@@ -50,6 +59,12 @@ var replicatedPrefixes = []string{
 // orderedSink matches call names that serialize their arguments into an
 // ordered stream visible to the other replica.
 var orderedSink = regexp.MustCompile(`(?i)^(send|write|emit|record|print|printf|println|log|sync|push|put|append|enqueue|trysync|fprintf)`)
+
+// obsPath is the observability package. Its calls are a sanctioned sink
+// (events are local, not replicated state), but their arguments must be
+// deterministic — they travel into traces compared byte-for-byte across
+// same-seed runs.
+const obsPath = "repro/internal/obs"
 
 // Analyzer is the nondet pass.
 var Analyzer = &ftvet.Analyzer{
@@ -77,16 +92,30 @@ func Replicated(path string) bool {
 
 func run(pass *ftvet.Pass) error {
 	pkg := pass.Pkg
-	if !Replicated(pkg.Path) {
-		return nil
+	replicated := Replicated(pkg.Path)
+	if pkg.Path == obsPath {
+		return nil // the sink itself; its determinism is covered by its tests
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			if sel, ok := n.(*ast.SelectorExpr); ok {
-				checkQualified(pass, pkg, sel)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if replicated {
+					checkQualified(pass, pkg, n)
+				}
+			case *ast.CallExpr:
+				// In replicated packages checkQualified already flags every
+				// time.Now/Since; the obs-argument check covers the rest of
+				// the tree, where wall-clock reads are otherwise legal.
+				if !replicated {
+					checkObsAttrs(pass, pkg, n)
+				}
 			}
 			return true
 		})
+		if !replicated {
+			continue
+		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -101,6 +130,41 @@ func run(pass *ftvet.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkObsAttrs diagnoses wall-clock values smuggled into the arguments
+// of an obs call: trace attributes must derive from simulation state so
+// same-seed traces stay byte-identical. Applied outside the replicated
+// packages (inside them, checkQualified flags the same calls anywhere).
+func checkObsAttrs(pass *ftvet.Pass, pkg *ftvet.Package, call *ast.CallExpr) {
+	fn := pkg.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return
+	}
+	for _, a := range call.Args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isPkg := pkg.ObjectOf(id).(*types.PkgName); !isPkg {
+				return true
+			}
+			obj := pkg.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch obj.Name() {
+			case "Now", "Since":
+				pass.Report(sel.Pos(), "time."+obj.Name()+" in an obs trace attribute: wall-clock values differ per run and break byte-reproducible traces; derive attributes from the virtual clock (sim.Simulation.Now)")
+			}
+			return true
+		})
+	}
 }
 
 // checkQualified flags pkgname.Ident references into the denied standard
@@ -216,6 +280,9 @@ func checkMapRange(pass *ftvet.Pass, pkg *ftvet.Package, rs *ast.RangeStmt, body
 				report("append")
 				flagged = true
 			} else if fn := pkg.CalleeFunc(n); fn != nil && orderedSink.MatchString(name) {
+				if fn.Pkg() != nil && fn.Pkg().Path() == obsPath {
+					return true // sanctioned sink: obs events are not replicated state
+				}
 				report(name)
 				flagged = true
 			}

@@ -16,6 +16,7 @@ func TestNondet(t *testing.T) {
 	analysistest.Run(t, td, nondet.Analyzer,
 		"repro/internal/apps/nondetfix", // positive: replicated package
 		"repro/internal/notrep",         // negative: outside the replicated set
+		"repro/internal/obstrace",       // positive: wall clock smuggled into obs attributes
 	)
 }
 

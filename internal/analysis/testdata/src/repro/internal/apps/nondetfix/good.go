@@ -3,6 +3,8 @@ package nondetfix
 import (
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // keysSorted is the sanctioned collect-then-sort idiom: the append
@@ -39,4 +41,13 @@ func invert(m map[string]int) map[int]string {
 // the analyzer and states why the invariant may be waived here.
 func benchClock() time.Time {
 	return time.Now() //ftvet:allow nondet: wall clock is reported to the operator only, never fed back into replicated state
+}
+
+// traceCounts shows the sanctioned sink: obs events are local
+// observability, never part of the replicated log, so Emit matching the
+// ordered-sink pattern inside a map range is not an order escape.
+func traceCounts(sc *obs.Scope, m map[int]int64) {
+	for k, v := range m {
+		sc.Emit(obs.TupleEmit, k, v, 0)
+	}
 }

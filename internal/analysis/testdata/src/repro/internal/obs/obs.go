@@ -1,0 +1,29 @@
+// Package obs is a fixture stub mirroring the shape of the real
+// repro/internal/obs for analyzer golden tests: the call surface the
+// nondet analyzer treats as a sanctioned sink with deterministic-
+// attribute requirements.
+package obs
+
+// Kind mirrors the real event-kind enum.
+type Kind uint8
+
+// A couple of kinds, enough for fixtures to emit.
+const (
+	TupleEmit Kind = iota + 1
+	Heartbeat
+)
+
+// Scope mirrors the real event scope.
+type Scope struct{}
+
+// Emit mirrors the real nil-safe event emission.
+func (sc *Scope) Emit(k Kind, tid int, seq, arg int64) {}
+
+// EmitNote mirrors Emit with a detail string.
+func (sc *Scope) EmitNote(k Kind, tid int, seq, arg int64, note string) {}
+
+// Counter mirrors the real metrics counter.
+type Counter struct{}
+
+// Add mirrors the real nil-safe counter increment.
+func (c *Counter) Add(n int64) {}

@@ -1,0 +1,38 @@
+// Package obstrace is the fixture for the trace-attribute side of the
+// nondet analyzer: it lives OUTSIDE the replicated set, where wall-clock
+// reads are ordinarily legal, but values smuggled into the arguments of
+// an obs call become trace attributes and must be deterministic —
+// same-seed traces are compared byte-for-byte.
+package obstrace
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+var start time.Time
+
+// wallClockOutsideObs: fine — the analyzer only polices obs arguments
+// in non-replicated packages.
+func wallClockOutsideObs() time.Duration {
+	start = time.Now()
+	return time.Since(start)
+}
+
+// deterministicAttrs: fine — attributes derived from program state.
+func deterministicAttrs(sc *obs.Scope, seq int64) {
+	sc.Emit(obs.TupleEmit, 1, seq, seq*2)
+	sc.EmitNote(obs.Heartbeat, 0, seq, 0, "beat")
+}
+
+// smuggledNow leaks the wall clock into a trace attribute.
+func smuggledNow(sc *obs.Scope) {
+	sc.Emit(obs.TupleEmit, 0, time.Now().UnixNano(), 0) // want "time.Now in an obs trace attribute"
+}
+
+// smuggledSince hides the clock read inside a nested expression.
+func smuggledSince(sc *obs.Scope, c *obs.Counter) {
+	sc.EmitNote(obs.Heartbeat, 0, 0, int64(time.Since(start)/time.Millisecond), "late") // want "time.Since in an obs trace attribute"
+	c.Add(int64(time.Since(start))) // want "time.Since in an obs trace attribute"
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/pbzip2"
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -37,6 +38,11 @@ type BatchPoint struct {
 	WallClockMS float64 `json:"wallclock_ms"` // host time to run the point
 	MsgPct      float64 `json:"msg_pct"`      // Messages as % of the first point
 	BytePct     float64 `json:"byte_pct"`     // Bytes as % of the first point
+
+	// Metrics is the obs registry snapshot at the end of the point:
+	// replay lag, commit-wait percentiles, batch fill levels, and ack
+	// counts alongside the raw traffic numbers.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // BatchSweepOpts bounds the per-point workload.
@@ -104,6 +110,16 @@ func batchPoint(batch int, opts BatchSweepOpts) (BatchPoint, error) {
 	pns := replication.NewPrimary("ftns", pk, cfg, log, acks)
 	sns := replication.NewSecondary("ftns", sk, cfg, log, acks)
 
+	// Metrics only, no event stream: nil scopes keep the hot path at one
+	// pointer test per emit, while the registry collects commit-wait and
+	// batch-fill distributions for the JSON output.
+	reg := obs.NewRegistry()
+	pns.Instrument(nil, reg)
+	sns.Instrument(nil, reg)
+	reg.Gauge("replay.lag", func() int64 {
+		return int64(pns.SeqGlobal()) - int64(sns.ReplayHead())
+	})
+
 	app := pbzip2.DefaultConfig()
 	app.Workers = opts.Workers
 	app.MaxBlocks = opts.Blocks
@@ -127,5 +143,6 @@ func batchPoint(batch int, opts BatchSweepOpts) (BatchPoint, error) {
 	point.Divergences = sns.Stats().Divergences
 	point.SimMS = float64(sst.FinishedAt) / float64(time.Millisecond)
 	point.WallClockMS = float64(time.Since(start)) / float64(time.Millisecond)
+	point.Metrics = reg.Snapshot()
 	return point, nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -60,6 +61,10 @@ type Config struct {
 	// NICDriverLoadTime is the Ethernet driver (re)load time that dominates
 	// failover (§4.4).
 	NICDriverLoadTime time.Duration
+	// Obs tunes the observability layer. The flight recorder and metrics
+	// are always wired; set Obs.Trace to retain the full event stream for
+	// export (ftsim -trace).
+	Obs obs.Config
 }
 
 // DefaultConfig returns the paper's standard deployment: two symmetric
@@ -104,6 +109,12 @@ type System struct {
 	nic       *kernel.Device
 	serverNIC *simnet.NIC
 
+	// Obs is the deployment's tracer/metrics registry; Flight is the
+	// flight-recorder dump captured automatically when failover begins
+	// (nil until then).
+	Obs    *obs.Tracer
+	Flight *obs.FlightDump
+
 	// FailedAt records when the primary was declared failed; LiveAt when
 	// failover promotion completed (zero = never).
 	FailedAt sim.Time
@@ -138,6 +149,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	s := sim.New(cfg.Seed)
+	tr := obs.New(s, cfg.Obs)
 	m := hw.New(s, cfg.Profile)
 	pPart, err := m.NewPartition("primary", cfg.PrimaryNodes...)
 	if err != nil {
@@ -183,8 +195,25 @@ func NewSystem(cfg Config) (*System, error) {
 	pns := replication.NewPrimary("ftns", pk, cfg.Replication, log, acks)
 	sns := replication.NewSecondary("ftns", sk, cfg.Replication, log, acks)
 
+	// Observability wiring: one scope per component, all timestamps on the
+	// virtual clock. The flight rings and metrics are always live; the
+	// full stream is retained only under cfg.Obs.Trace.
+	pk.Instrument(tr.Scope("primary/kernel"))
+	sk.Instrument(tr.Scope("secondary/kernel"))
+	for _, r := range fabric.Rings() {
+		r.Instrument(tr.Scope("shm/" + r.Name()))
+	}
+	pns.Instrument(tr.Scope("primary/ftns"), tr.Registry())
+	sns.Instrument(tr.Scope("secondary/ftns"), tr.Registry())
+	// Replay lag: sections the primary has recorded but the secondary has
+	// not yet replayed — the window of work a failover must redo or drop.
+	tr.Registry().Gauge("replay.lag", func() int64 {
+		return int64(pns.SeqGlobal()) - int64(sns.ReplayHead())
+	})
+
 	pStack := tcpstack.New(pk, "server", cfg.TCP)
 	prim := tcprep.NewPrimaryFull(pns, pStack, tcpSync, tcprep.DefaultGateConfig(), cfg.TCPSync)
+	prim.Instrument(tr.Scope("primary/tcprep"), tr.Registry())
 	sec := tcprep.NewSecondary(sk, tcpSync)
 
 	sys := &System{
@@ -192,6 +221,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Sim:     s,
 		Machine: m,
 		Fabric:  fabric,
+		Obs:     tr,
 		Primary: &Replica{
 			Kernel:  pk,
 			NS:      pns,
@@ -211,6 +241,8 @@ func NewSystem(cfg Config) (*System, error) {
 	// Failure detection, both directions.
 	pd := failure.New(pk, sk, hbPS, hbSP, cfg.Failure)
 	sd := failure.New(sk, pk, hbSP, hbPS, cfg.Failure)
+	pd.Instrument(tr.Scope("primary/detector"))
+	sd.Instrument(tr.Scope("secondary/detector"))
 	sys.Primary.Detector = pd
 	sys.Secondary.Detector = sd
 	pd.OnFail(func() {
@@ -258,6 +290,11 @@ func (sys *System) LaunchApp(name string, env map[string]string, app func(*repli
 // and promote the logical TCP states into it.
 func (sys *System) failover() {
 	sys.FailedAt = sys.Sim.Now()
+	// Snapshot the flight recorder before promotion mutates the replay
+	// state: the dump shows the system exactly as the failure found it —
+	// last acked tuple, in-flight batches, detector transitions, and the
+	// replay.lag gauge at the moment of failure.
+	sys.Flight = sys.Obs.FlightDump()
 	sys.Secondary.NS.Replayer().Promote()
 	sk := sys.Secondary.Kernel
 	sk.Spawn("failover", func(t *kernel.Task) {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/shm"
 )
 
@@ -41,6 +42,7 @@ type Detector struct {
 	onFail   []func()
 	fired    bool
 	lastBeat time.Duration
+	sc       *obs.Scope
 
 	// Beats counts heart-beats received, IPIs the forcible halts sent.
 	Beats, IPIs int64
@@ -57,6 +59,11 @@ func New(kern, peer *kernel.Kernel, out, in *shm.Ring, cfg Config) *Detector {
 // OnFail registers a callback fired (once) when the peer is declared
 // failed. Callbacks run in task context and may block.
 func (d *Detector) OnFail(fn func()) { d.onFail = append(d.onFail, fn) }
+
+// Instrument attaches an event scope: received beats, the miss that
+// starts suspicion, the IPI halt, and the failover trigger are traced —
+// the §4.4 detection half of the failover timeline. Nil disables.
+func (d *Detector) Instrument(sc *obs.Scope) { d.sc = sc }
 
 // Start launches the sender and monitor tasks and subscribes to
 // machine-check reports for the peer's partition.
@@ -92,6 +99,7 @@ func (d *Detector) monitorLoop(t *kernel.Task) {
 	for {
 		if _, ok := d.in.RecvTimeout(t.Proc(), d.cfg.Timeout); ok {
 			d.Beats++
+			d.sc.Emit(obs.Heartbeat, 0, d.Beats, 0)
 			continue
 		}
 		if d.fired {
@@ -99,6 +107,7 @@ func (d *Detector) monitorLoop(t *kernel.Task) {
 		}
 		// No heart-beat within the timeout: halt the peer via IPI in case
 		// it is only slow, then declare it failed.
+		d.sc.Emit(obs.HeartbeatMiss, 0, d.Beats, int64(d.cfg.Timeout))
 		d.declareFailed()
 		return
 	}
@@ -110,10 +119,13 @@ func (d *Detector) declareFailed() {
 		return
 	}
 	d.fired = true
+	d.sc.Emit(obs.Suspect, 0, d.Beats, 0)
 	if d.peer.Alive() {
 		d.IPIs++
+		d.sc.Emit(obs.IPIHalt, 0, 0, 0)
 		d.peer.Panic("forcibly halted by peer IPI (suspected failed)", nil)
 	}
+	d.sc.Emit(obs.FailoverStart, 0, 0, 0)
 	fns := d.onFail
 	d.kern.Spawn("failover", func(t *kernel.Task) {
 		for _, fn := range fns {

@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Device is an I/O device with exclusive kernel ownership, per the paper's
@@ -66,11 +68,13 @@ func (t *Task) LoadDriver(d *Device) error {
 		d.loaded = false
 	}
 	d.owner = k
+	k.sc.EmitNote(obs.DriverLoad, 0, 0, int64(d.loadTime), d.name)
 	t.Sleep(d.loadTime)
 	if !k.Alive() {
 		return fmt.Errorf("kernel %q died while loading driver for %q", k.name, d.name)
 	}
 	d.loaded = true
+	k.sc.EmitNote(obs.DriverUp, 0, 0, 0, d.name)
 	for _, fn := range d.onLoad {
 		fn(k)
 	}

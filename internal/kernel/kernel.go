@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/kmem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -93,6 +94,7 @@ type Kernel struct {
 	panicked  *PanicReason
 	onPanic   []func(PanicReason)
 	onUserHit []func(addr int64)
+	sc        *obs.Scope
 
 	nextTID   int
 	computeNS int64 // total core-time consumed, for utilization accounting
@@ -186,6 +188,11 @@ func (k *Kernel) ComputeTime() time.Duration { return time.Duration(k.computeNS)
 // in scheduler context and must not block.
 func (k *Kernel) OnPanic(fn func(PanicReason)) { k.onPanic = append(k.onPanic, fn) }
 
+// Instrument attaches an event scope to the kernel: panics and driver
+// (re)loads — the two kernel-side landmarks of the failover timeline —
+// are traced. A nil scope disables.
+func (k *Kernel) Instrument(sc *obs.Scope) { k.sc = sc }
+
 // OnUserHit registers a callback invoked when a memory fault strikes a user
 // page (the application is killed, §2.3). Callbacks must not block.
 func (k *Kernel) OnUserHit(fn func(addr int64)) { k.onUserHit = append(k.onUserHit, fn) }
@@ -198,6 +205,7 @@ func (k *Kernel) Panic(cause string, fault *hw.Fault) {
 		return
 	}
 	k.alive = false
+	k.sc.EmitNote(obs.KernelPanic, 0, 0, 0, cause)
 	k.panicked = &PanicReason{Time: k.sim.Now(), Cause: cause, Fault: fault}
 	k.group.Kill()
 	for _, fn := range k.onPanic {

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Registry holds a deployment's metrics. Registration is nil-safe —
+// Counter/Gauge/Histogram on a nil registry return nil instruments whose
+// operations are no-ops — so components instrument unconditionally and
+// pay one pointer test when metrics are off. Names must be unique;
+// snapshots are sorted by name so output is deterministic.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	names    map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{names: make(map[string]bool)} }
+
+func (r *Registry) claim(name string) {
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = true
+}
+
+// Counter registers a monotonic counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers a sampled gauge: fn is invoked at snapshot time, so
+// instantaneous signals (replay lag, ring occupancy, backlog) cost
+// nothing on the hot path.
+func (r *Registry) Gauge(name string, fn func() int64) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	g := &Gauge{name: name, fn: fn}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers a histogram with power-of-two buckets. unit names
+// the observed quantity ("ns", "tuples", "updates", "bytes").
+func (r *Registry) Histogram(name, unit string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.claim(name)
+	h := &Histogram{name: name, unit: unit}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Counter is a monotonic event count.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a function-backed instantaneous value.
+type Gauge struct {
+	name string
+	fn   func() int64
+}
+
+// Value samples the gauge (zero on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// histBuckets is the bucket count: bucket i holds values whose
+// bit-length is i, i.e. [2^(i-1), 2^i), so the range covers int64.
+const histBuckets = 64
+
+// Histogram accumulates a distribution in power-of-two buckets — exact
+// min/max/sum/count plus bucket counts, enough for the percentile
+// summaries the benches report without unbounded storage.
+type Histogram struct {
+	name    string
+	unit    string
+	n       int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets + 1]int64
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value (no-op on nil). Negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it, clamped to the exact observed max. Zero
+// observations yield zero.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		if i >= 63 {
+			return h.max // 2^63-1 would overflow; the exact max is tighter anyway
+		}
+		upper := int64(1)<<i - 1 // bucket i covers [2^(i-1), 2^i)
+		if upper > h.max {
+			upper = h.max
+		}
+		return upper
+	}
+	return h.max
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one sampled gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap summarizes one histogram in a snapshot.
+type HistogramSnap struct {
+	Name  string `json:"name"`
+	Unit  string `json:"unit"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+}
+
+// Snapshot is a point-in-time, name-sorted view of a registry, shaped
+// for embedding in BENCH_*.json and flight-recorder dumps.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// Snapshot samples every gauge and summarizes every histogram. On a nil
+// registry it returns the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: c.name, Value: c.v})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Value: g.fn()})
+	}
+	for _, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name: h.name, Unit: h.unit,
+			Count: h.n, Sum: h.sum, Min: h.min, Max: h.max,
+			P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Gauge looks up a sampled gauge value by name in a snapshot, reporting
+// whether it exists — the accessor tests and dump checks use.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,297 @@
+// Package obs is the observability layer of the reproduction: a typed
+// event tracer, a metrics registry, and a per-replica flight recorder
+// covering the record/replay hot path, the shared-memory mailboxes, the
+// TCP logical-state sync, failure detection, and the failover timeline.
+//
+// The paper evaluates FT-Linux almost entirely through externally
+// observed numbers (PBZIP2 runtime, Mongoose throughput, the §4.4
+// failover clock) because the replication internals are invisible at
+// runtime. This package makes them first-class: every layer emits typed
+// events into a Tracer and updates metrics in a Registry, so a run ends
+// with a Perfetto-loadable timeline and paper-meaningful signals (replay
+// lag, output-commit stalls, batch fill, ring high-water marks) instead
+// of just a wall-clock number.
+//
+// Determinism contract: every timestamp comes from the simulation's
+// virtual clock (sim.Simulation.Now) and every attribute is derived from
+// simulation state, never from the host (no time.Now, no map-iteration
+// order, no host randomness). Two runs with the same seed therefore
+// produce byte-identical traces — the property that makes a trace diff
+// a usable debugging tool for a deterministic system. The nondet
+// analyzer enforces the contract: it treats the obs API as a sanctioned
+// sink but diagnoses wall-clock values smuggled into trace attributes.
+//
+// Cost contract: the layer is always compiled and cheap when disabled.
+// Every emit and metric update is nil-safe — a component holding a nil
+// *Scope or nil *Counter pays one pointer test per operation — so the
+// hot path carries its instrumentation unconditionally and deployments
+// opt in by wiring a Tracer (core.Config.Obs) or a Registry.
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// Kind is the type of one traced event. The taxonomy follows the tuple
+// lifecycle (emit → flush → deliver → replay → ack), the output-commit
+// machinery, and the failure-detection/failover state machine; see
+// DESIGN.md §11 for the full table.
+type Kind uint8
+
+const (
+	// DetEnter/DetExit bracket one deterministic section (record or
+	// replay side): TID is the ft_pid, Seq the global sequence number.
+	DetEnter Kind = iota + 1
+	DetExit
+	// TupleEmit is one log tuple handed to the streaming layer
+	// (Seq = Seq_global, Arg = tuple footprint in bytes).
+	TupleEmit
+	// BatchFlush is one vectored transfer pushed onto a log/sync ring
+	// (Seq = sent watermark after the flush, Arg = payloads in the batch).
+	BatchFlush
+	// RingDeliver marks a transfer becoming visible to the receiving
+	// partition (Seq = delivered watermark, Arg = payloads delivered).
+	RingDeliver
+	// RingDepth samples a ring's occupancy in bytes (Arg); exported as a
+	// Chrome counter track so Perfetto plots the fill level over time.
+	RingDepth
+	// Replay is a deterministic-section turn granted to a shadow thread
+	// (TID = ft_pid, Seq = Seq_global).
+	Replay
+	// AckSend is a cumulative acknowledgement sent by the replayer
+	// (Seq = processed watermark).
+	AckSend
+	// SyncFlush is a TCP logical-state delta batch pushed onto the
+	// tcprep.sync ring (Seq = synced watermark, Arg = updates).
+	SyncFlush
+	// Heartbeat is one heart-beat received from the peer (Seq = count).
+	Heartbeat
+	// HeartbeatMiss is the detector timing out without a heart-beat
+	// (Seq = beats received so far, Arg = timeout in ns).
+	HeartbeatMiss
+	// Suspect is the peer being declared failed.
+	Suspect
+	// IPIHalt is the forcible inter-processor halt of a live suspect.
+	IPIHalt
+	// FailoverStart marks the failover sequence beginning.
+	FailoverStart
+	// DriverLoad/DriverUp bracket a device driver (re)load — the cost
+	// that dominates §4.4 failover time.
+	DriverLoad
+	DriverUp
+	// Promote is the replayer draining the dead primary's log
+	// (Seq = replay head, Arg = messages drained from shared memory).
+	Promote
+	// GoLive is a replica entering unreplicated execution (RoleLive).
+	GoLive
+	// OutputHeld/OutputReleased bracket an output-commit stall
+	// (Seq = watermark; Arg on release = wait in ns).
+	OutputHeld
+	OutputReleased
+	// KernelPanic is a kernel dying (Note = cause).
+	KernelPanic
+	// LogDrop is log discarded past the stable point at promotion, or
+	// in-flight mailbox messages lost to a coherency fault (Arg = count).
+	LogDrop
+)
+
+var kindNames = [...]string{
+	DetEnter:       "det-enter",
+	DetExit:        "det-exit",
+	TupleEmit:      "tuple-emit",
+	BatchFlush:     "batch-flush",
+	RingDeliver:    "deliver",
+	RingDepth:      "ring-depth",
+	Replay:         "replay",
+	AckSend:        "ack",
+	SyncFlush:      "sync-flush",
+	Heartbeat:      "heartbeat",
+	HeartbeatMiss:  "heartbeat-miss",
+	Suspect:        "suspect",
+	IPIHalt:        "ipi-halt",
+	FailoverStart:  "failover",
+	DriverLoad:     "driver-load",
+	DriverUp:       "driver-up",
+	Promote:        "promote",
+	GoLive:         "live",
+	OutputHeld:     "output-held",
+	OutputReleased: "output-released",
+	KernelPanic:    "panic",
+	LogDrop:        "drop",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name, so JSONL traces and flight
+// dumps are readable without the enum table.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one traced occurrence. Seq and Arg are kind-specific numeric
+// attributes (documented per Kind); Note is an optional preformatted
+// detail string that must itself be deterministic.
+type Event struct {
+	Order uint64   `json:"order"` // global emission order, merge key
+	At    sim.Time `json:"at"`    // virtual time, ns
+	Scope string   `json:"scope"`
+	Kind  Kind     `json:"kind"`
+	TID   int32    `json:"tid,omitempty"` // thread lane (ft_pid) within the scope
+	Seq   int64    `json:"seq,omitempty"`
+	Arg   int64    `json:"arg,omitempty"`
+	Note  string   `json:"note,omitempty"`
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Trace retains the full event stream for export (Chrome trace,
+	// JSONL). Off, only the bounded per-scope flight rings record.
+	Trace bool
+	// FlightEvents is the per-scope flight-recorder capacity
+	// (0 selects DefaultFlightEvents).
+	FlightEvents int
+}
+
+// DefaultFlightEvents is the per-scope flight-ring capacity: enough to
+// hold the last few batches of tuple lifecycle events plus the full
+// detector state machine around a failure.
+const DefaultFlightEvents = 256
+
+// Tracer owns the event stream, the per-scope flight rings, and the
+// deployment's metrics registry. A nil *Tracer is a valid disabled
+// tracer: Scope returns nil scopes and Registry returns nil, so every
+// downstream operation degrades to a pointer test.
+type Tracer struct {
+	sim   *sim.Simulation
+	cfg   Config
+	reg   *Registry
+	order uint64
+	scopes []*Scope
+	events []Event
+}
+
+// New creates a tracer on the given simulation clock.
+func New(s *sim.Simulation, cfg Config) *Tracer {
+	if cfg.FlightEvents <= 0 {
+		cfg.FlightEvents = DefaultFlightEvents
+	}
+	return &Tracer{sim: s, cfg: cfg, reg: NewRegistry()}
+}
+
+// Enabled reports whether the tracer retains the full event stream.
+func (t *Tracer) Enabled() bool { return t != nil && t.cfg.Trace }
+
+// Registry returns the tracer's metrics registry (nil on a nil tracer).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Scope creates (or returns) the named event scope — one per
+// instrumented component, mapped to one process row in the Chrome
+// trace. Scopes are created in wiring order, which is deterministic.
+func (t *Tracer) Scope(name string) *Scope {
+	if t == nil {
+		return nil
+	}
+	for _, sc := range t.scopes {
+		if sc.name == name {
+			return sc
+		}
+	}
+	sc := &Scope{t: t, name: name, flight: make([]Event, t.cfg.FlightEvents)}
+	t.scopes = append(t.scopes, sc)
+	return sc
+}
+
+// Scopes returns every scope in creation order.
+func (t *Tracer) Scopes() []*Scope {
+	if t == nil {
+		return nil
+	}
+	return t.scopes
+}
+
+// Events returns the retained event stream (empty unless Config.Trace).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Scope is one component's named event source plus its bounded flight
+// ring. All methods are nil-safe; emitting on a nil scope is a no-op.
+type Scope struct {
+	t    *Tracer
+	name string
+
+	flight []Event // bounded ring of the most recent events
+	fpos   int     // next write position
+	fn     int     // events written (saturates at len(flight))
+}
+
+// Name returns the scope name.
+func (sc *Scope) Name() string {
+	if sc == nil {
+		return ""
+	}
+	return sc.name
+}
+
+// Emit records an event with kind-specific numeric attributes.
+func (sc *Scope) Emit(k Kind, tid int, seq, arg int64) {
+	sc.EmitNote(k, tid, seq, arg, "")
+}
+
+// EmitNote is Emit with a preformatted detail string. The note must be
+// deterministic (derived from simulation state only): it travels into
+// traces that are compared byte-for-byte across runs.
+func (sc *Scope) EmitNote(k Kind, tid int, seq, arg int64, note string) {
+	if sc == nil {
+		return
+	}
+	t := sc.t
+	t.order++
+	e := Event{
+		Order: t.order,
+		At:    t.sim.Now(),
+		Scope: sc.name,
+		Kind:  k,
+		TID:   int32(tid),
+		Seq:   seq,
+		Arg:   arg,
+		Note:  note,
+	}
+	sc.flight[sc.fpos] = e
+	sc.fpos = (sc.fpos + 1) % len(sc.flight)
+	if sc.fn < len(sc.flight) {
+		sc.fn++
+	}
+	if t.cfg.Trace {
+		t.events = append(t.events, e)
+	}
+}
+
+// Recent returns the scope's flight-ring contents, oldest first.
+func (sc *Scope) Recent() []Event {
+	if sc == nil || sc.fn == 0 {
+		return nil
+	}
+	out := make([]Event, 0, sc.fn)
+	start := sc.fpos - sc.fn
+	if start < 0 {
+		start += len(sc.flight)
+	}
+	for i := 0; i < sc.fn; i++ {
+		out = append(out, sc.flight[(start+i)%len(sc.flight)])
+	}
+	return out
+}

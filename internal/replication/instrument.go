@@ -1,0 +1,45 @@
+package replication
+
+import "repro/internal/obs"
+
+// Instrument attaches an event scope and registers this side's metrics,
+// prefixed by the namespace name. Call it once, right after construction
+// and before the namespace runs; a nil scope/registry leaves the side
+// uninstrumented (every emission degrades to a pointer test).
+//
+// Recorder signals: per-tuple lifecycle events (det-enter/det-exit,
+// tuple-emit, batch-flush, output-held/output-released) plus histograms
+// of output-commit wait, flush batch fill, and the unacked-log lag
+// sampled at each flush — the primary-side view of replay lag.
+// Replayer signals: replay grants, cumulative acks, promotion timeline,
+// plus the received-batch size histogram.
+func (ns *Namespace) Instrument(sc *obs.Scope, reg *obs.Registry) {
+	switch {
+	case ns.rec != nil:
+		ns.rec.instrument(ns.name, sc, reg)
+	case ns.rep != nil:
+		ns.rep.instrument(ns.name, sc, reg)
+	}
+}
+
+func (r *Recorder) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
+	r.sc = sc
+	r.cTuples = reg.Counter(name + ".log.tuples")
+	r.hCommitWait = reg.Histogram(name+".commit.wait", "ns")
+	r.hBatchFill = reg.Histogram(name+".flush.batch", "tuples")
+	r.hFlushLag = reg.Histogram(name+".flush.lag", "tuples")
+}
+
+// noteFlush records one vectored log flush of n tuples: the batch-fill
+// sample, the flush event, and the unacked backlog at this moment.
+func (r *Recorder) noteFlush(n int) {
+	r.sc.Emit(obs.BatchFlush, 0, int64(r.sent), int64(n))
+	r.hBatchFill.Observe(int64(n))
+	r.hFlushLag.Observe(int64(r.sent - r.ackedAll()))
+}
+
+func (r *Replayer) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
+	r.sc = sc
+	r.cAcks = reg.Counter(name + ".replay.acks")
+	r.hRecvBatch = reg.Histogram(name+".replay.batch", "tuples")
+}

@@ -127,6 +127,25 @@ func (ns *Namespace) Replaying() bool { return ns.role == RoleSecondary && !ns.r
 // path uses it to promote.
 func (ns *Namespace) Replayer() *Replayer { return ns.rep }
 
+// SeqGlobal returns the number of deterministic sections recorded so far
+// (the primary's Seq_global cursor); zero on non-recording roles.
+func (ns *Namespace) SeqGlobal() uint64 {
+	if ns.rec != nil {
+		return ns.rec.seqGlobal
+	}
+	return 0
+}
+
+// ReplayHead returns the global sequence number the replayer will grant
+// next; zero on non-replaying roles. The replay lag of a deployment is
+// the primary's SeqGlobal minus the secondary's ReplayHead.
+func (ns *Namespace) ReplayHead() uint64 {
+	if ns.rep != nil {
+		return ns.rep.nextGlobal
+	}
+	return 0
+}
+
 // GoLive stops recording on the primary side (called when the last backup
 // replica dies). On other roles it is a no-op.
 func (ns *Namespace) GoLive() {

@@ -2,6 +2,7 @@ package replication
 
 import (
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/pthread"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -12,6 +13,7 @@ import (
 type stableWaiter struct {
 	watermark uint64
 	fn        func()
+	heldAt    sim.Time // when the wait began, for the commit-stall histogram
 }
 
 // replicaLink is the recorder's view of one backup replica: its log ring,
@@ -53,6 +55,12 @@ type Recorder struct {
 
 	flushQ    *sim.WaitQueue // wakes the flusher task when work or deadlines change
 	flushDone *sim.WaitQueue // serializes blocking flushes per link
+
+	sc          *obs.Scope
+	cTuples     *obs.Counter
+	hCommitWait *obs.Histogram
+	hBatchFill  *obs.Histogram
+	hFlushLag   *obs.Histogram
 }
 
 func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder {
@@ -170,6 +178,7 @@ func (r *Recorder) flushLink(p *sim.Proc, link *replicaLink) {
 	link.log.SendBatch(p, batch)
 	link.flushing = false
 	r.stats.LogBatches++
+	r.noteFlush(len(batch))
 	r.flushDone.WakeAll(0)
 	r.flushQ.WakeAll(0) // tuples may have buffered while the send was stalled
 }
@@ -215,8 +224,10 @@ func (r *Recorder) flushForCommit() {
 			continue
 		}
 		if !link.flushing && link.log.TrySendBatch(link.pending) {
+			n := len(link.pending)
 			link.pending = nil
 			r.stats.LogBatches++
+			r.noteFlush(n)
 			continue
 		}
 		link.deadline = r.kern.Sim().Now()
@@ -231,14 +242,23 @@ func (r *Recorder) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 	}
 	t := th.task
 	r.mu.Lock(t)
+	r.sc.Emit(obs.DetEnter, th.ftpid, int64(r.seqGlobal), 0)
 	t.Busy(r.cfg.SectionCost)
 	fn()
 	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, FTPid: th.ftpid, Op: op, Obj: obj}
 	r.emit(t, msgTuple, tu, tu.size())
+	r.noteTuple(th, tu)
 	th.seq++
 	r.seqGlobal++
 	r.stats.Sections++
+	r.sc.Emit(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0)
 	r.mu.Unlock(t)
+}
+
+// noteTuple records one emitted tuple's lifecycle event and count.
+func (r *Recorder) noteTuple(th *Thread, tu Tuple) {
+	r.sc.Emit(obs.TupleEmit, th.ftpid, int64(tu.GlobalSeq), int64(tu.size()))
+	r.cTuples.Inc()
 }
 
 // resolve runs block (which may park until the non-deterministic outcome is
@@ -253,13 +273,16 @@ func (r *Recorder) resolve(th *Thread, op pthread.Op, obj uint64, block func(), 
 	block()
 	t := th.task
 	r.mu.Lock(t)
+	r.sc.Emit(obs.DetEnter, th.ftpid, int64(r.seqGlobal), 0)
 	t.Busy(r.cfg.SectionCost)
 	out, data := settle()
 	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, FTPid: th.ftpid, Op: op, Obj: obj, Outcome: out, Data: data}
 	r.emit(t, msgTuple, tu, tu.size())
+	r.noteTuple(th, tu)
 	th.seq++
 	r.seqGlobal++
 	r.stats.Sections++
+	r.sc.Emit(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0)
 	r.mu.Unlock(t)
 	return out, data
 }
@@ -285,18 +308,23 @@ func (r *Recorder) onStable(fn func()) {
 	r.flushForCommit()
 	w := r.sent
 	if r.ackedAll() >= w {
+		r.hCommitWait.Observe(0)
 		fn()
 		return
 	}
-	r.stableQ = append(r.stableQ, stableWaiter{watermark: w, fn: fn})
+	r.sc.Emit(obs.OutputHeld, 0, int64(w), 0)
+	r.stableQ = append(r.stableQ, stableWaiter{watermark: w, fn: fn, heldAt: r.kern.Sim().Now()})
 }
 
 func (r *Recorder) fireStable() {
 	acked := r.ackedAll()
 	for len(r.stableQ) > 0 && r.stableQ[0].watermark <= acked {
-		fn := r.stableQ[0].fn
+		w := r.stableQ[0]
 		r.stableQ = r.stableQ[1:]
-		fn()
+		wait := int64(r.kern.Sim().Now().Sub(w.heldAt))
+		r.sc.Emit(obs.OutputReleased, 0, int64(w.watermark), wait)
+		r.hCommitWait.Observe(wait)
+		w.fn()
 	}
 }
 
@@ -327,6 +355,7 @@ func (r *Recorder) goLive() {
 		return
 	}
 	r.live = true
+	r.sc.Emit(obs.GoLive, 0, int64(r.sent), 0)
 	r.fireStable()
 	// Unblock any section stalled on a full log ring: the receivers are
 	// gone, so the buffered log is discarded and the senders released.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/pthread"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -44,6 +45,10 @@ type Replayer struct {
 	promoted    *sim.WaitQueue
 	puller      *kernel.Task
 	stats       Stats
+
+	sc         *obs.Scope
+	cAcks      *obs.Counter
+	hRecvBatch *obs.Histogram
 }
 
 func newReplayer(k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Replayer {
@@ -71,6 +76,7 @@ func (r *Replayer) pullLoop(t *kernel.Task) {
 	var lastAcked uint64
 	for {
 		batch := r.log.RecvBatch(t.Proc(), max)
+		r.hRecvBatch.Observe(int64(len(batch)))
 		// Acknowledge at receipt (§3.5): the whole batch is already safe in
 		// this replica's memory for subsequent live replay, so one
 		// cumulative ack covers all of it.
@@ -82,6 +88,8 @@ func (r *Replayer) pullLoop(t *kernel.Task) {
 			if r.acks.TrySend(shm.Message{Kind: msgTuple, Payload: r.processed, Size: 16}) {
 				lastAcked = r.processed
 				r.stats.AckMessages++
+				r.cAcks.Inc()
+				r.sc.Emit(obs.AckSend, 0, int64(r.processed), 0)
 			}
 		}
 		for _, m := range batch {
@@ -128,6 +136,7 @@ func (r *Replayer) tryGrant() {
 		if r.primaryDead {
 			// Coherency fault lost part of the log: everything past the gap
 			// is beyond the stable point and is discarded (§3.5).
+			r.sc.Emit(obs.LogDrop, 0, int64(r.nextGlobal), int64(len(r.pending)))
 			r.stats.Dropped += uint64(len(r.pending))
 			r.pending = nil
 			r.finishPromotion()
@@ -144,6 +153,7 @@ func (r *Replayer) tryGrant() {
 	r.headGranted = true
 	w.tuple = tu
 	w.granted = true
+	r.sc.Emit(obs.Replay, tu.FTPid, int64(tu.GlobalSeq), 0)
 	r.kern.FutexWakeRaw(w.key, 1)
 }
 
@@ -271,10 +281,13 @@ func (r *Replayer) Promote() {
 	r.puller.Kill()
 	// Drain what the dead primary left in shared memory (§3.5: messages in
 	// the mailbox survive the sender's death).
+	drained := 0
 	for _, m := range r.log.Drain() {
 		r.processed++
+		drained++
 		r.ingest(m)
 	}
+	r.sc.Emit(obs.Promote, 0, int64(r.nextGlobal), int64(drained))
 	if len(r.pending) == 0 {
 		r.finishPromotion()
 	}
@@ -287,6 +300,7 @@ func (r *Replayer) finishPromotion() {
 		return
 	}
 	r.live = true
+	r.sc.Emit(obs.GoLive, 0, int64(r.nextGlobal), 0)
 	order := r.waitOrder
 	r.waitOrder = nil
 	for _, ftpid := range order {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -50,15 +51,26 @@ type Stats struct {
 	Batches  int64 // transfers that carried more than one payload
 	Bytes    int64 // includes per-transfer header overhead
 	Dropped  int64 // payloads lost to coherency faults
+
+	// HighWaterBytes is the peak occupancy (delivered + in flight) the
+	// ring ever reached — the sizing signal for capBytes. Aggregating
+	// takes the max, not the sum: peaks on different rings are not
+	// simultaneous, so a sum would describe no real moment.
+	HighWaterBytes int64
 }
 
 func (s Stats) add(o Stats) Stats {
+	hw := s.HighWaterBytes
+	if o.HighWaterBytes > hw {
+		hw = o.HighWaterBytes
+	}
 	return Stats{
-		Messages: s.Messages + o.Messages,
-		Payloads: s.Payloads + o.Payloads,
-		Batches:  s.Batches + o.Batches,
-		Bytes:    s.Bytes + o.Bytes,
-		Dropped:  s.Dropped + o.Dropped,
+		Messages:       s.Messages + o.Messages,
+		Payloads:       s.Payloads + o.Payloads,
+		Batches:        s.Batches + o.Batches,
+		Bytes:          s.Bytes + o.Bytes,
+		Dropped:        s.Dropped + o.Dropped,
+		HighWaterBytes: hw,
 	}
 }
 
@@ -97,6 +109,7 @@ type Ring struct {
 	sendQ     *sim.WaitQueue
 	recvQ     *sim.WaitQueue
 	stats     Stats
+	sc        *obs.Scope
 }
 
 // Fabric owns every ring of a deployment.
@@ -140,6 +153,28 @@ func (f *Fabric) Stats() Stats {
 	return total
 }
 
+// Rings returns every ring of the fabric in creation order — the stable
+// order core wires them in, so iterating is deterministic.
+func (f *Fabric) Rings() []*Ring { return f.rings }
+
+// RingStats is one ring's identity plus its traffic counters, for
+// per-ring reporting (Figure 5/7 style breakdowns by channel).
+type RingStats struct {
+	Name string
+	Src  int
+	Stats
+}
+
+// PerRing returns each ring's counters individually, in creation order.
+// The aggregate Stats hides which channel is hot; this is the breakdown.
+func (f *Fabric) PerRing() []RingStats {
+	out := make([]RingStats, 0, len(f.rings))
+	for _, r := range f.rings {
+		out = append(out, RingStats{Name: r.name, Src: r.src, Stats: r.stats})
+	}
+	return out
+}
+
 // DropInflight models a cache-coherency-disrupting fault on the given
 // sending partition: every message from that partition that has not yet
 // become visible to its receiver is lost (§3.5). It reports how many
@@ -152,16 +187,18 @@ func (f *Fabric) DropInflight(src int) int {
 		if r.src != src {
 			continue
 		}
-		freed := false
+		lost := 0
 		for _, in := range r.inflight {
 			in.ev.Cancel()
 			r.used -= in.bytes
 			r.stats.Dropped += int64(len(in.msgs))
-			dropped += len(in.msgs)
-			freed = true
+			lost += len(in.msgs)
 		}
 		r.inflight = nil
-		if freed {
+		if lost > 0 {
+			dropped += lost
+			r.sc.Emit(obs.LogDrop, 0, 0, int64(lost))
+			r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 			r.wakeSenders()
 		}
 	}
@@ -170,6 +207,14 @@ func (f *Fabric) DropInflight(src int) int {
 
 // Name returns the ring's name.
 func (r *Ring) Name() string { return r.name }
+
+// Src returns the index of the sending partition.
+func (r *Ring) Src() int { return r.src }
+
+// Instrument attaches an event scope to the ring. Deliveries emit
+// RingDeliver events and occupancy transitions emit RingDepth samples
+// (a Chrome counter track). A nil scope leaves the ring uninstrumented.
+func (r *Ring) Instrument(sc *obs.Scope) { r.sc = sc }
 
 // Stats returns the ring's traffic counters.
 func (r *Ring) Stats() Stats { return r.stats }
@@ -275,12 +320,16 @@ func (r *Ring) send(msgs []Message) {
 		in.msgs[i] = m
 	}
 	r.used += in.bytes
+	if r.used > r.stats.HighWaterBytes {
+		r.stats.HighWaterBytes = r.used
+	}
 	r.stats.Messages++
 	r.stats.Payloads += int64(len(msgs))
 	if len(msgs) > 1 {
 		r.stats.Batches++
 	}
 	r.stats.Bytes += in.bytes
+	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 	in.ev = r.sim.Schedule(r.latency, func() { r.deliver(in) })
 	r.inflight = append(r.inflight, in)
 }
@@ -300,6 +349,7 @@ func (r *Ring) deliver(in *inflight) {
 		r.buf = append(r.buf, slot{msg: m, bytes: b})
 	}
 	r.delivered += int64(len(in.msgs))
+	r.sc.Emit(obs.RingDeliver, 0, r.delivered, int64(len(in.msgs)))
 	for _, fn := range r.onDeliver {
 		fn()
 	}
@@ -362,6 +412,7 @@ func (r *Ring) pop() Message {
 	s := r.buf[0]
 	r.buf = r.buf[1:]
 	r.used -= s.bytes
+	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 	r.wakeSenders()
 	return s.msg
 }
@@ -382,6 +433,7 @@ func (r *Ring) Drain() []Message {
 		r.used -= s.bytes
 	}
 	r.buf = nil
+	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 	r.wakeSenders()
 	return out
 }

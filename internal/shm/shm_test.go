@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -456,5 +457,98 @@ func TestDropInflightDropsWholeBatch(t *testing.T) {
 	}
 	if r.Len() != 0 || r.Free() != 1<<20 {
 		t.Errorf("Len=%d Free=%d after dropping the batch", r.Len(), r.Free())
+	}
+}
+
+func TestHighWaterMarkTracksPeakOccupancy(t *testing.T) {
+	s := sim.New(1)
+	r := newRing(s, 1<<20)
+	s.Spawn("sender", func(p *sim.Proc) {
+		r.Send(p, Message{Kind: 1, Size: 100})
+		r.Send(p, Message{Kind: 1, Size: 100})
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		r.Recv(p)
+		r.Recv(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int64(2 * (100 + headerBytes))
+	if hw := r.Stats().HighWaterBytes; hw != want {
+		t.Errorf("HighWaterBytes = %d, want %d", hw, want)
+	}
+	if r.Stats().HighWaterBytes <= 0 {
+		t.Error("high-water mark not tracked")
+	}
+}
+
+func TestPerRingStatsAndAggregateHighWater(t *testing.T) {
+	s := sim.New(1)
+	f := NewFabric(s, time.Microsecond)
+	a := f.NewRing("a", 0, 1<<20)
+	b := f.NewRing("b", 1, 1<<20)
+	s.Spawn("sender", func(p *sim.Proc) {
+		a.Send(p, Message{Kind: 1, Size: 500})
+		b.Send(p, Message{Kind: 1, Size: 50})
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		a.Recv(p)
+		b.Recv(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	per := f.PerRing()
+	if len(per) != 2 || per[0].Name != "a" || per[1].Name != "b" {
+		t.Fatalf("PerRing = %+v", per)
+	}
+	if per[0].Src != 0 || per[1].Src != 1 {
+		t.Errorf("PerRing srcs = %d,%d", per[0].Src, per[1].Src)
+	}
+	if per[0].Payloads != 1 || per[1].Payloads != 1 {
+		t.Errorf("per-ring payloads = %d,%d, want 1,1", per[0].Payloads, per[1].Payloads)
+	}
+	// Aggregate high water is the max of the per-ring peaks, not their sum.
+	if got, want := f.Stats().HighWaterBytes, int64(500+headerBytes); got != want {
+		t.Errorf("fabric HighWaterBytes = %d, want %d", got, want)
+	}
+	if len(f.Rings()) != 2 {
+		t.Errorf("Rings() returned %d rings", len(f.Rings()))
+	}
+}
+
+func TestInstrumentedRingEmitsDeliveryEvents(t *testing.T) {
+	s := sim.New(1)
+	tr := obs.New(s, obs.Config{Trace: true})
+	r := newRing(s, 1<<20)
+	r.Instrument(tr.Scope("shm/test"))
+	s.Spawn("sender", func(p *sim.Proc) {
+		r.SendBatch(p, []Message{{Kind: 1, Size: 10}, {Kind: 1, Size: 10}})
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		r.RecvBatch(p, 0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var delivers, depths int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.RingDeliver:
+			delivers++
+			if e.Seq != 2 || e.Arg != 2 {
+				t.Errorf("deliver event seq=%d arg=%d, want 2,2", e.Seq, e.Arg)
+			}
+		case obs.RingDepth:
+			depths++
+		}
+	}
+	if delivers != 1 {
+		t.Errorf("saw %d deliver events, want 1", delivers)
+	}
+	// One depth sample at send, one per popped message.
+	if depths != 3 {
+		t.Errorf("saw %d depth samples, want 3", depths)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -49,6 +50,9 @@ type Primary struct {
 	// SyncCoalesced counts updates merged into an already-pending entry
 	// (they ride along without their own ring slot).
 	SyncCoalesced int64
+
+	sc         *obs.Scope
+	hSyncBatch *obs.Histogram
 }
 
 // syncPending is one buffered sync-ring entry plus the number of logical
@@ -134,6 +138,19 @@ func NewPrimaryFull(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.
 	return p
 }
 
+// Instrument attaches an event scope (sync-ring flushes, going live)
+// and registers the sync-batch-size histogram. Nil arguments disable.
+func (p *Primary) Instrument(sc *obs.Scope, reg *obs.Registry) {
+	p.sc = sc
+	p.hSyncBatch = reg.Histogram("tcprep.sync.batch", "updates")
+}
+
+// noteFlush records one vectored sync flush carrying n ring entries.
+func (p *Primary) noteFlush(n int) {
+	p.sc.Emit(obs.SyncFlush, 0, int64(p.synced), int64(n))
+	p.hSyncBatch.Observe(int64(n))
+}
+
 // GoLive stops syncing after the backup's death: buffered updates are
 // discarded, barrier waiters released, and a flusher stalled on the dead
 // ring unblocked, so the primary keeps serving at native speed.
@@ -142,6 +159,7 @@ func (p *Primary) GoLive() {
 		return
 	}
 	p.live = true
+	p.sc.Emit(obs.GoLive, 0, int64(p.enqueued), 0)
 	p.pending = nil
 	p.pendingBytes = 0
 	p.synced = p.enqueued
@@ -349,6 +367,7 @@ func (p *Primary) flushForCommit() {
 	p.pendingBytes = 0
 	p.synced += reps
 	p.SyncFlushes++
+	p.noteFlush(len(msgs))
 	p.fireBarrier()
 }
 
@@ -367,6 +386,7 @@ func (p *Primary) flushSync(proc *sim.Proc) {
 	p.flushing = false
 	p.synced += reps
 	p.SyncFlushes++
+	p.noteFlush(len(msgs))
 	p.fireBarrier()
 	p.flushDone.WakeAll(0)
 	p.flushQ.WakeAll(0)
