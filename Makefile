@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench check trace
+.PHONY: all build vet lint test race bench check trace chaos
 
 all: check
 
@@ -33,3 +33,12 @@ check: vet lint build race bench
 # https://ui.perfetto.dev) and prints the flight-recorder dump.
 trace:
 	$(GO) run ./cmd/ftsim -size 33554432 -fail 2s -trace trace.json
+
+# Chaos smoke: each preset schedule kills the primary, lets the freed
+# partition rejoin and resync, then kills again (DESIGN.md §12). Fails
+# if the client-visible stream is damaged, a resync aborts, or the
+# deployment dies; flight-*.txt holds the post-mortem on failure.
+chaos:
+	$(GO) run ./cmd/ftsim -size 134217728 -chaos kill-rejoin-kill -flight flight-krk.txt
+	$(GO) run ./cmd/ftsim -size 134217728 -chaos hb-storm -flight flight-hbs.txt
+	$(GO) run ./cmd/ftsim -size 134217728 -chaos dup-delay -flight flight-dd.txt

@@ -1,13 +1,22 @@
 // Command ftsim runs a configurable FT-Linux failover scenario: a
-// replicated file server, a downloading client, and an injected hardware
-// fault, printing the timeline and the client's view.
+// replicated file server, a downloading client, and injected faults,
+// printing the timeline and the client's view.
 //
 //	ftsim -size 2147483648 -fail 5s -fault coherency -relaxed
-//	ftsim -trace out.json        # Perfetto-loadable timeline of the run
+//	ftsim -chaos kill-rejoin-kill        # preset schedule, rejoin enabled
+//	ftsim -chaos "drop hb p0.5 1s..2s; kill primary @3s" -chaos-seed 7
+//	ftsim -trace out.json                # Perfetto-loadable timeline
+//
+// -chaos takes a preset name (kill-rejoin-kill, hb-storm, dup-delay) or a
+// raw schedule spec and enables backup re-integration: after each kill the
+// freed partition boots a fresh kernel, resyncs from a checkpoint plus
+// catch-up replay, and the pair returns to replicated mode. -flight writes
+// the failover flight-recorder dump to a file (CI keeps it as an artifact
+// when a run fails).
 //
 // With -trace the full event stream is retained and written as a Chrome
 // trace-event file (open it at https://ui.perfetto.dev). The trace is
-// deterministic: two runs with the same flags and seed produce
+// deterministic: two runs with the same flags and seeds produce
 // byte-identical files. On runs that kill the primary, the flight
 // recorder's dump (the last events each component saw at the moment of
 // failure) is printed after the timeline.
@@ -21,6 +30,7 @@ import (
 
 	"repro/internal/apps/clients"
 	"repro/internal/apps/fileserver"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/replication"
@@ -29,15 +39,33 @@ import (
 	"repro/internal/tcprep"
 )
 
+type options struct {
+	size        int64
+	failAt      time.Duration
+	fault       string
+	relaxed     bool
+	seed        int64
+	trace       string
+	chaosSpec   string
+	chaosSeed   int64
+	rejoinDelay time.Duration
+	flight      string
+}
+
 func main() {
-	size := flag.Int64("size", 1<<30, "file size in bytes")
-	failAt := flag.Duration("fail", 3*time.Second, "when to kill the primary (0 = never)")
-	fault := flag.String("fault", "failstop", "fault kind: failstop, mem, bus, coherency")
-	relaxed := flag.Bool("relaxed", false, "use relaxed output commit (§3.5)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	trace := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
+	var o options
+	flag.Int64Var(&o.size, "size", 1<<30, "file size in bytes")
+	flag.DurationVar(&o.failAt, "fail", 3*time.Second, "when to kill the primary (0 = never)")
+	flag.StringVar(&o.fault, "fault", "failstop", "fault kind: failstop, mem, bus, coherency")
+	flag.BoolVar(&o.relaxed, "relaxed", false, "use relaxed output commit (§3.5)")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&o.trace, "trace", "", "write a Chrome/Perfetto trace of the run to this file")
+	flag.StringVar(&o.chaosSpec, "chaos", "", "chaos schedule (preset name or spec); enables backup rejoin")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 42, "seed for the chaos injector's RNG stream")
+	flag.DurationVar(&o.rejoinDelay, "rejoin-delay", 10*time.Second, "partition repair time before a backup rejoins")
+	flag.StringVar(&o.flight, "flight", "", "write the failover flight-recorder dump to this file")
 	flag.Parse()
-	if err := run(*size, *failAt, *fault, *relaxed, *seed, *trace); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ftsim:", err)
 		os.Exit(1)
 	}
@@ -58,16 +86,38 @@ func faultKind(name string) (hw.FaultKind, error) {
 	}
 }
 
-func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int64, trace string) error {
-	kind, err := faultKind(fault)
+func run(o options) error {
+	kind, err := faultKind(o.fault)
 	if err != nil {
 		return err
 	}
-	cfg := core.DefaultConfig(seed)
-	cfg.TCP.MSS = 32 << 10
-	cfg.Replication.StrictOutputCommit = !relaxed
-	cfg.Obs.Trace = trace != ""
-	sys, err := core.NewSystem(cfg)
+	tcp := core.DefaultConfig(o.seed).TCP
+	tcp.MSS = 32 << 10
+	opts := []core.Option{
+		core.WithSeed(o.seed),
+		core.WithTCP(tcp),
+		core.WithStrictOutputCommit(!o.relaxed),
+		core.WithRejoinDelay(o.rejoinDelay),
+		// Rejoin only on chaos runs: the single-failure experiments match
+		// the paper's setup, where the degraded system runs to completion.
+		core.WithRejoin(o.chaosSpec != ""),
+	}
+	if o.chaosSpec != "" {
+		spec := o.chaosSpec
+		if preset, ok := chaos.Presets[spec]; ok {
+			spec = preset
+		}
+		sched, err := chaos.Parse(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chaos schedule: %s\n", sched)
+		opts = append(opts, core.WithChaos(sched, o.chaosSeed))
+	}
+	if o.trace != "" {
+		opts = append(opts, core.WithTrace())
+	}
+	sys, err := core.New(opts...)
 	if err != nil {
 		return err
 	}
@@ -76,11 +126,11 @@ func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int6
 		return err
 	}
 	fcfg := fileserver.DefaultConfig()
-	fcfg.FileSize = size
+	fcfg.FileSize = o.size
 	var fst fileserver.Stats
-	sys.LaunchApp("fileserver", nil, func(th *replication.Thread, socks *tcprep.Sockets) {
+	sys.Run(core.App{Name: "fileserver", Main: func(th *replication.Thread, socks *tcprep.Sockets) {
 		fileserver.Run(th, socks, fcfg, &fst)
-	})
+	}})
 	verify := func(off int64, data []byte) bool {
 		want := make([]byte, len(data))
 		fileserver.Fill(want, off)
@@ -92,10 +142,10 @@ func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int6
 		return true
 	}
 	var dl clients.DownloadStats
-	clients.Download(client, fcfg.Port, size, time.Second, verify, &dl)
-	if failAt > 0 {
-		fmt.Printf("will inject %v on the primary at t=%v\n", kind, failAt)
-		sys.InjectPrimaryFailure(failAt, kind)
+	clients.Download(client, fcfg.Port, o.size, time.Second, verify, &dl)
+	if o.chaosSpec == "" && o.failAt > 0 {
+		fmt.Printf("will inject %v on the primary at t=%v\n", kind, o.failAt)
+		sys.InjectPrimaryFailure(o.failAt, kind)
 	}
 	if err := sys.Sim.RunUntil(sim.Time(30 * time.Minute)); err != nil {
 		return err
@@ -103,24 +153,43 @@ func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int6
 	for _, s := range dl.Series {
 		fmt.Printf("t=%5.0fs %8.0f Mb/s\n", s.At.Seconds(), float64(s.Bytes)*8/1e6)
 	}
-	fmt.Printf("\nreceived %d/%d bytes  complete=%v corrupted=%v\n", dl.Received, size, dl.Complete, dl.Corrupted)
-	if failAt > 0 {
-		fmt.Printf("failure declared at %v; failover complete at %v; secondary role: %v\n",
-			sys.FailedAt, sys.LiveAt, sys.Secondary.NS.Role())
-		if drop := sys.Fabric.Stats().Dropped; drop > 0 {
-			fmt.Printf("coherency fault dropped %d in-flight mailbox messages; stream still intact: %v\n",
-				drop, !dl.Corrupted && dl.Complete)
-		}
+	fmt.Printf("\nreceived %d/%d bytes  complete=%v corrupted=%v\n", dl.Received, o.size, dl.Complete, dl.Corrupted)
+	if sys.FailedAt != 0 {
+		fmt.Printf("last failure declared at %v; failover complete at %v\n", sys.FailedAt, sys.LiveAt)
+	}
+	if inj := sys.Injector(); inj != nil {
+		fmt.Printf("chaos: %d kills, %d transfer faults injected\n", inj.Kills, inj.Injected)
+	}
+	fmt.Printf("lifecycle: state=%v generation=%d", sys.State(), sys.Generation())
+	if err := sys.RejoinErr(); err != nil {
+		fmt.Printf(" rejoin-error=%q", err)
+	}
+	fmt.Println()
+	if drop := sys.Fabric.Stats().Dropped; drop > 0 {
+		fmt.Printf("faults dropped %d in-flight mailbox messages; stream still intact: %v\n",
+			drop, !dl.Corrupted && dl.Complete)
 	}
 	st := sys.Fabric.Stats()
 	fmt.Printf("inter-replica traffic: %d messages, %.1f MB (peak ring occupancy %d B)\n",
 		st.Messages, float64(st.Bytes)/1e6, st.HighWaterBytes)
 	if sys.Flight != nil {
-		fmt.Println()
-		sys.Flight.Tail(40).WriteText(os.Stdout)
+		if o.flight != "" {
+			f, err := os.Create(o.flight)
+			if err != nil {
+				return err
+			}
+			sys.Flight.Tail(200).WriteText(f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote flight-recorder dump to %s\n", o.flight)
+		} else {
+			fmt.Println()
+			sys.Flight.Tail(40).WriteText(os.Stdout)
+		}
 	}
-	if trace != "" {
-		f, err := os.Create(trace)
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
 		if err != nil {
 			return err
 		}
@@ -132,10 +201,16 @@ func run(size int64, failAt time.Duration, fault string, relaxed bool, seed int6
 			return err
 		}
 		fmt.Printf("wrote %s (%d events); open it at https://ui.perfetto.dev\n",
-			trace, len(sys.Obs.Events()))
+			o.trace, len(sys.Obs.Events()))
 	}
 	if !dl.Complete || dl.Corrupted {
 		return fmt.Errorf("client-visible stream was damaged")
+	}
+	if o.chaosSpec != "" && sys.State() == core.StateFailed {
+		return fmt.Errorf("deployment ended in the failed state")
+	}
+	if err := sys.RejoinErr(); err != nil {
+		return fmt.Errorf("rejoin failed: %w", err)
 	}
 	return nil
 }

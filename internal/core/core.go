@@ -10,9 +10,16 @@
 // It is the public entry point used by every example, command, and
 // benchmark in this repository:
 //
-//	sys, _ := core.NewSystem(core.DefaultConfig(1))
-//	sys.Launch("app", nil, func(th *replication.Thread) { ... })
+//	sys, _ := core.New(core.WithSeed(1))
+//	sys.Run(core.App{Name: "app", Main: func(th *replication.Thread, _ *tcprep.Sockets) { ... }})
 //	sys.Sim.Run()
+//
+// With rejoin enabled (the New default), a failover is not the end of the
+// story: the survivor keeps recording into a retained history, a fresh
+// backup kernel boots on the freed partition, receives a checkpoint over a
+// bulk ring, replays the catch-up log, and the pair flips back to
+// replicated mode — repeatedly, across injected crash cycles
+// (internal/chaos).
 //
 // NewBaseline builds the unreplicated "stock Ubuntu" configuration used as
 // the comparison baseline in every experiment.
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/failure"
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -65,6 +73,20 @@ type Config struct {
 	// are always wired; set Obs.Trace to retain the full event stream for
 	// export (ftsim -trace).
 	Obs obs.Config
+	// Rejoin enables backup re-integration: the recording side retains
+	// its full history so that, after a failure, a fresh backup kernel on
+	// the freed partition can be checkpointed, caught up, and returned to
+	// replicated mode. New enables it by default; NewSystem leaves it off.
+	Rejoin bool
+	// RejoinDelay is how long a freed partition stays down after a
+	// failure before the replacement backup boots (repair/reboot time;
+	// 0 selects 10s).
+	RejoinDelay time.Duration
+	// Chaos is the fault-injection schedule driven against this
+	// deployment (empty = none); ChaosSeed seeds the injector's dedicated
+	// RNG stream so probability draws never perturb workload randomness.
+	Chaos     chaos.Schedule
+	ChaosSeed int64
 }
 
 // DefaultConfig returns the paper's standard deployment: two symmetric
@@ -93,8 +115,13 @@ type Replica struct {
 	// set on the secondary only after failover promotion.
 	Stack    *tcpstack.Stack
 	Detector *failure.Detector
-	TCPSync  *tcprep.Secondary // secondary only
-	TCPPrim  *tcprep.Primary   // primary only: sync batching/flush counters
+	TCPSync  *tcprep.Secondary // backup role (also retained after promotion)
+	TCPPrim  *tcprep.Primary   // recording role: sync batching/flush counters
+
+	// partIdx is the hardware partition slot (0 = the boot-time primary
+	// partition, 1 = secondary); it keys fabric source indices and the
+	// per-slot core restriction across rejoin generations.
+	partIdx int
 }
 
 // System is a running FT-Linux deployment.
@@ -115,37 +142,48 @@ type System struct {
 	Obs    *obs.Tracer
 	Flight *obs.FlightDump
 
-	// FailedAt records when the primary was declared failed; LiveAt when
-	// failover promotion completed (zero = never).
+	// FailedAt records when the recording side was (last) declared
+	// failed; LiveAt when the matching failover promotion completed
+	// (zero = never).
 	FailedAt sim.Time
 	LiveAt   sim.Time
+
+	// Lifecycle tracking (see lifecycle.go). active is the replica
+	// currently recording or serving live; passive the current backup
+	// (nil while degraded). Across rejoin generations these walk away
+	// from the boot-time Primary/Secondary pair.
+	active, passive *Replica
+	state           LifecycleState
+	scLife          *obs.Scope
+
+	// Rejoin machinery: recorded app launches are replayed onto each
+	// rejoined backup kernel; generation counts re-integration cycles.
+	launches      []appLaunch
+	generation    int
+	rejoining     bool
+	resyncStartAt sim.Time
+	rejoinErr     error
+	lastDead      *Replica
+
+	injector *chaos.Injector
+	parts    [2]*hw.Partition
 }
 
-// NewSystem boots a replicated deployment.
+// NewSystem boots a replicated deployment from a Config.
+//
+// Deprecated: use New with functional options; it also enables backup
+// rejoin by default. NewSystem remains for the paper's single-failure
+// experiments and keeps their exact semantics (no retention, no rejoin
+// unless cfg.Rejoin is set).
 func NewSystem(cfg Config) (*System, error) {
-	if cfg.Profile.Sockets == 0 {
-		cfg.Profile = hw.Opteron6376x4()
-	}
-	if len(cfg.PrimaryNodes) == 0 {
-		cfg.PrimaryNodes = []int{0, 1, 2, 3}
-	}
-	if len(cfg.SecondaryNodes) == 0 {
-		cfg.SecondaryNodes = []int{4, 5, 6, 7}
-	}
-	if cfg.Kernel == (kernel.Params{}) {
-		cfg.Kernel = kernel.DefaultParams()
-	}
-	if cfg.Replication.LogRingBytes == 0 {
-		cfg.Replication = replication.DefaultConfig()
-	}
-	if cfg.TCPSync == (tcprep.SyncConfig{}) {
-		cfg.TCPSync = tcprep.DefaultSyncConfig()
-	}
-	if cfg.TCP.MSS == 0 {
-		cfg.TCP = tcpstack.DefaultParams()
-	}
-	if cfg.NICDriverLoadTime == 0 {
-		cfg.NICDriverLoadTime = 5 * time.Second
+	return build(cfg)
+}
+
+// build is the one construction path behind New and NewSystem.
+func build(cfg Config) (*System, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
 	}
 
 	s := sim.New(cfg.Seed)
@@ -214,7 +252,19 @@ func NewSystem(cfg Config) (*System, error) {
 	pStack := tcpstack.New(pk, "server", cfg.TCP)
 	prim := tcprep.NewPrimaryFull(pns, pStack, tcpSync, tcprep.DefaultGateConfig(), cfg.TCPSync)
 	prim.Instrument(tr.Scope("primary/tcprep"), tr.Registry())
-	sec := tcprep.NewSecondary(sk, tcpSync)
+	var sec *tcprep.Secondary
+	if cfg.Rejoin {
+		// Retention on both sides: the primary keeps the full logical TCP
+		// history for checkpointing, the secondary keeps its synced input
+		// streams so a later promotion can checkpoint in turn.
+		prim.EnableRetention()
+		sec = tcprep.NewSecondaryOpts(sk, tcpSync, tcprep.SecondaryConfig{
+			Cost:   tcprep.DefaultSecondaryCost,
+			Retain: true,
+		})
+	} else {
+		sec = tcprep.NewSecondary(sk, tcpSync)
+	}
 
 	sys := &System{
 		Cfg:     cfg,
@@ -228,88 +278,220 @@ func NewSystem(cfg Config) (*System, error) {
 			Sockets: tcprep.NewSockets(pns, pStack, prim, nil),
 			Stack:   pStack,
 			TCPPrim: prim,
+			partIdx: 0,
 		},
 		Secondary: &Replica{
 			Kernel:  sk,
 			NS:      sns,
 			Sockets: tcprep.NewSockets(sns, nil, nil, sec),
 			TCPSync: sec,
+			partIdx: 1,
 		},
-		nic: kernel.NewDevice("eth0", cfg.NICDriverLoadTime),
+		nic:    kernel.NewDevice("eth0", cfg.NICDriverLoadTime),
+		scLife: tr.Scope("lifecycle"),
+		parts:  [2]*hw.Partition{pPart, sPart},
 	}
+	sys.active, sys.passive = sys.Primary, sys.Secondary
+	sys.setState(StateReplicated)
 
-	// Failure detection, both directions.
+	// Failure detection, both directions. peerFailed resolves what the
+	// death means from the current roles: recording side dead = failover,
+	// backup dead = degrade (and, with rejoin, schedule re-integration).
 	pd := failure.New(pk, sk, hbPS, hbSP, cfg.Failure)
 	sd := failure.New(sk, pk, hbSP, hbPS, cfg.Failure)
 	pd.Instrument(tr.Scope("primary/detector"))
 	sd.Instrument(tr.Scope("secondary/detector"))
 	sys.Primary.Detector = pd
 	sys.Secondary.Detector = sd
-	pd.OnFail(func() {
-		// Secondary died: the primary continues unreplicated. The TCP sync
-		// path goes live too, releasing output segments parked on the sync
-		// barrier and any flusher stalled on the dead ring.
-		pns.GoLive()
-		prim.GoLive()
-	})
-	sd.OnFail(func() { sys.failover() })
+	pd.OnFail(func() { sys.peerFailed(sys.Primary, sys.Secondary) })
+	sd.OnFail(func() { sys.peerFailed(sys.Secondary, sys.Primary) })
 	pd.Start()
 	sd.Start()
 
 	// The NIC goes down the instant its owning kernel dies (its DMA rings
 	// and interrupt routing die with the kernel).
-	pk.OnPanic(func(kernel.PanicReason) {
-		if sys.nic.Owner() == pk {
+	sys.hookNIC(pk)
+	sys.hookNIC(sk)
+
+	// Fault injection: arm every boot-time ring (rejoin-generation rings
+	// are armed at creation) and schedule the kills.
+	if !cfg.Chaos.Empty() {
+		sys.injector = chaos.NewInjector(cfg.Chaos, chaos.Env{
+			Sim:     s,
+			Machine: m,
+			Victim:  sys.victim,
+			Scope:   tr.Scope("chaos"),
+		}, cfg.ChaosSeed)
+		for _, r := range fabric.Rings() {
+			sys.injector.ArmRing(r)
+		}
+		sys.injector.Start()
+	}
+	return sys, nil
+}
+
+// hookNIC fails the server NIC the instant a kernel that owns it dies
+// (its DMA rings and interrupt routing die with the kernel).
+func (sys *System) hookNIC(k *kernel.Kernel) {
+	k.OnPanic(func(kernel.PanicReason) {
+		if sys.nic.Owner() == k {
 			sys.nic.FailDevice()
 		}
 	})
-	return sys, nil
 }
+
+// victim resolves a chaos kill target to a NUMA node by current role.
+func (sys *System) victim(t chaos.Target) (int, bool) {
+	rep := sys.active
+	if t == chaos.TargetBackup {
+		rep = sys.passive
+	}
+	if rep == nil || !rep.Kernel.Alive() {
+		return 0, false
+	}
+	return rep.Kernel.Partition().Nodes()[0].ID, true
+}
+
+// Injector returns the chaos injector, or nil when no schedule is armed.
+func (sys *System) Injector() *chaos.Injector { return sys.injector }
 
 // NIC returns the server's Ethernet device.
 func (sys *System) NIC() *kernel.Device { return sys.nic }
 
+// App is a replicated application: Main runs on every replica inside the
+// FT-Namespace with that replica's interposed socket layer (ignore the
+// layer for apps that never touch the network). Env is replicated from
+// the recording side (§3).
+type App struct {
+	Name string
+	Env  map[string]string
+	Main func(*replication.Thread, *tcprep.Sockets)
+}
+
+// appLaunch is a recorded launch, replayed onto each rejoined backup
+// kernel so its replica can replay the application from the first tuple.
+type appLaunch struct {
+	name string
+	env  map[string]string
+	run  func(*replication.Thread, *tcprep.Sockets)
+}
+
+func (sys *System) startOn(rep *Replica, l appLaunch) *replication.Thread {
+	return rep.NS.Start(l.name, l.env, func(th *replication.Thread) { l.run(th, rep.Sockets) })
+}
+
+// Run starts an application on every current replica and records the
+// launch so rejoined backups can replay it from the beginning. It is the
+// single launch entry point of the lifecycle API.
+func (sys *System) Run(app App) {
+	if app.Main == nil {
+		panic("core: Run: app.Main is nil")
+	}
+	l := appLaunch{name: app.Name, env: app.Env, run: app.Main}
+	sys.launches = append(sys.launches, l)
+	sys.startOn(sys.active, l)
+	if sys.passive != nil {
+		sys.startOn(sys.passive, l)
+	}
+}
+
 // Launch starts the same application function on both replicas inside the
-// FT-Namespace. The environment is replicated from the primary (§3).
+// FT-Namespace.
+//
+// Deprecated: use Run; Launch remains for callers that need the two
+// boot-time thread handles.
 func (sys *System) Launch(name string, env map[string]string, app func(*replication.Thread)) (p, s *replication.Thread) {
-	p = sys.Primary.NS.Start(name, env, app)
-	s = sys.Secondary.NS.Start(name, env, app)
+	l := appLaunch{name: name, env: env, run: func(th *replication.Thread, _ *tcprep.Sockets) { app(th) }}
+	sys.launches = append(sys.launches, l)
+	p = sys.startOn(sys.Primary, l)
+	s = sys.startOn(sys.Secondary, l)
 	return p, s
 }
 
-// LaunchApp is Launch for applications that use the network: each replica's
-// instance receives its own interposed socket layer.
+// LaunchApp is Launch for applications that use the network.
+//
+// Deprecated: use Run.
 func (sys *System) LaunchApp(name string, env map[string]string, app func(*replication.Thread, *tcprep.Sockets)) {
-	sys.Primary.NS.Start(name, env, func(th *replication.Thread) { app(th, sys.Primary.Sockets) })
-	sys.Secondary.NS.Start(name, env, func(th *replication.Thread) { app(th, sys.Secondary.Sockets) })
+	sys.Run(App{Name: name, Env: env, Main: app})
 }
 
-// failover is the §3.7 sequence, run on the secondary once the primary is
-// declared failed: promote the replay engine to the stable point, re-load
-// the NIC driver (the dominant cost, §4.4), bring up a fresh TCP stack,
-// and promote the logical TCP states into it.
-func (sys *System) failover() {
+// peerFailed is the one detector callback: surv's detector declared peer
+// dead (and IPI-halted it). What that means depends on peer's current
+// role; a stale notification from a replica that is no longer paired
+// (an earlier generation's detector firing late) is ignored.
+func (sys *System) peerFailed(surv, dead *Replica) {
+	if !surv.Kernel.Alive() {
+		return
+	}
+	switch {
+	case dead == sys.passive:
+		sys.backupDied(surv, dead)
+	case dead == sys.active && surv == sys.passive:
+		sys.failoverTo(surv, dead)
+	}
+}
+
+// backupDied degrades the recording side after its backup's death: with
+// rejoin the namespace keeps recording into the retained history with
+// vacuous output stability, without it the system goes fully live. Either
+// way the TCP sync stream stops and parked output is released.
+func (sys *System) backupDied(surv, dead *Replica) {
+	sys.passive = nil
+	sys.rejoining = false
+	sys.lastDead = dead
+	surv.NS.GoLive()
+	if surv.TCPPrim != nil {
+		surv.TCPPrim.GoLive()
+	}
+	sys.setState(StateDegraded)
+	sys.scheduleRejoin(surv, dead)
+}
+
+// failoverTo is the §3.7 sequence, run on the backup once the recording
+// side is declared failed: promote the replay engine to the stable point,
+// re-load the NIC driver (the dominant cost, §4.4), bring up a fresh TCP
+// stack, and promote the logical TCP states into it. With rejoin enabled
+// the promoted side then becomes a detached recording primary and the
+// freed partition is scheduled for re-integration.
+func (sys *System) failoverTo(surv, dead *Replica) {
 	sys.FailedAt = sys.Sim.Now()
 	// Snapshot the flight recorder before promotion mutates the replay
 	// state: the dump shows the system exactly as the failure found it —
 	// last acked tuple, in-flight batches, detector transitions, and the
 	// replay.lag gauge at the moment of failure.
 	sys.Flight = sys.Obs.FlightDump()
-	sys.Secondary.NS.Replayer().Promote()
-	sk := sys.Secondary.Kernel
-	sk.Spawn("failover", func(t *kernel.Task) {
+	sys.active, sys.passive = surv, nil
+	sys.rejoining = false
+	sys.lastDead = dead
+	sys.setState(StateDegraded)
+	surv.NS.Replayer().Promote()
+	k := surv.Kernel
+	k.Spawn("failover", func(t *kernel.Task) {
 		if err := t.LoadDriver(sys.nic); err != nil {
-			return // the secondary died too; nothing left to fail over to
+			sys.setState(StateFailed)
+			return // the survivor died too; nothing left to fail over to
 		}
-		stack := tcpstack.New(sk, "server", sys.Cfg.TCP)
+		stack := tcpstack.New(k, "server", sys.Cfg.TCP)
 		if sys.serverNIC != nil {
 			stack.Attach(sys.serverNIC)
 		}
-		if err := sys.Secondary.Sockets.Promote(t, stack); err != nil {
+		if err := surv.Sockets.Promote(t, stack); err != nil {
 			panic(fmt.Sprintf("core: failover promotion: %v", err))
 		}
-		sys.Secondary.Stack = stack
+		surv.Stack = stack
+		if sys.Cfg.Rejoin {
+			// Keep recording: wrap the new stack in a detached primary
+			// seeded with the promoted logical history, so a rejoining
+			// backup can be checkpointed later. Same sim instant as
+			// Promote's restore — no segment can slip between them.
+			dp := tcprep.NewDetachedPrimary(surv.NS, stack, tcprep.DefaultGateConfig(),
+				sys.Cfg.TCPSync, surv.TCPSync.HistoryLog())
+			dp.Instrument(sys.Obs.Scope(fmt.Sprintf("gen%d/tcprep", sys.generation+1)), nil)
+			surv.TCPPrim = dp
+			surv.Sockets.AdoptPrimary(dp)
+		}
 		sys.LiveAt = t.Now()
+		sys.scheduleRejoin(surv, dead)
 	})
 }
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// LifecycleState is the deployment's replication lifecycle. It replaces
+// the ad-hoc booleans callers used to poke at (failure.Detector.Fired,
+// Namespace role checks): one state machine, observable in one place,
+// with every transition traced as an obs.StateChange event.
+type LifecycleState int
+
+const (
+	// StateReplicated: the recording side streams to a live, caught-up
+	// backup; output commit is in force.
+	StateReplicated LifecycleState = iota + 1
+	// StateDegraded: one side serves alone. With rejoin enabled it keeps
+	// recording into the retained history (vacuous output stability);
+	// without, it runs fully live.
+	StateDegraded
+	// StateResyncing: a freshly booted backup is being re-integrated —
+	// checkpoint transfer and catch-up replay are in progress while the
+	// recording side keeps serving.
+	StateResyncing
+	// StateFailed: no kernel can serve (double fault, or the survivor
+	// died during failover).
+	StateFailed
+)
+
+func (s LifecycleState) String() string {
+	switch s {
+	case StateReplicated:
+		return "replicated"
+	case StateDegraded:
+		return "degraded"
+	case StateResyncing:
+		return "resyncing"
+	case StateFailed:
+		return "failed"
+	}
+	return "boot"
+}
+
+// Typed lifecycle errors. Callers branch with errors.Is instead of
+// comparing strings or reading component internals.
+var (
+	// ErrDegraded reports the system is serving without a backup.
+	ErrDegraded = errors.New("core: system degraded (no live backup)")
+	// ErrResyncInProgress reports a backup re-integration is already
+	// running.
+	ErrResyncInProgress = errors.New("core: resync already in progress")
+	// ErrFailed reports no replica can serve.
+	ErrFailed = errors.New("core: system failed (no live replica)")
+)
+
+// State returns the current lifecycle state. A dead active side whose
+// failure has not yet been detected still reports the pre-failure state —
+// detection latency is part of what the model measures — except when no
+// replica is left at all.
+func (sys *System) State() LifecycleState {
+	activeDead := sys.active == nil || !sys.active.Kernel.Alive()
+	passiveDead := sys.passive == nil || !sys.passive.Kernel.Alive()
+	if activeDead && passiveDead {
+		return StateFailed
+	}
+	return sys.state
+}
+
+// Healthy returns nil when fully replicated, or the typed error for the
+// current lifecycle state.
+func (sys *System) Healthy() error {
+	switch sys.State() {
+	case StateReplicated:
+		return nil
+	case StateResyncing:
+		return ErrResyncInProgress
+	case StateFailed:
+		return ErrFailed
+	default:
+		return ErrDegraded
+	}
+}
+
+// Active returns the replica currently recording (or serving live).
+// After failover and rejoin cycles this may be either partition's
+// replica; sys.Primary/sys.Secondary keep naming the boot-time sides.
+func (sys *System) Active() *Replica { return sys.active }
+
+// Standby returns the current backup replica — replaying or resyncing —
+// or nil while degraded.
+func (sys *System) Standby() *Replica { return sys.passive }
+
+// Generation counts completed-or-started rejoin cycles (0 = the
+// boot-time pairing).
+func (sys *System) Generation() int { return sys.generation }
+
+// RejoinErr returns the last rejoin failure (for example a wrapped
+// rejoin.ErrChecksumMismatch), or nil.
+func (sys *System) RejoinErr() error { return sys.rejoinErr }
+
+// setState moves the lifecycle state machine, tracing the transition.
+func (sys *System) setState(st LifecycleState) {
+	if st == sys.state {
+		return
+	}
+	old := sys.state
+	sys.state = st
+	sys.scLife.EmitNote(obs.StateChange, 0, int64(st), int64(old),
+		fmt.Sprintf("%s -> %s", old, st))
+}

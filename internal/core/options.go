@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/failure"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/replication"
+	"repro/internal/tcprep"
+	"repro/internal/tcpstack"
+)
+
+// Option configures a System built with New.
+type Option func(*Config)
+
+// WithSeed sets the simulation's deterministic random seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithProfile selects the machine model.
+func WithProfile(p hw.Profile) Option {
+	return func(c *Config) { c.Profile = p }
+}
+
+// WithPartitions assigns the NUMA nodes of each side.
+func WithPartitions(primary, secondary []int) Option {
+	return func(c *Config) { c.PrimaryNodes, c.SecondaryNodes = primary, secondary }
+}
+
+// WithCores restricts each side's usable cores (0 = all in the partition).
+func WithCores(primary, secondary int) Option {
+	return func(c *Config) { c.PrimaryCores, c.SecondaryCores = primary, secondary }
+}
+
+// WithBatching sets the one batching policy for both replication streams:
+// up to n log tuples (det log) and n logical updates (TCP sync) per
+// vectored transfer, each flushed after at most flush. It replaces setting
+// Replication.BatchTuples/FlushInterval and TCPSync.BatchUpdates/
+// FlushInterval separately — the knobs described the same coalescing
+// policy twice and drifted apart.
+func WithBatching(n int, flush time.Duration) Option {
+	return func(c *Config) {
+		c.Replication.BatchTuples = n
+		c.Replication.FlushInterval = flush
+		c.TCPSync.BatchUpdates = n
+		c.TCPSync.FlushInterval = flush
+	}
+}
+
+// WithTCPSync overrides the TCP logical-state sync batching separately
+// from the det-log policy (rarely needed; WithBatching sets both).
+func WithTCPSync(cfg tcprep.SyncConfig) Option {
+	return func(c *Config) { c.TCPSync = cfg }
+}
+
+// WithHeartbeat sets the failure detector's beat interval and declare
+// timeout (timeout 0 derives 5x the interval).
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(c *Config) { c.Failure = failure.Config{Interval: interval, Timeout: timeout} }
+}
+
+// WithStrictOutputCommit selects waiting for backup acknowledgements
+// before releasing network output (§3.5; false is relaxed mode).
+func WithStrictOutputCommit(strict bool) Option {
+	return func(c *Config) { c.Replication.StrictOutputCommit = strict }
+}
+
+// WithRejoin enables or disables backup re-integration after a failure.
+// New enables it by default; disable to reproduce the paper's
+// single-failure experiments exactly.
+func WithRejoin(enabled bool) Option {
+	return func(c *Config) { c.Rejoin = enabled }
+}
+
+// WithRejoinDelay sets how long after a failure the freed partition is
+// held down before a fresh backup kernel boots (models repair/reboot
+// time).
+func WithRejoinDelay(d time.Duration) Option {
+	return func(c *Config) { c.RejoinDelay = d }
+}
+
+// WithChaos installs a fault-injection schedule, replayed with its own
+// RNG stream seeded by seed.
+func WithChaos(sched chaos.Schedule, seed int64) Option {
+	return func(c *Config) { c.Chaos, c.ChaosSeed = sched, seed }
+}
+
+// WithTrace retains the full observability event stream for export.
+func WithTrace() Option {
+	return func(c *Config) { c.Obs.Trace = true }
+}
+
+// WithKernelParams overrides the kernel timing model.
+func WithKernelParams(p kernel.Params) Option {
+	return func(c *Config) { c.Kernel = p }
+}
+
+// WithTCP overrides both replicas' TCP stack parameters.
+func WithTCP(p tcpstack.Params) Option {
+	return func(c *Config) { c.TCP = p }
+}
+
+// WithNICDriverLoadTime sets the Ethernet driver (re)load time that
+// dominates failover (§4.4).
+func WithNICDriverLoadTime(d time.Duration) Option {
+	return func(c *Config) { c.NICDriverLoadTime = d }
+}
+
+// New boots a replicated deployment from functional options, with backup
+// rejoin enabled by default:
+//
+//	sys, err := core.New(core.WithSeed(1),
+//		core.WithChaos(chaos.MustParse("kill primary @2s"), 7))
+//	sys.Run(core.App{Name: "srv", Main: func(th, socks) { ... }})
+//	sys.Sim.Run()
+func New(opts ...Option) (*System, error) {
+	cfg := DefaultConfig(1)
+	cfg.Rejoin = true
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return build(cfg)
+}
+
+// validate is the single normalization and cross-check point for every
+// deployment knob; both New and the deprecated NewSystem funnel through
+// it. The batch/flush/heartbeat knobs that used to be defaulted
+// independently inside replication, tcprep and failure are derived here
+// and nowhere else.
+//
+// ftvet:knobs — canonical defaulting site. The per-package zero-value
+// fallbacks remain only as safety for direct package-level construction
+// in unit tests; deployments must not rely on them.
+func (cfg Config) validate() (Config, error) {
+	if cfg.Profile.Sockets == 0 {
+		cfg.Profile = hw.Opteron6376x4()
+	}
+	if len(cfg.PrimaryNodes) == 0 {
+		cfg.PrimaryNodes = []int{0, 1, 2, 3}
+	}
+	if len(cfg.SecondaryNodes) == 0 {
+		cfg.SecondaryNodes = []int{4, 5, 6, 7}
+	}
+	if cfg.Kernel == (kernel.Params{}) {
+		cfg.Kernel = kernel.DefaultParams()
+	}
+	if cfg.Replication.LogRingBytes == 0 {
+		cfg.Replication = replication.DefaultConfig()
+	}
+	// One coalescing policy, normalized once: <=1 means batching off;
+	// batching without a flush bound gets the calibrated default so a
+	// partial batch can never sit forever.
+	if cfg.Replication.BatchTuples < 1 {
+		cfg.Replication.BatchTuples = 1
+	}
+	if cfg.TCPSync == (tcprep.SyncConfig{}) {
+		cfg.TCPSync = tcprep.DefaultSyncConfig()
+	}
+	if cfg.TCPSync.BatchUpdates < 1 {
+		cfg.TCPSync.BatchUpdates = 1
+	}
+	def := tcprep.DefaultSyncConfig().FlushInterval
+	if cfg.Replication.BatchTuples > 1 && cfg.Replication.FlushInterval <= 0 {
+		cfg.Replication.FlushInterval = def
+	}
+	if cfg.TCPSync.BatchUpdates > 1 && cfg.TCPSync.FlushInterval <= 0 {
+		cfg.TCPSync.FlushInterval = def
+	}
+	if cfg.TCP.MSS == 0 {
+		cfg.TCP = tcpstack.DefaultParams()
+	}
+	if cfg.Failure.Interval <= 0 {
+		cfg.Failure = failure.DefaultConfig()
+	}
+	if cfg.Failure.Timeout <= 0 {
+		cfg.Failure.Timeout = 5 * cfg.Failure.Interval
+	}
+	if cfg.Failure.Timeout <= cfg.Failure.Interval {
+		return cfg, fmt.Errorf("core: heartbeat timeout %v must exceed interval %v",
+			cfg.Failure.Timeout, cfg.Failure.Interval)
+	}
+	if cfg.NICDriverLoadTime == 0 {
+		cfg.NICDriverLoadTime = 5 * time.Second
+	}
+	if cfg.RejoinDelay <= 0 {
+		cfg.RejoinDelay = 10 * time.Second
+	}
+	// Rejoin needs the full log history retained from the first section:
+	// the flag is derived here, never set directly on the engine config.
+	cfg.Replication.Rejoinable = cfg.Rejoin
+	return cfg, nil
+}

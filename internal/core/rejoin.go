@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/rejoin"
+	"repro/internal/replication"
+	"repro/internal/shm"
+	"repro/internal/tcprep"
+)
+
+// scheduleRejoin books a re-integration attempt on dead's partition after
+// the repair delay, provided the roles are still what they are now when
+// the timer fires (another failure may have intervened).
+func (sys *System) scheduleRejoin(surv, dead *Replica) {
+	if !sys.Cfg.Rejoin || len(sys.launches) == 0 {
+		return
+	}
+	gen := sys.generation
+	sys.Sim.Schedule(sys.Cfg.RejoinDelay, func() {
+		if sys.generation != gen || sys.rejoining || sys.passive != nil {
+			return
+		}
+		if sys.active != surv || !surv.Kernel.Alive() {
+			return
+		}
+		sys.startRejoin(surv, dead)
+	})
+}
+
+// Rejoin triggers backup re-integration immediately instead of waiting
+// for the scheduled attempt. It returns ErrResyncInProgress while a
+// resync is running, nil when already replicated, and ErrFailed when
+// nothing is left to rejoin to.
+func (sys *System) Rejoin() error {
+	switch sys.State() {
+	case StateReplicated:
+		return nil
+	case StateResyncing:
+		return ErrResyncInProgress
+	case StateFailed:
+		return ErrFailed
+	}
+	if !sys.Cfg.Rejoin {
+		return fmt.Errorf("%w: rejoin disabled by configuration", ErrDegraded)
+	}
+	if len(sys.launches) == 0 || sys.lastDead == nil {
+		return fmt.Errorf("%w: nothing recorded to re-integrate", ErrDegraded)
+	}
+	sys.startRejoin(sys.active, sys.lastDead)
+	return nil
+}
+
+// coresFor returns the per-slot core restriction.
+func (sys *System) coresFor(partIdx int) int {
+	if partIdx == 0 {
+		return sys.Cfg.PrimaryCores
+	}
+	return sys.Cfg.SecondaryCores
+}
+
+// startRejoin re-integrates a fresh backup on the dead replica's freed
+// partition (the tentpole §3.7 extension): boot a replacement kernel,
+// create a generation-suffixed ring set, cut a checkpoint of the
+// FT-namespace and logical TCP state atomically with attaching the delta
+// and catch-up streams (that atomicity is what makes snapshot-plus-deltas
+// gapless), bulk-transfer the checkpoint, replay the retained log as
+// catch-up while the survivor keeps recording, verify the replay against
+// the checkpoint at its Seq_global watermark, and flip back to replicated
+// mode when the backup has caught up. Runs in scheduler context; every
+// step here is non-blocking, so the cut is one atomic instant.
+func (sys *System) startRejoin(surv, dead *Replica) {
+	sys.rejoining = true
+	sys.generation++
+	gen := sys.generation
+	sys.resyncStartAt = sys.Sim.Now()
+
+	freed := dead.Kernel.Partition()
+	bk, err := kernel.Boot(freed, kernel.Config{
+		Name:   fmt.Sprintf("backup.g%d", gen),
+		Params: sys.Cfg.Kernel,
+		Cores:  sys.coresFor(dead.partIdx),
+	})
+	if err != nil {
+		sys.rejoining = false
+		sys.rejoinErr = fmt.Errorf("core: rejoin generation %d: %w", gen, err)
+		sys.scLife.EmitNote(obs.ResyncStart, 0, int64(gen), 0, "boot failed: "+err.Error())
+		return
+	}
+	bk.Instrument(sys.Obs.Scope(fmt.Sprintf("gen%d/kernel", gen)))
+	sys.Machine.OnFault(func(f hw.Fault) { bk.HandleFault(f) })
+	sys.hookNIC(bk)
+
+	// Generation-suffixed rings: the names keep their channel prefixes so
+	// chaos rules armed on a class apply to every generation's rings.
+	sfx := fmt.Sprintf(".g%d", gen)
+	srcS, srcB := surv.partIdx, dead.partIdx
+	log := sys.Fabric.NewRing("ftns.log"+sfx, srcS, sys.Cfg.Replication.LogRingBytes)
+	acks := sys.Fabric.NewRing("ftns.acks"+sfx, srcB, 256<<10)
+	tcpSync := sys.Fabric.NewRing("tcprep.sync"+sfx, srcS, 8<<20)
+	bulk := sys.Fabric.NewRing("rejoin.bulk"+sfx, srcS, 1<<20)
+	hbSB := sys.Fabric.NewRing("hb.s2b"+sfx, srcS, 16<<10)
+	hbBS := sys.Fabric.NewRing("hb.b2s"+sfx, srcB, 16<<10)
+	for _, r := range []*shm.Ring{log, acks, tcpSync, bulk, hbSB, hbBS} {
+		r.Instrument(sys.Obs.Scope("shm/" + r.Name()))
+		if sys.injector != nil {
+			sys.injector.ArmRing(r)
+		}
+	}
+
+	bns := replication.NewSecondary("ftns"+sfx, bk, sys.Cfg.Replication, log, acks)
+	bns.Instrument(sys.Obs.Scope(fmt.Sprintf("gen%d/ftns", gen)), sys.Obs.Registry())
+	sys.Obs.Registry().Gauge(fmt.Sprintf("replay.lag%s", sfx), func() int64 {
+		return int64(surv.NS.SeqGlobal()) - int64(bns.ReplayHead())
+	})
+	// DeferPull: the backup must seed the checkpoint before consuming
+	// deltas; the sync ring buffers them meanwhile.
+	bsec := tcprep.NewSecondaryOpts(bk, tcpSync, tcprep.SecondaryConfig{
+		Cost:      tcprep.DefaultSecondaryCost,
+		Retain:    true,
+		DeferPull: true,
+	})
+	rep := &Replica{
+		Kernel:  bk,
+		NS:      bns,
+		Sockets: tcprep.NewSockets(bns, nil, nil, bsec),
+		TCPSync: bsec,
+		partIdx: dead.partIdx,
+	}
+	sys.passive = rep
+
+	// --- the atomic cut -------------------------------------------------
+	// Checkpoint, delta-ring attach, and catch-up link creation happen in
+	// this one scheduler instant: no byte and no tuple can land in both
+	// the snapshot and a stream, or in neither.
+	cp := rejoin.Cut(gen, surv.NS, surv.TCPPrim)
+	if surv.TCPPrim != nil {
+		surv.TCPPrim.AttachRing(tcpSync)
+	}
+	surv.NS.AddReplica(log, acks, func() { sys.resyncComplete(gen, rep) })
+	// --------------------------------------------------------------------
+	sys.scLife.EmitNote(obs.CheckpointCut, 0, int64(cp.SeqGlobal), int64(cp.Bytes()),
+		fmt.Sprintf("g%d: %d conns, %d threads", gen, len(cp.TCP.Conns), len(cp.Threads)))
+
+	surv.Kernel.Spawn("rejoin-send"+sfx, func(t *kernel.Task) {
+		rejoin.Send(t, bulk, cp)
+	})
+	bk.Spawn("rejoin-recv"+sfx, func(t *kernel.Task) {
+		rcp, err := rejoin.Recv(t, bulk)
+		if err != nil {
+			sys.abortRejoin(gen, bk, fmt.Errorf("core: rejoin bulk transfer: %w", err))
+			return
+		}
+		bsec.Seed(rcp.TCP)
+		bsec.StartPull()
+		// Cross-check the catch-up replay against the checkpoint exactly
+		// when the replay head reaches the cut watermark.
+		bns.OnReplayHead(rcp.SeqGlobal, func() {
+			if verr := rcp.VerifyReplay(bns); verr != nil {
+				sys.abortRejoin(gen, bk, verr)
+			}
+		})
+		// Replay every recorded launch from the first tuple.
+		for _, l := range sys.launches {
+			sys.startOn(rep, l)
+		}
+	})
+
+	// Failure detection for the new pairing, armed before catch-up so a
+	// mid-resync death on either side is handled: survivor death promotes
+	// the half-synced backup, backup death degrades and reschedules.
+	db := failure.New(bk, surv.Kernel, hbBS, hbSB, sys.Cfg.Failure)
+	ds := failure.New(surv.Kernel, bk, hbSB, hbBS, sys.Cfg.Failure)
+	db.Instrument(sys.Obs.Scope(fmt.Sprintf("gen%d/detector-backup", gen)))
+	ds.Instrument(sys.Obs.Scope(fmt.Sprintf("gen%d/detector-active", gen)))
+	rep.Detector = db
+	surv.Detector = ds
+	db.OnFail(func() { sys.peerFailed(rep, surv) })
+	ds.OnFail(func() { sys.peerFailed(surv, rep) })
+	db.Start()
+	ds.Start()
+
+	sys.setState(StateResyncing)
+	sys.scLife.EmitNote(obs.ResyncStart, 0, int64(gen), int64(cp.SeqGlobal),
+		fmt.Sprintf("g%d: backup on partition %d", gen, dead.partIdx))
+}
+
+// abortRejoin records a failed re-integration and kills the half-built
+// backup kernel; its detector notices and the normal backup-death path
+// (degrade, reschedule) cleans up.
+func (sys *System) abortRejoin(gen int, bk *kernel.Kernel, err error) {
+	if gen != sys.generation {
+		return
+	}
+	sys.rejoinErr = err
+	sys.scLife.EmitNote(obs.ResyncDone, 0, int64(gen), -1, "aborted: "+err.Error())
+	bk.Panic("rejoin aborted: "+err.Error(), nil)
+}
+
+// resyncComplete flips the pair back to replicated mode; it runs from the
+// recorder's catch-up loop the moment the backup's link drains, which is
+// the quiesced det-section boundary the flip is defined at.
+func (sys *System) resyncComplete(gen int, rep *Replica) {
+	if gen != sys.generation || sys.passive != rep {
+		return
+	}
+	sys.rejoining = false
+	sys.scLife.EmitNote(obs.CatchupDone, 0, int64(gen), int64(sys.active.NS.SeqGlobal()),
+		fmt.Sprintf("g%d caught up", gen))
+	sys.setState(StateReplicated)
+	sys.scLife.EmitNote(obs.ResyncDone, 0, int64(gen),
+		int64(sys.Sim.Now().Sub(sys.resyncStartAt)), fmt.Sprintf("g%d replicated", gen))
+}

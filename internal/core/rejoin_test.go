@@ -1,0 +1,321 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcpstack"
+)
+
+func quietParams() kernel.Params {
+	p := kernel.DefaultParams()
+	p.IdleWakeMin, p.IdleWakeMax = 0, 0
+	return p
+}
+
+// slowLAN throttles the client link so a multi-failure timeline fits in a
+// stream that is still small enough to verify byte by byte.
+func slowLAN() simnet.LinkConfig {
+	return simnet.LinkConfig{BitsPerSec: 100e6, Latency: 100 * time.Microsecond}
+}
+
+// Output-commit pacing (not the link) bounds the simulated stream at
+// roughly 2 MB/s, so 64 MiB keeps the transfer alive past a second kill
+// at t=15s while finishing well inside the run window.
+const rejoinStreamTotal = 64 << 20
+
+// rejoinRun boots a rejoin-enabled deployment via the functional-options
+// API, streams rejoinStreamTotal patterned bytes to a client under the
+// given chaos schedule (empty = fault-free baseline), verifies every
+// received chunk against the deterministic pattern as it arrives, and
+// returns the system, the FNV-1a hash of the received stream, and the
+// sequence of distinct lifecycle states observed by a 5 ms poller.
+func rejoinRun(t *testing.T, spec string, seed int64, until time.Duration) (*core.System, uint64, []core.LifecycleState) {
+	t.Helper()
+	tcp := tcpstack.DefaultParams()
+	tcp.MSS = 16 << 10
+	opts := []core.Option{
+		core.WithSeed(seed),
+		core.WithKernelParams(quietParams()),
+		core.WithTCP(tcp),
+		core.WithNICDriverLoadTime(time.Second),
+		core.WithRejoinDelay(3 * time.Second),
+	}
+	if spec != "" {
+		opts = append(opts, core.WithChaos(chaos.MustParse(spec), 42))
+	}
+	sys, err := core.New(opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	client, err := sys.AttachNetwork(slowLAN())
+	if err != nil {
+		t.Fatalf("attach network: %v", err)
+	}
+	sys.Run(core.App{Name: "stream", Main: streamApp(80, 64<<10, rejoinStreamTotal)})
+
+	// Record every distinct lifecycle state, in order.
+	states := []core.LifecycleState{sys.State()}
+	var poll func()
+	poll = func() {
+		if st := sys.State(); st != states[len(states)-1] {
+			states = append(states, st)
+		}
+		sys.Sim.Schedule(5*time.Millisecond, poll)
+	}
+	sys.Sim.Schedule(5*time.Millisecond, poll)
+
+	h := fnv.New64a()
+	got := 0
+	client.Kernel.Spawn("wget", func(tk *kernel.Task) {
+		c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		want := make([]byte, 256<<10)
+		for {
+			data, err := c.Recv(tk, 256<<10)
+			if errors.Is(err, tcpstack.EOF) {
+				return
+			}
+			if err != nil {
+				t.Errorf("recv after %d bytes: %v", got, err)
+				return
+			}
+			fillPattern(want[:len(data)], got)
+			if !bytes.Equal(data, want[:len(data)]) {
+				t.Errorf("stream diverged from never-failed pattern at offset %d", got)
+				return
+			}
+			h.Write(data)
+			got += len(data)
+		}
+	})
+	if err := sys.Sim.RunUntil(sim.Time(until)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if got != rejoinStreamTotal {
+		t.Fatalf("client received %d of %d bytes by %v (state %v, rejoinErr %v)",
+			got, rejoinStreamTotal, until, sys.State(), sys.RejoinErr())
+	}
+	return sys, h.Sum64(), states
+}
+
+// TestRejoinSecondFailureAfterResync is the acceptance scenario: kill the
+// primary mid-stream, let the freed partition rejoin and resync, then kill
+// the new primary too. The client must observe the exact byte stream of a
+// never-failed run and the system must end up fully replicated again.
+func TestRejoinSecondFailureAfterResync(t *testing.T) {
+	sys, h, states := rejoinRun(t, "kill primary @2s; kill primary @10s", 7, 60*time.Second)
+	_, base, _ := rejoinRun(t, "", 7, 60*time.Second)
+	if h != base {
+		t.Errorf("chaos-run stream hash %x != never-failed same-seed hash %x", h, base)
+	}
+	if g := sys.Generation(); g != 2 {
+		t.Errorf("generation = %d, want 2 (one rejoin per kill)", g)
+	}
+	if err := sys.RejoinErr(); err != nil {
+		t.Errorf("rejoin error: %v", err)
+	}
+	if err := sys.Healthy(); err != nil {
+		t.Errorf("end state not healthy: %v", err)
+	}
+	wantStates := []core.LifecycleState{
+		core.StateReplicated,
+		core.StateDegraded, core.StateResyncing, core.StateReplicated,
+		core.StateDegraded, core.StateResyncing, core.StateReplicated,
+	}
+	if len(states) != len(wantStates) {
+		t.Fatalf("lifecycle states = %v, want %v", states, wantStates)
+	}
+	for i := range states {
+		if states[i] != wantStates[i] {
+			t.Fatalf("lifecycle states = %v, want %v", states, wantStates)
+		}
+	}
+	if sys.Active() == nil || !sys.Active().Kernel.Alive() {
+		t.Error("no live active replica at end")
+	}
+	if sys.Standby() == nil || !sys.Standby().Kernel.Alive() {
+		t.Error("no live standby replica at end")
+	}
+	// Both survivors spent time replaying as a secondary; neither may have
+	// seen a single replay mismatch.
+	if d := sys.Active().NS.Stats().Divergences; d != 0 {
+		t.Errorf("active replica recorded %d divergences", d)
+	}
+	if d := sys.Standby().NS.Stats().Divergences; d != 0 {
+		t.Errorf("standby replica recorded %d divergences", d)
+	}
+}
+
+// TestRejoinChaosSchedules runs the crash-rejoin-crash stream under three
+// different seeded chaos schedules — plain double kill, a heart-beat storm
+// (which may add a spurious early failover the system must also survive),
+// and duplicated acks plus delayed log/sync delivery around the first kill
+// — and checks each against the same never-failed same-seed baseline.
+func TestRejoinChaosSchedules(t *testing.T) {
+	_, base, _ := rejoinRun(t, "", 11, 60*time.Second)
+	schedules := map[string]string{
+		"double-kill": "kill primary @2s; kill primary @10s",
+		"hb-storm":    "drop hb p0.5 500ms..800ms; kill primary @6s; kill primary @15s",
+		"dup-delay":   "dup acks x2 0s..8s; delay log 150us 1s..3s; delay sync 100us 1s..3s; kill primary @2500ms; kill primary @10s",
+	}
+	for name, spec := range schedules {
+		t.Run(name, func(t *testing.T) {
+			sys, h, states := rejoinRun(t, spec, 11, 60*time.Second)
+			if h != base {
+				t.Errorf("stream hash %x != never-failed baseline %x", h, base)
+			}
+			if g := sys.Generation(); g < 2 {
+				t.Errorf("generation = %d, want >= 2", g)
+			}
+			if st := sys.State(); st != core.StateReplicated {
+				t.Errorf("end state = %v, want replicated (states %v)", st, states)
+			}
+			if err := sys.RejoinErr(); err != nil {
+				t.Errorf("rejoin error: %v", err)
+			}
+			if inj := sys.Injector(); inj.Kills < 2 {
+				t.Errorf("injector delivered %d kills, want >= 2", inj.Kills)
+			}
+		})
+	}
+}
+
+// TestRejoinMidResyncActiveKill kills the active replica while the rejoin
+// resync is still running: the half-synced backup must finish catching up
+// from the retained log it already holds, promote, and serve the rest of
+// the stream unchanged; the freed partition then rejoins again.
+func TestRejoinMidResyncActiveKill(t *testing.T) {
+	tcp := tcpstack.DefaultParams()
+	tcp.MSS = 16 << 10
+	sys, err := core.New(
+		core.WithSeed(3),
+		core.WithKernelParams(quietParams()),
+		core.WithTCP(tcp),
+		core.WithNICDriverLoadTime(time.Second),
+		core.WithRejoinDelay(3*time.Second),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	client, err := sys.AttachNetwork(slowLAN())
+	if err != nil {
+		t.Fatalf("attach network: %v", err)
+	}
+	total := 48 << 20
+	sys.Run(core.App{Name: "stream", Main: streamApp(80, 64<<10, total)})
+	sys.InjectPrimaryFailure(2*time.Second, hw.CoreFailStop)
+
+	// As soon as the resync starts, kill the active side 50 ms in — while
+	// the catch-up replay is still streaming.
+	killed := false
+	var watch func()
+	watch = func() {
+		if !killed && sys.State() == core.StateResyncing {
+			killed = true
+			node := sys.Active().Kernel.Partition().Nodes()[0].ID
+			sys.Sim.Schedule(50*time.Millisecond, func() {
+				sys.Machine.Inject(hw.Fault{Kind: hw.CoreFailStop, Node: node, Core: -1, Addr: -1})
+			})
+			return
+		}
+		sys.Sim.Schedule(2*time.Millisecond, watch)
+	}
+	sys.Sim.Schedule(2*time.Millisecond, watch)
+
+	h := fnv.New64a()
+	got := 0
+	client.Kernel.Spawn("wget", func(tk *kernel.Task) {
+		c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		want := make([]byte, 256<<10)
+		for {
+			data, err := c.Recv(tk, 256<<10)
+			if errors.Is(err, tcpstack.EOF) {
+				return
+			}
+			if err != nil {
+				t.Errorf("recv after %d bytes: %v", got, err)
+				return
+			}
+			fillPattern(want[:len(data)], got)
+			if !bytes.Equal(data, want[:len(data)]) {
+				t.Errorf("stream diverged at offset %d after mid-resync promotion", got)
+				return
+			}
+			h.Write(data)
+			got += len(data)
+		}
+	})
+	if err := sys.Sim.RunUntil(sim.Time(40 * time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !killed {
+		t.Fatal("never observed StateResyncing to inject the second failure")
+	}
+	if got != total {
+		t.Fatalf("client received %d of %d bytes (state %v, rejoinErr %v)",
+			got, total, sys.State(), sys.RejoinErr())
+	}
+	if st := sys.State(); st != core.StateReplicated {
+		t.Errorf("end state = %v, want replicated", st)
+	}
+	if g := sys.Generation(); g != 2 {
+		t.Errorf("generation = %d, want 2", g)
+	}
+}
+
+// TestLifecycleErrorsWithoutRejoin pins the typed-error surface when
+// re-integration is disabled: after the backup dies the system reports
+// degraded via State and Healthy, and Rejoin refuses with ErrDegraded.
+func TestLifecycleErrorsWithoutRejoin(t *testing.T) {
+	cfg := quietConfig(5)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if st := sys.State(); st != core.StateReplicated {
+		t.Fatalf("boot state = %v, want replicated", st)
+	}
+	if err := sys.Healthy(); err != nil {
+		t.Fatalf("healthy at boot: %v", err)
+	}
+	done := 0
+	sys.LaunchApp("echo", nil, echoApp(80, 1, &done))
+	// Kill the secondary partition's first node.
+	node := sys.Secondary.Kernel.Partition().Nodes()[0].ID
+	sys.Machine.InjectAfter(100*time.Millisecond, hw.Fault{
+		Kind: hw.CoreFailStop, Node: node, Core: -1, Addr: -1,
+	})
+	if err := sys.Sim.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+
+	if st := sys.State(); st != core.StateDegraded {
+		t.Fatalf("state after backup death = %v, want degraded", st)
+	}
+	if err := sys.Healthy(); !errors.Is(err, core.ErrDegraded) {
+		t.Errorf("Healthy = %v, want ErrDegraded", err)
+	}
+	if err := sys.Rejoin(); !errors.Is(err, core.ErrDegraded) {
+		t.Errorf("Rejoin with rejoin disabled = %v, want ErrDegraded", err)
+	}
+	if sys.Active() != sys.Primary || sys.Standby() != nil {
+		t.Error("active/standby roles wrong after backup death")
+	}
+}

@@ -135,4 +135,8 @@ func (d *Detector) declareFailed() {
 }
 
 // Fired reports whether the peer has been declared failed.
+//
+// Deprecated: detectors are per-pairing and replaced across rejoin
+// generations; ask the deployment's lifecycle state machine instead
+// (core.System.State).
 func (d *Detector) Fired() bool { return d.fired }

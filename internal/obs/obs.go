@@ -93,6 +93,25 @@ const (
 	// LogDrop is log discarded past the stable point at promotion, or
 	// in-flight mailbox messages lost to a coherency fault (Arg = count).
 	LogDrop
+	// StateChange is a System lifecycle transition (Seq = new
+	// core.LifecycleState, Note = "old->new").
+	StateChange
+	// ResyncStart marks backup re-integration beginning: a fresh kernel
+	// booted on the freed partition (Seq = rejoin generation).
+	ResyncStart
+	// CheckpointCut is the atomic FT-namespace checkpoint taken at the
+	// quiesced boundary (Seq = Seq_global watermark, Arg = bytes shipped
+	// over the bulk ring).
+	CheckpointCut
+	// CatchupDone is the catch-up backlog draining empty: the new backup
+	// has replayed to the recorder's watermark and the link flips into
+	// the output-commit set (Seq = watermark).
+	CatchupDone
+	// ResyncDone marks the system back in replicated mode (Seq = rejoin
+	// generation, Arg = resync duration in ns).
+	ResyncDone
+	// ChaosInject is one fault-injection event firing (Note = event spec).
+	ChaosInject
 )
 
 var kindNames = [...]string{
@@ -118,6 +137,12 @@ var kindNames = [...]string{
 	OutputReleased: "output-released",
 	KernelPanic:    "panic",
 	LogDrop:        "drop",
+	StateChange:    "state",
+	ResyncStart:    "resync-start",
+	CheckpointCut:  "checkpoint",
+	CatchupDone:    "catchup-done",
+	ResyncDone:     "resync-done",
+	ChaosInject:    "chaos",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,281 @@
+// Package rejoin implements backup re-integration after a failure (§3.7):
+// the recording side cuts a consistent checkpoint of the FT-namespace
+// (environment mirror, ft_pid assignment, per-thread Seq_thread and the
+// Seq_global cursor) together with the logical TCP connection history, and
+// streams it to a freshly booted backup kernel over a dedicated
+// shared-memory bulk ring. The backup seeds its TCP sync state from the
+// checkpoint, replays the retained deterministic-section log as catch-up
+// while the primary keeps recording, and verifies at the checkpoint's
+// Seq_global watermark that the replay-reconstructed namespace matches the
+// cut exactly — any divergence surfaces as ErrChecksumMismatch instead of
+// silently re-entering replicated mode with skewed state.
+package rejoin
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/replication"
+	"repro/internal/shm"
+	"repro/internal/tcprep"
+)
+
+// ErrChecksumMismatch reports that a transferred or replay-reconstructed
+// checkpoint does not match the recording side's cut.
+var ErrChecksumMismatch = errors.New("rejoin: checkpoint checksum mismatch")
+
+// EnvEntry is one environment binding, in sorted-key order so the
+// checkpoint content is deterministic.
+type EnvEntry struct {
+	Key, Value string
+}
+
+// Checkpoint is a consistent cut of the replicated full-software-stack
+// state at a deterministic-section boundary.
+type Checkpoint struct {
+	// Generation counts rejoin cycles (1 = first re-integration).
+	Generation int
+	// SeqGlobal is the cut's global sequence watermark: the rejoined
+	// backup's replay must reconstruct exactly this cursor state when its
+	// head reaches it.
+	SeqGlobal uint64
+	// NextFTPid is the next replica-identity the namespace would assign.
+	NextFTPid int
+	// Threads holds the per-thread sequence cursors, sorted by ft_pid.
+	Threads []replication.SeqCursor
+	// Env is the replicated environment mirror in sorted-key order.
+	Env []EnvEntry
+	// TCP is the logical connection history the backup seeds its sync
+	// state from (it is not replay-verified: input bytes never enter the
+	// deterministic-section log).
+	TCP tcprep.StateSnap
+	// Sum is the FNV-1a digest of everything above; the receiver
+	// recomputes it after reassembly.
+	Sum uint64
+}
+
+// Cut captures a checkpoint. It must run in scheduler context with the
+// namespace quiesced at a section boundary (no yields between reading the
+// cursors and snapshotting the TCP history), atomically with attaching the
+// delta ring — that is what makes snapshot-plus-deltas gapless. prim may
+// be nil when the workload has no replicated sockets.
+func Cut(gen int, ns *replication.Namespace, prim *tcprep.Primary) *Checkpoint {
+	seqGlobal, threads := ns.Cursors()
+	cp := &Checkpoint{
+		Generation: gen,
+		SeqGlobal:  seqGlobal,
+		NextFTPid:  ns.NextFTPid(),
+		Threads:    threads,
+		Env:        sortedEnv(ns.Env()),
+	}
+	if prim != nil {
+		cp.TCP = prim.SnapshotState()
+	}
+	cp.Sum = cp.digest()
+	return cp
+}
+
+func sortedEnv(m map[string]string) []EnvEntry {
+	// ftvet:nondet collect-then-sort: map iteration feeds a sorted slice.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	env := make([]EnvEntry, 0, len(keys))
+	for _, k := range keys {
+		env = append(env, EnvEntry{Key: k, Value: m[k]})
+	}
+	return env
+}
+
+// digest is the FNV-1a checksum over the checkpoint's logical content.
+func (cp *Checkpoint) digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "g%d|s%d|p%d", cp.Generation, cp.SeqGlobal, cp.NextFTPid)
+	for _, t := range cp.Threads {
+		fmt.Fprintf(h, "|t%d:%d", t.FTPid, t.Seq)
+	}
+	for _, e := range cp.Env {
+		fmt.Fprintf(h, "|e%s=%s", e.Key, e.Value)
+	}
+	for _, c := range cp.TCP.Conns {
+		fmt.Fprintf(h, "|c%d/%s:%d i%d r%d a%d f%v g%v ", c.Key.LocalPort,
+			c.Key.RemoteHost, c.Key.RemotePort, c.ISS, c.IRS, c.Acked, c.PeerFin, c.Gone)
+		h.Write(c.In)
+	}
+	for _, b := range cp.TCP.Binds {
+		fmt.Fprintf(h, "|b%d>%d/%s:%d", b.ID, b.Key.LocalPort, b.Key.RemoteHost, b.Key.RemotePort)
+	}
+	return h.Sum64()
+}
+
+// Bytes is the checkpoint's accounted bulk-transfer footprint.
+func (cp *Checkpoint) Bytes() int {
+	n := 64 + 16*len(cp.Threads)
+	for _, e := range cp.Env {
+		n += 16 + len(e.Key) + len(e.Value)
+	}
+	return n + cp.TCP.Bytes()
+}
+
+// VerifyReplay checks the rejoined backup's replay-reconstructed namespace
+// against the checkpoint. Arm it at the watermark — via
+// ns.OnReplayHead(cp.SeqGlobal, ...) before replay starts — so the cursor
+// comparison happens exactly at the cut boundary.
+func (cp *Checkpoint) VerifyReplay(ns *replication.Namespace) error {
+	seqGlobal, threads := ns.Cursors()
+	if seqGlobal != cp.SeqGlobal {
+		return fmt.Errorf("%w: Seq_global %d, checkpoint %d",
+			ErrChecksumMismatch, seqGlobal, cp.SeqGlobal)
+	}
+	if got := ns.NextFTPid(); got != cp.NextFTPid {
+		return fmt.Errorf("%w: next ft_pid %d, checkpoint %d",
+			ErrChecksumMismatch, got, cp.NextFTPid)
+	}
+	if len(threads) != len(cp.Threads) {
+		return fmt.Errorf("%w: %d thread cursors, checkpoint %d",
+			ErrChecksumMismatch, len(threads), len(cp.Threads))
+	}
+	for i, t := range threads {
+		if t != cp.Threads[i] {
+			return fmt.Errorf("%w: ft_pid %d at Seq_thread %d, checkpoint <%d,%d>",
+				ErrChecksumMismatch, t.FTPid, t.Seq, cp.Threads[i].FTPid, cp.Threads[i].Seq)
+		}
+	}
+	env := sortedEnv(ns.Env())
+	if len(env) != len(cp.Env) {
+		return fmt.Errorf("%w: %d env entries, checkpoint %d",
+			ErrChecksumMismatch, len(env), len(cp.Env))
+	}
+	for i, e := range env {
+		if e != cp.Env[i] {
+			return fmt.Errorf("%w: env %s=%q, checkpoint %s=%q",
+				ErrChecksumMismatch, e.Key, e.Value, cp.Env[i].Key, cp.Env[i].Value)
+		}
+	}
+	return nil
+}
+
+// Bulk-ring message kinds. The ring is dedicated to one transfer, FIFO and
+// reliable (fault injection never targets bulk rings), so the protocol is
+// a plain framed stream: header, cursor tables, per-connection meta plus
+// input-stream chunks, bindings, done.
+const (
+	bulkHeader = iota + 1
+	bulkThreads
+	bulkEnv
+	bulkConn
+	bulkChunk
+	bulkBinds
+	bulkDone
+)
+
+// chunkBytes bounds one bulk-ring transfer so the checkpoint streams
+// through a ring smaller than itself instead of requiring it to fit.
+const chunkBytes = 64 << 10
+
+type bulkHdr struct {
+	Generation int
+	SeqGlobal  uint64
+	NextFTPid  int
+	Conns      int
+	Sum        uint64
+}
+
+type bulkConnMeta struct {
+	Snap  tcprep.ConnSnap // In nil; streamed separately in chunks
+	InLen int
+}
+
+type bulkConnChunk struct {
+	Conn int // index into the checkpoint's connection order
+	Data []byte
+}
+
+// Send streams the checkpoint over the bulk ring, blocking as the ring
+// fills. Run it on a dedicated task of the recording side's kernel; the
+// checkpoint was already cut, so recording continues concurrently.
+func Send(t *kernel.Task, ring *shm.Ring, cp *Checkpoint) {
+	p := t.Proc()
+	ring.Send(p, shm.Message{Kind: bulkHeader, Size: 64, Payload: bulkHdr{
+		Generation: cp.Generation,
+		SeqGlobal:  cp.SeqGlobal,
+		NextFTPid:  cp.NextFTPid,
+		Conns:      len(cp.TCP.Conns),
+		Sum:        cp.Sum,
+	}})
+	ring.Send(p, shm.Message{Kind: bulkThreads, Size: 16 + 16*len(cp.Threads), Payload: cp.Threads})
+	envSize := 16
+	for _, e := range cp.Env {
+		envSize += 16 + len(e.Key) + len(e.Value)
+	}
+	ring.Send(p, shm.Message{Kind: bulkEnv, Size: envSize, Payload: cp.Env})
+	for i, cs := range cp.TCP.Conns {
+		meta := cs
+		meta.In = nil
+		ring.Send(p, shm.Message{Kind: bulkConn, Size: 64, Payload: bulkConnMeta{Snap: meta, InLen: len(cs.In)}})
+		for off := 0; off < len(cs.In); off += chunkBytes {
+			end := off + chunkBytes
+			if end > len(cs.In) {
+				end = len(cs.In)
+			}
+			ring.Send(p, shm.Message{Kind: bulkChunk, Size: 16 + end - off,
+				Payload: bulkConnChunk{Conn: i, Data: cs.In[off:end]}})
+		}
+	}
+	ring.Send(p, shm.Message{Kind: bulkBinds, Size: 16 + 24*len(cp.TCP.Binds), Payload: cp.TCP.Binds})
+	ring.Send(p, shm.Message{Kind: bulkDone, Size: 16})
+}
+
+// Recv reassembles a checkpoint from the bulk ring, blocking until the
+// terminating frame arrives, and re-verifies the digest over the
+// reassembled content.
+func Recv(t *kernel.Task, ring *shm.Ring) (*Checkpoint, error) {
+	p := t.Proc()
+	cp := &Checkpoint{}
+	var want uint64
+	for {
+		m := ring.Recv(p)
+		switch m.Kind {
+		case bulkHeader:
+			h := m.Payload.(bulkHdr)
+			cp.Generation = h.Generation
+			cp.SeqGlobal = h.SeqGlobal
+			cp.NextFTPid = h.NextFTPid
+			cp.TCP.Conns = make([]tcprep.ConnSnap, 0, h.Conns)
+			want = h.Sum
+		case bulkThreads:
+			cp.Threads = m.Payload.([]replication.SeqCursor)
+		case bulkEnv:
+			cp.Env = m.Payload.([]EnvEntry)
+		case bulkConn:
+			meta := m.Payload.(bulkConnMeta)
+			cs := meta.Snap
+			cs.In = make([]byte, 0, meta.InLen)
+			cp.TCP.Conns = append(cp.TCP.Conns, cs)
+		case bulkChunk:
+			c := m.Payload.(bulkConnChunk)
+			if c.Conn >= len(cp.TCP.Conns) {
+				return nil, fmt.Errorf("%w: chunk for connection %d of %d",
+					ErrChecksumMismatch, c.Conn, len(cp.TCP.Conns))
+			}
+			cs := &cp.TCP.Conns[c.Conn]
+			cs.In = append(cs.In, c.Data...)
+		case bulkBinds:
+			cp.TCP.Binds = m.Payload.([]tcprep.BindSnap)
+		case bulkDone:
+			cp.Sum = cp.digest()
+			if cp.Sum != want {
+				return nil, fmt.Errorf("%w: reassembled digest %#x, header %#x",
+					ErrChecksumMismatch, cp.Sum, want)
+			}
+			return cp, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown bulk frame kind %d", ErrChecksumMismatch, m.Kind)
+		}
+	}
+}

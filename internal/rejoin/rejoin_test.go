@@ -1,0 +1,135 @@
+package rejoin
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/replication"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tcprep"
+)
+
+// bulkPair boots two kernels on opposite partitions with a bulk ring
+// deliberately smaller than the checkpoints under test, so the transfer
+// must stream through it rather than fit at once.
+func bulkPair(t *testing.T) (*sim.Simulation, *kernel.Kernel, *kernel.Kernel, *shm.Ring) {
+	t.Helper()
+	s := sim.New(1)
+	m := hw.New(s, hw.Opteron6376x4())
+	pp, _ := m.NewPartition("p", 0, 1, 2, 3)
+	sp, _ := m.NewPartition("s", 4, 5, 6, 7)
+	kp := kernel.DefaultParams()
+	kp.IdleWakeMin, kp.IdleWakeMax = 0, 0
+	pk, err := kernel.Boot(pp, kernel.Config{Name: "primary", Params: kp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := kernel.Boot(sp, kernel.Config{Name: "backup", Params: kp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := shm.NewFabric(s, pp.CrossLatency(sp))
+	return s, pk, bk, fabric.NewRing("rejoin.bulk", 0, 96<<10)
+}
+
+func testCheckpoint() *Checkpoint {
+	in := make([]byte, 150<<10) // three chunks, larger than the 96 KiB ring
+	for i := range in {
+		in[i] = byte(i * 7)
+	}
+	cp := &Checkpoint{
+		Generation: 2,
+		SeqGlobal:  12345,
+		NextFTPid:  7,
+		Threads: []replication.SeqCursor{
+			{FTPid: 1, Seq: 4000}, {FTPid: 2, Seq: 8345},
+		},
+		Env: []EnvEntry{{Key: "FT_MODE", Value: "replicated"}, {Key: "HOME", Value: "/"}},
+		TCP: tcprep.StateSnap{
+			Conns: []tcprep.ConnSnap{{
+				Key:   tcprep.ConnKey{LocalPort: 80, RemoteHost: "client", RemotePort: 9999},
+				ISS:   1000,
+				IRS:   2000,
+				In:    in,
+				Acked: 4096,
+			}},
+			Binds: []tcprep.BindSnap{{
+				ID:  3,
+				Key: tcprep.ConnKey{LocalPort: 80, RemoteHost: "client", RemotePort: 9999},
+			}},
+		},
+	}
+	cp.Sum = cp.digest()
+	return cp
+}
+
+func TestBulkTransferRoundTrip(t *testing.T) {
+	s, pk, bk, ring := bulkPair(t)
+	cp := testCheckpoint()
+	var got *Checkpoint
+	var rerr error
+	pk.Spawn("send", func(tk *kernel.Task) { Send(tk, ring, cp) })
+	bk.Spawn("recv", func(tk *kernel.Task) { got, rerr = Recv(tk, ring) })
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rerr != nil {
+		t.Fatalf("Recv: %v", rerr)
+	}
+	if got.Generation != cp.Generation || got.SeqGlobal != cp.SeqGlobal ||
+		got.NextFTPid != cp.NextFTPid || got.Sum != cp.Sum {
+		t.Errorf("header fields differ: got %+v", got)
+	}
+	if len(got.Threads) != 2 || got.Threads[1] != cp.Threads[1] {
+		t.Errorf("thread cursors differ: %+v", got.Threads)
+	}
+	if len(got.Env) != 2 || got.Env[0] != cp.Env[0] {
+		t.Errorf("env differs: %+v", got.Env)
+	}
+	if len(got.TCP.Conns) != 1 || !bytes.Equal(got.TCP.Conns[0].In, cp.TCP.Conns[0].In) {
+		t.Error("connection input stream not reassembled byte-identically")
+	}
+	if len(got.TCP.Binds) != 1 || got.TCP.Binds[0] != cp.TCP.Binds[0] {
+		t.Errorf("binds differ: %+v", got.TCP.Binds)
+	}
+}
+
+func TestBulkTransferDetectsCorruption(t *testing.T) {
+	s, pk, bk, ring := bulkPair(t)
+	cp := testCheckpoint()
+	cp.Sum++ // simulate content skew between cut and transfer
+	var rerr error
+	pk.Spawn("send", func(tk *kernel.Task) { Send(tk, ring, cp) })
+	bk.Spawn("recv", func(tk *kernel.Task) { _, rerr = Recv(tk, ring) })
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(rerr, ErrChecksumMismatch) {
+		t.Fatalf("Recv = %v, want ErrChecksumMismatch", rerr)
+	}
+}
+
+func TestDigestCoversContent(t *testing.T) {
+	base := testCheckpoint()
+	mutations := map[string]func(*Checkpoint){
+		"seq":    func(c *Checkpoint) { c.SeqGlobal++ },
+		"ftpid":  func(c *Checkpoint) { c.NextFTPid++ },
+		"cursor": func(c *Checkpoint) { c.Threads[0].Seq++ },
+		"env":    func(c *Checkpoint) { c.Env[0].Value = "degraded" },
+		"input":  func(c *Checkpoint) { c.TCP.Conns[0].In[0]++ },
+		"acked":  func(c *Checkpoint) { c.TCP.Conns[0].Acked++ },
+		"bind":   func(c *Checkpoint) { c.TCP.Binds[0].ID++ },
+	}
+	for name, mutate := range mutations {
+		cp := testCheckpoint()
+		mutate(cp)
+		if cp.digest() == base.Sum {
+			t.Errorf("digest blind to %s mutation", name)
+		}
+	}
+}

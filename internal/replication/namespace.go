@@ -2,6 +2,7 @@ package replication
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/kernel"
 	"repro/internal/pthread"
@@ -71,11 +72,31 @@ func NewPrimaryN(name string, k *kernel.Kernel, cfg Config, logs, acks []*shm.Ri
 	return ns
 }
 
-// NewSecondary creates the secondary side of an FT-Namespace.
+// NewSecondary creates the secondary side of an FT-Namespace. With
+// Config.Rejoinable the replica forks into a recording primary at
+// promotion, continuing the recorded history so a later backup can rejoin.
 func NewSecondary(name string, k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Namespace {
 	ns := newNamespace(name, RoleSecondary, k, cfg)
 	ns.rep = newReplayer(k, cfg, log, acks)
+	if cfg.Rejoinable {
+		ns.rep.onFork = ns.forkRecorder
+	}
 	return ns
+}
+
+// forkRecorder converts the promoted replica into a recording primary at
+// the instant promotion finishes: the namespace role flips so every
+// subsequent deterministic section dispatches to the fork, which inherits
+// the replayed history and global cursor. The fork's hot-path metrics are
+// left unregistered — the dead primary's namespace already claimed the
+// metric names — but it shares the replayer's event scope so the flight
+// timeline stays contiguous.
+func (ns *Namespace) forkRecorder(hist []shm.Message, nextGlobal uint64) *Recorder {
+	rec := newForkRecorder(ns.kern, ns.cfg, hist, nextGlobal)
+	rec.sc = ns.rep.sc
+	ns.rec = rec
+	ns.role = RolePrimary
+	return rec
 }
 
 // NewLive creates an unreplicated namespace — the stock-Ubuntu baseline
@@ -106,10 +127,15 @@ func (ns *Namespace) Kernel() *kernel.Kernel { return ns.kern }
 func (ns *Namespace) Lib() *pthread.Lib { return ns.lib }
 
 // Role returns the namespace's effective role: a promoted secondary (or a
-// primary whose backup died) reports RoleLive.
+// primary whose backup died) reports RoleLive. A rejoinable primary that
+// lost every backup also reports RoleLive — it records into retained
+// history but runs unreplicated — and flips back to RolePrimary the
+// moment a rejoined backup starts syncing.
 func (ns *Namespace) Role() Role {
 	switch {
 	case ns.role == RolePrimary && ns.rec.live:
+		return RoleLive
+	case ns.role == RolePrimary && ns.rec.degraded && ns.rec.liveBackups() == 0 && ns.rec.syncingBackups() == 0:
 		return RoleLive
 	case ns.role == RoleSecondary && ns.rep.live:
 		return RoleLive
@@ -144,6 +170,71 @@ func (ns *Namespace) ReplayHead() uint64 {
 		return ns.rep.nextGlobal
 	}
 	return 0
+}
+
+// SeqCursor is one thread's replication cursor: its ft_pid and the
+// per-thread sequence number (Seq_thread) it has reached.
+type SeqCursor struct {
+	FTPid int
+	Seq   uint64
+}
+
+// Cursors returns the namespace's checkpoint cursor state: the global
+// sequence watermark plus every thread's Seq_thread, sorted by ft_pid
+// (the threads map iterates in arbitrary order; the sort restores a
+// deterministic, comparable view).
+func (ns *Namespace) Cursors() (seqGlobal uint64, threads []SeqCursor) {
+	threads = make([]SeqCursor, 0, len(ns.threads))
+	for _, th := range ns.threads {
+		threads = append(threads, SeqCursor{FTPid: th.ftpid, Seq: th.seq})
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i].FTPid < threads[j].FTPid })
+	switch {
+	case ns.rec != nil:
+		seqGlobal = ns.rec.seqGlobal
+	case ns.rep != nil:
+		seqGlobal = ns.rep.nextGlobal
+	}
+	return seqGlobal, threads
+}
+
+// NextFTPid returns the next ft_pid the namespace would assign — part of
+// the rejoin checkpoint, so replica identity assignment agrees after a
+// resync.
+func (ns *Namespace) NextFTPid() int { return ns.nextFTPid }
+
+// Env returns the replicated environment mirror.
+func (ns *Namespace) Env() map[string]string { return ns.env }
+
+// Degraded reports whether the namespace records with no caught-up
+// backup (only meaningful on a rejoinable recording side).
+func (ns *Namespace) Degraded() bool {
+	return ns.role == RolePrimary && ns.rec.degraded && ns.rec.liveBackups() == 0
+}
+
+// Resyncing reports whether a rejoined backup is still replaying history.
+func (ns *Namespace) Resyncing() bool {
+	return ns.role == RolePrimary && ns.rec.syncingBackups() > 0
+}
+
+// AddReplica wires a fresh backup into a recording namespace and streams
+// the retained history as catch-up (Config.Rejoinable). onCaughtUp runs
+// when the backup has received every message ever sent and the link flips
+// into the output-commit set. It returns the link index for DropReplica.
+func (ns *Namespace) AddReplica(log, acks *shm.Ring, onCaughtUp func()) int {
+	if ns.role != RolePrimary {
+		panic("replication: AddReplica on a non-recording namespace")
+	}
+	return ns.rec.AddReplica(log, acks, onCaughtUp)
+}
+
+// OnReplayHead arms fn to run when the replayer's head reaches seq; the
+// rejoin checkpoint verifier compares cursors exactly at the watermark.
+func (ns *Namespace) OnReplayHead(seq uint64, fn func()) {
+	if ns.rep == nil {
+		panic("replication: OnReplayHead on a non-replaying namespace")
+	}
+	ns.rep.OnHead(seq, fn)
 }
 
 // GoLive stops recording on the primary side (called when the last backup
@@ -230,8 +321,16 @@ func (ns *Namespace) SyscallU64(th *Thread, op pthread.Op, obj uint64, run func(
 			func() (uint64, []byte) { return v, nil })
 		return out
 	case RoleSecondary:
-		if out, _, ok := ns.rep.replayed(th, op, obj); ok {
+		out, _, ok, fork := ns.rep.replayed(th, op, obj)
+		if ok {
 			return out
+		}
+		if fork != nil {
+			var v uint64
+			res, _ := fork.resolve(th, op, obj,
+				func() { v = run() },
+				func() (uint64, []byte) { return v, nil })
+			return res
 		}
 		return run()
 	default:
@@ -250,8 +349,16 @@ func (ns *Namespace) SyscallData(th *Thread, op pthread.Op, obj uint64, run func
 			func() { v, data = run() },
 			func() (uint64, []byte) { return v, data })
 	case RoleSecondary:
-		if out, data, ok := ns.rep.replayed(th, op, obj); ok {
+		out, data, ok, fork := ns.rep.replayed(th, op, obj)
+		if ok {
 			return out, data
+		}
+		if fork != nil {
+			var v uint64
+			var d []byte
+			return fork.resolve(th, op, obj,
+				func() { v, d = run() },
+				func() (uint64, []byte) { return v, d })
 		}
 		return run()
 	default:

@@ -28,6 +28,14 @@ type replicaLink struct {
 	pending  []shm.Message // tuples buffered for the next vectored flush
 	deadline sim.Time      // flush deadline armed when pending became non-empty
 	flushing bool          // a blocking SendBatch for this link is in progress
+
+	// A syncing link is a rejoined backup still catching up: new emits
+	// append to its backlog behind the retained history, it is excluded
+	// from the output-commit set, and it flips into the broadcast set at
+	// the instant the backlog drains — the quiesced boundary at which the
+	// deployment is replicated again.
+	syncing bool
+	backlog []shm.Message
 }
 
 // Recorder is the primary-side engine: it serializes deterministic
@@ -51,6 +59,8 @@ type Recorder struct {
 	sent      uint64
 	stableQ   []stableWaiter
 	live      bool
+	degraded  bool // recording with no caught-up backup (Config.Rejoinable)
+	history   []shm.Message
 	stats     Stats
 
 	flushQ    *sim.WaitQueue // wakes the flusher task when work or deadlines change
@@ -78,30 +88,116 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 		flushDone: sim.NewWaitQueue(k.Sim()),
 	}
 	for i := range logs {
-		link := &replicaLink{log: logs[i], acks: acks[i]}
-		r.replicas = append(r.replicas, link)
-		// Output stability requires only that a backup has RECEIVED the
-		// log for subsequent live replay (§3.5), not that it has processed
-		// it: the primary learns of receipt by observing the mailbox
-		// consumer-side slot state, one coherency hop after delivery.
-		log := logs[i]
-		log.OnDelivered(func() {
-			k.Sim().Schedule(log.Latency(), func() {
-				if d := uint64(log.Delivered()); d > link.acked {
-					link.acked = d
-					r.fireStable()
-				}
-			})
-		})
-		// Explicit cumulative acknowledgements free log-ring slots faster
-		// under backlog and serve as a liveness signal; they are consumed
-		// here so the ring never fills.
-		k.Spawn("ft-ack", func(t *kernel.Task) { r.ackLoop(t, link) })
+		r.addLink(&replicaLink{log: logs[i], acks: acks[i]})
 	}
 	if cfg.BatchTuples > 1 {
 		k.Spawn("ft-flush", r.flushLoop)
 	}
 	return r
+}
+
+// newForkRecorder builds the recorder a promoted replica forks into at
+// the instant of finishing promotion (Config.Rejoinable): it continues
+// the dead primary's sequence space (seqGlobal) and inherits the replayed
+// history, so a backup rejoined later can catch up from sequence zero. It
+// starts degraded, with no backup links.
+func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal uint64) *Recorder {
+	cfg = cfg.withBatchDefaults()
+	plib := pthread.NewLib(k, nil)
+	plib.SetOpCost(0)
+	r := &Recorder{
+		kern:      k,
+		cfg:       cfg,
+		mu:        plib.NewMutex(),
+		flushQ:    sim.NewWaitQueue(k.Sim()),
+		flushDone: sim.NewWaitQueue(k.Sim()),
+		seqGlobal: seqGlobal,
+		sent:      uint64(len(hist)),
+		history:   hist,
+		degraded:  true,
+	}
+	if cfg.BatchTuples > 1 {
+		k.Spawn("ft-flush", r.flushLoop)
+	}
+	return r
+}
+
+// addLink registers one backup link: the receipt watermark observed from
+// the mailbox consumer-side slot state, and the explicit ack consumer.
+func (r *Recorder) addLink(link *replicaLink) {
+	r.replicas = append(r.replicas, link)
+	// Output stability requires only that a backup has RECEIVED the
+	// log for subsequent live replay (§3.5), not that it has processed
+	// it: the primary learns of receipt by observing the mailbox
+	// consumer-side slot state, one coherency hop after delivery.
+	k, log := r.kern, link.log
+	log.OnDelivered(func() {
+		k.Sim().Schedule(log.Latency(), func() {
+			if d := uint64(log.Delivered()); d > link.acked {
+				link.acked = d
+				r.fireStable()
+			}
+		})
+	})
+	// Explicit cumulative acknowledgements free log-ring slots faster
+	// under backlog and serve as a liveness signal; they are consumed
+	// here so the ring never fills.
+	k.Spawn("ft-ack", func(t *kernel.Task) { r.ackLoop(t, link) })
+}
+
+// catchupChunkBytes bounds one vectored catch-up transfer so the bulk
+// replay never monopolizes the log ring against fresh emissions.
+const catchupChunkBytes = 256 << 10
+
+// AddReplica wires a fresh backup into the recorder and streams the
+// retained history to it as catch-up, while recording continues. The link
+// starts in the syncing state — excluded from output commit, fed through
+// its backlog — and joins the broadcast set at the quiesced det-section
+// boundary where the backlog drains empty (the output-commit watermarks
+// of the two sides are equal there: everything sent has been received).
+// onCaughtUp, if non-nil, runs at that flip. It returns the link index
+// for DropReplica.
+func (r *Recorder) AddReplica(log, acks *shm.Ring, onCaughtUp func()) int {
+	if !r.cfg.Rejoinable {
+		panic("replication: AddReplica requires Config.Rejoinable")
+	}
+	link := &replicaLink{log: log, acks: acks, syncing: true}
+	link.backlog = append([]shm.Message(nil), r.history...)
+	idx := len(r.replicas)
+	r.addLink(link)
+	r.kern.Spawn("ft-catchup", func(t *kernel.Task) { r.catchupLoop(t, link, onCaughtUp) })
+	return idx
+}
+
+// catchupLoop drains the syncing link's backlog in bounded vectored
+// chunks. Because new emissions append to the same backlog, draining it
+// empty means the backup has received every message ever sent — at that
+// instant the link flips into the output-commit set atomically (no yield
+// between the last send completing and the flip).
+func (r *Recorder) catchupLoop(t *kernel.Task, link *replicaLink, onCaughtUp func()) {
+	p := t.Proc()
+	for len(link.backlog) > 0 && !link.dead {
+		n, bytes := 0, 0
+		for n < len(link.backlog) && bytes < catchupChunkBytes {
+			bytes += link.backlog[n].Size
+			n++
+		}
+		batch := link.backlog[:n:n]
+		link.log.SendBatch(p, batch)
+		link.backlog = link.backlog[n:]
+		r.stats.LogBatches++
+		r.noteFlush(n)
+	}
+	if link.dead {
+		return
+	}
+	link.syncing = false
+	r.degraded = false
+	r.sc.Emit(obs.CatchupDone, 0, int64(r.sent), 0)
+	r.fireStable()
+	if onCaughtUp != nil {
+		onCaughtUp()
+	}
 }
 
 func (r *Recorder) ackLoop(t *kernel.Task, link *replicaLink) {
@@ -114,12 +210,15 @@ func (r *Recorder) ackLoop(t *kernel.Task, link *replicaLink) {
 	}
 }
 
-// ackedAll reports the receipt watermark every live backup has reached.
+// ackedAll reports the receipt watermark every live, caught-up backup has
+// reached. Syncing links are excluded: while a rejoined backup catches
+// up, output stability is whatever the remaining set provides (vacuous
+// when it is empty — the degraded window the resync exists to close).
 func (r *Recorder) ackedAll() uint64 {
 	min := r.sent
 	any := false
 	for _, link := range r.replicas {
-		if link.dead {
+		if link.dead || link.syncing {
 			continue
 		}
 		any = true
@@ -133,14 +232,45 @@ func (r *Recorder) ackedAll() uint64 {
 	return min
 }
 
+// liveBackups counts links that are alive and caught up; syncingBackups
+// counts links still replaying history.
+func (r *Recorder) liveBackups() int {
+	n := 0
+	for _, link := range r.replicas {
+		if !link.dead && !link.syncing {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Recorder) syncingBackups() int {
+	n := 0
+	for _, link := range r.replicas {
+		if !link.dead && link.syncing {
+			n++
+		}
+	}
+	return n
+}
+
 // emit streams one log message to every live backup. Unbatched, it sends
 // immediately; batched, it coalesces into the link's pending buffer and
 // flushes when the batch fills. Either way a full in-flight buffer blocks
 // the caller, throttling the primary to the slowest backup's drain rate.
 func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size int) {
 	m := shm.Message{Kind: kind, Payload: payload, Size: size}
+	if r.cfg.Rejoinable {
+		r.history = append(r.history, m)
+	}
 	for _, link := range r.replicas {
 		if link.dead {
+			continue
+		}
+		if link.syncing {
+			// Catch-up in progress: queue behind the history so the
+			// backup sees one gapless sequence on one channel.
+			link.backlog = append(link.backlog, m)
 			continue
 		}
 		if r.cfg.BatchTuples <= 1 {
@@ -337,6 +467,7 @@ func (r *Recorder) dropReplica(i int) {
 	}
 	r.replicas[i].dead = true
 	r.replicas[i].pending = nil
+	r.replicas[i].backlog = nil
 	r.replicas[i].log.Drain() // unblock senders stalled on the dead ring
 	r.fireStable()
 	for _, link := range r.replicas {
@@ -349,9 +480,14 @@ func (r *Recorder) dropReplica(i int) {
 
 // goLive stops recording: every backup is gone (failed, or replication was
 // torn down), so sections run unserialized and all held output is
-// released.
+// released. A rejoinable recorder never stops recording — it degrades
+// instead, keeping the history growing so a fresh backup can catch up.
 func (r *Recorder) goLive() {
 	if r.live {
+		return
+	}
+	if r.cfg.Rejoinable {
+		r.degrade()
 		return
 	}
 	r.live = true
@@ -364,4 +500,21 @@ func (r *Recorder) goLive() {
 		link.pending = nil
 		link.log.Drain()
 	}
+}
+
+// degrade marks every backup dead but keeps recording: sections stay
+// serialized and the history keeps growing, output stability becomes
+// vacuous until a rejoined backup catches up.
+func (r *Recorder) degrade() {
+	for _, link := range r.replicas {
+		link.dead = true
+		link.pending = nil
+		link.backlog = nil
+		link.log.Drain()
+	}
+	if !r.degraded {
+		r.degraded = true
+		r.sc.Emit(obs.GoLive, 0, int64(r.sent), 0)
+	}
+	r.fireStable()
 }

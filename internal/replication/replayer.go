@@ -10,6 +10,13 @@ import (
 	"repro/internal/sim"
 )
 
+// headSub is one callback armed to fire when the replay head reaches a
+// global sequence number.
+type headSub struct {
+	seq uint64
+	fn  func()
+}
+
 // replWaiter is a shadow thread parked in a deterministic section, waiting
 // for its tuple to reach the head of the log.
 type replWaiter struct {
@@ -45,6 +52,17 @@ type Replayer struct {
 	promoted    *sim.WaitQueue
 	puller      *kernel.Task
 	stats       Stats
+
+	// Rejoin support (Config.Rejoinable): the ingested log is retained so
+	// that, at promotion, onFork can convert the namespace into a
+	// recording primary continuing the same history; parked shadow
+	// threads flushed by promotion delegate their sections to the fork so
+	// the history has no gap. headSubs are watermark callbacks used by the
+	// rejoin checkpoint verifier.
+	history  []shm.Message
+	onFork   func(hist []shm.Message, nextGlobal uint64) *Recorder
+	fork     *Recorder
+	headSubs []headSub
 
 	sc         *obs.Scope
 	cAcks      *obs.Counter
@@ -105,15 +123,30 @@ func (r *Replayer) ingest(m shm.Message) {
 	switch m.Kind {
 	case msgEnv:
 		if env, ok := m.Payload.(map[string]string); ok {
+			if r.envReady {
+				r.stats.Duplicates++
+				return
+			}
 			r.env = env
 			r.envReady = true
 			r.envQ.WakeAll(0)
 		}
 	case msgTuple:
 		if tu, ok := m.Payload.(Tuple); ok {
+			// A tuple below the pending horizon is a stale duplicate (an
+			// injected mailbox duplication, or overlap between a promotion
+			// drain and in-flight delivery); the log is cumulative, so it
+			// is discarded rather than treated as a gap.
+			if tu.GlobalSeq < r.nextGlobal+uint64(len(r.pending)) {
+				r.stats.Duplicates++
+				return
+			}
 			r.pending = append(r.pending, tu)
 			r.tryGrant()
 		}
+	}
+	if r.cfg.Rejoinable {
+		r.history = append(r.history, m)
 	}
 	r.stats.LogMessages++
 }
@@ -189,9 +222,34 @@ func (r *Replayer) sectionDone() {
 	r.pending = r.pending[1:]
 	r.nextGlobal++
 	r.stats.Sections++
+	r.fireHeadSubs()
 	r.tryGrant()
 	if r.primaryDead && len(r.pending) == 0 {
 		r.finishPromotion()
+	}
+}
+
+// OnHead arms fn to run once the replay head reaches seq (immediately if
+// it already has). Callbacks run as scheduled events, never in the shadow
+// thread's context; the rejoin checkpoint verifier uses this to compare
+// cursor state exactly at the checkpoint watermark.
+func (r *Replayer) OnHead(seq uint64, fn func()) {
+	if r.nextGlobal >= seq {
+		r.kern.Sim().Schedule(0, fn)
+		return
+	}
+	r.headSubs = append(r.headSubs, headSub{seq: seq, fn: fn})
+}
+
+func (r *Replayer) fireHeadSubs() {
+	for i := 0; i < len(r.headSubs); {
+		if r.headSubs[i].seq <= r.nextGlobal {
+			fn := r.headSubs[i].fn
+			r.headSubs = append(r.headSubs[:i], r.headSubs[i+1:]...)
+			r.kern.Sim().Schedule(0, fn)
+			continue
+		}
+		i++
 	}
 }
 
@@ -213,11 +271,22 @@ func (r *Replayer) diverge(msg string) {
 
 func (r *Replayer) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 	if r.live {
+		if r.fork != nil {
+			r.fork.section(th, op, obj, fn)
+			return
+		}
 		fn()
 		return
 	}
 	w := r.park(th)
 	if w.liveFlush {
+		if r.fork != nil {
+			// Promotion forked the namespace into a recording primary:
+			// the flushed section is recorded there, so the history the
+			// next backup replays has no gap.
+			r.fork.section(th, op, obj, fn)
+			return
+		}
 		fn()
 		return
 	}
@@ -233,11 +302,17 @@ func (r *Replayer) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 // the outcomes are compared for divergence detection.
 func (r *Replayer) resolve(th *Thread, op pthread.Op, obj uint64, block func(), settle func() (uint64, []byte)) (uint64, []byte) {
 	if r.live {
+		if r.fork != nil {
+			return r.fork.resolve(th, op, obj, block, settle)
+		}
 		block()
 		return settle()
 	}
 	w := r.park(th)
 	if w.liveFlush {
+		if r.fork != nil {
+			return r.fork.resolve(th, op, obj, block, settle)
+		}
 		block()
 		return settle()
 	}
@@ -254,19 +329,22 @@ func (r *Replayer) resolve(th *Thread, op pthread.Op, obj uint64, block func(), 
 
 // replayed replays a syscall section whose effect must NOT be re-executed
 // locally (socket reads, clock reads): it returns the recorded result.
-func (r *Replayer) replayed(th *Thread, op pthread.Op, obj uint64) (uint64, []byte, bool) {
+// When it reports false the caller must execute the call itself — through
+// the returned fork recorder if non-nil (promotion converted the replica
+// into a recording primary), natively otherwise.
+func (r *Replayer) replayed(th *Thread, op pthread.Op, obj uint64) (uint64, []byte, bool, *Recorder) {
 	if r.live {
-		return 0, nil, false
+		return 0, nil, false, r.fork
 	}
 	w := r.park(th)
 	if w.liveFlush {
-		return 0, nil, false
+		return 0, nil, false, r.fork
 	}
 	th.task.Busy(r.cfg.ReplaySectionCost)
 	r.verify(w, op, obj)
 	th.seq++
 	r.sectionDone()
-	return w.tuple.Outcome, w.tuple.Data, true
+	return w.tuple.Outcome, w.tuple.Data, true, nil
 }
 
 // Promote switches the replica from replay to live execution after the
@@ -301,6 +379,11 @@ func (r *Replayer) finishPromotion() {
 	}
 	r.live = true
 	r.sc.Emit(obs.GoLive, 0, int64(r.nextGlobal), 0)
+	if r.onFork != nil {
+		// Fork BEFORE flushing waiters: their sections must be recorded
+		// by the fork so the retained history stays gapless.
+		r.fork = r.onFork(r.truncatedHistory(), r.nextGlobal)
+	}
 	order := r.waitOrder
 	r.waitOrder = nil
 	for _, ftpid := range order {
@@ -313,6 +396,25 @@ func (r *Replayer) finishPromotion() {
 	r.envReady = true
 	r.envQ.WakeAll(0)
 	r.promoted.WakeAll(0)
+}
+
+// truncatedHistory returns the executed prefix of the retained log: every
+// environment message plus the first nextGlobal tuples. Tuples ingested
+// past a coherency gap were discarded unreplayed and must not survive
+// into the forked recorder's history.
+func (r *Replayer) truncatedHistory() []shm.Message {
+	out := make([]shm.Message, 0, len(r.history))
+	var tuples uint64
+	for _, m := range r.history {
+		if m.Kind == msgTuple {
+			if tuples >= r.nextGlobal {
+				break
+			}
+			tuples++
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 // Live reports whether promotion has completed.

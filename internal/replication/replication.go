@@ -143,6 +143,15 @@ type Config struct {
 	// buffered on the primary before the flusher pushes it out (0 with
 	// BatchTuples > 1 selects defaultFlushInterval).
 	FlushInterval time.Duration
+	// Rejoinable retains the full log history on both sides so a fresh
+	// backup can be re-integrated after a failure: the recorder keeps
+	// every emitted message for catch-up streaming (AddReplica) and,
+	// instead of going fully live when its last backup dies, degrades to
+	// recording with vacuous output stability; the replayer keeps every
+	// ingested message and, at promotion, forks the namespace into a
+	// recording primary that continues the history seamlessly. It must be
+	// set from construction: history cannot be recovered retroactively.
+	Rejoinable bool
 }
 
 // defaultFlushInterval bounds buffered-tuple latency when batching is on
@@ -184,4 +193,5 @@ type Stats struct {
 	AckMessages uint64 // cumulative acknowledgements sent (secondary)
 	Divergences uint64 // replay mismatches detected (secondary)
 	Dropped     uint64 // log tuples discarded at promotion (gap after fault)
+	Duplicates  uint64 // stale log messages discarded by the replayer (injected duplicates)
 }

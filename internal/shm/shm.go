@@ -77,10 +77,25 @@ func (s Stats) add(o Stats) Stats {
 // inflight is a transfer written by the sender but not yet visible to the
 // receiver (still propagating through the cache hierarchy). A vectored
 // transfer propagates — and is lost to a coherency fault — as a unit.
+// A doomed transfer is one a chaos hook condemned: it occupies ring
+// capacity while propagating and then vanishes instead of delivering.
 type inflight struct {
-	msgs  []Message
-	ev    *sim.Event
-	bytes int64
+	msgs   []Message
+	ev     *sim.Event
+	bytes  int64
+	doomed bool
+}
+
+// ChaosVerdict is a fault-injection decision for one ring transfer,
+// returned by the hook installed with SetChaosHook. The zero value lets
+// the transfer through untouched. Drop loses the transfer in propagation
+// (capacity is freed when the doomed transfer would have delivered); Dup
+// enqueues that many extra copies of the transfer (ignored when Drop is
+// set); Delay adds propagation latency on top of the ring's base latency.
+type ChaosVerdict struct {
+	Drop  bool
+	Dup   int
+	Delay time.Duration
 }
 
 // slot is one delivered message plus the ring bytes it occupies (the first
@@ -110,6 +125,9 @@ type Ring struct {
 	recvQ     *sim.WaitQueue
 	stats     Stats
 	sc        *obs.Scope
+
+	chaos       func(msgs []Message) ChaosVerdict
+	lastDeliver sim.Time // latest scheduled delivery instant, FIFO clamp
 }
 
 // Fabric owns every ring of a deployment.
@@ -312,9 +330,33 @@ func (r *Ring) SendBatch(p *sim.Proc, msgs []Message) {
 	r.send(msgs)
 }
 
+// SetChaosHook installs a fault-injection hook consulted once per
+// transfer (chaos layer only; nil uninstalls). The hook runs at send
+// time in whatever context the sender runs in and must not block.
+func (r *Ring) SetChaosHook(fn func(msgs []Message) ChaosVerdict) { r.chaos = fn }
+
 func (r *Ring) send(msgs []Message) {
+	var v ChaosVerdict
+	if r.chaos != nil {
+		v = r.chaos(msgs)
+	}
+	copies := 1
+	if !v.Drop && v.Dup > 0 {
+		copies += v.Dup
+	}
+	for c := 0; c < copies; c++ {
+		r.enqueue(msgs, v.Delay, v.Drop)
+	}
+}
+
+// enqueue schedules one propagation of msgs. Delivery instants are
+// clamped monotonic per ring: a transfer slowed by chaos delay pushes the
+// delivery horizon forward for everything sent after it, so injected
+// delay can never reorder a FIFO mailbox (which would turn a latency
+// fault into an impossible log gap).
+func (r *Ring) enqueue(msgs []Message, extra time.Duration, doomed bool) {
 	now := r.sim.Now()
-	in := &inflight{msgs: make([]Message, len(msgs)), bytes: r.batchFootprint(msgs)}
+	in := &inflight{msgs: make([]Message, len(msgs)), bytes: r.batchFootprint(msgs), doomed: doomed}
 	for i, m := range msgs {
 		m.SentAt = now
 		in.msgs[i] = m
@@ -330,7 +372,12 @@ func (r *Ring) send(msgs []Message) {
 	}
 	r.stats.Bytes += in.bytes
 	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
-	in.ev = r.sim.Schedule(r.latency, func() { r.deliver(in) })
+	at := now.Add(r.latency + extra)
+	if at < r.lastDeliver {
+		at = r.lastDeliver
+	}
+	r.lastDeliver = at
+	in.ev = r.sim.Schedule(at.Sub(now), func() { r.deliver(in) })
 	r.inflight = append(r.inflight, in)
 }
 
@@ -340,6 +387,14 @@ func (r *Ring) deliver(in *inflight) {
 			r.inflight = append(r.inflight[:i], r.inflight[i+1:]...)
 			break
 		}
+	}
+	if in.doomed {
+		r.used -= in.bytes
+		r.stats.Dropped += int64(len(in.msgs))
+		r.sc.Emit(obs.LogDrop, 0, 0, int64(len(in.msgs)))
+		r.sc.Emit(obs.RingDepth, 0, 0, r.used)
+		r.wakeSenders()
+		return
 	}
 	for i, m := range in.msgs {
 		b := int64(m.Size)

@@ -27,8 +27,15 @@ import (
 type Primary struct {
 	ns    *replication.Namespace
 	stack *tcpstack.Stack
-	sync  *shm.Ring
+	sync  *shm.Ring // nil while detached (no backup to stream to)
 	cfg   SyncConfig
+
+	// clog retains the full logical TCP history for backup re-integration
+	// (nil when retention is off). It is updated from the same callbacks
+	// that stream deltas, so a checkpoint cut from it plus the delta
+	// stream after AttachRing reconstructs the complete state.
+	clog      *ConnLog
+	flusherUp bool // the background flusher task has been spawned
 
 	pending      []syncPending
 	pendingBytes int64
@@ -133,9 +140,79 @@ func NewPrimaryFull(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.
 	stack.OnPeerFin = p.onPeerFin
 	stack.OnReaped = p.onReaped
 	if syncCfg.BatchUpdates > 1 {
+		p.flusherUp = true
 		ns.Kernel().Spawn("tcprep-flush", p.flushLoop)
 	}
 	return p
+}
+
+// NewDetachedPrimary wires a promoted (or degraded) kernel's stack for
+// recording without a backup: callbacks maintain the retained connection
+// log but nothing is streamed and output is released at native speed. clog
+// carries the history up to this point (a promoted secondary's HistoryLog,
+// or nil to start empty). AttachRing later flips the primary into
+// streaming mode when a rejoining backup is ready.
+func NewDetachedPrimary(ns *replication.Namespace, stack *tcpstack.Stack, gate GateConfig, syncCfg SyncConfig, clog *ConnLog) *Primary {
+	if syncCfg.BatchUpdates > 1 && syncCfg.FlushInterval <= 0 {
+		syncCfg.FlushInterval = DefaultSyncConfig().FlushInterval
+	}
+	if clog == nil {
+		clog = NewConnLog()
+	}
+	p := &Primary{
+		ns:        ns,
+		stack:     stack,
+		cfg:       syncCfg,
+		clog:      clog,
+		flushQ:    sim.NewWaitQueue(ns.Kernel().Sim()),
+		flushDone: sim.NewWaitQueue(ns.Kernel().Sim()),
+	}
+	stack.SetEgress(&stabilityGate{ns: ns, prim: p, cfg: gate, sim: ns.Kernel().Sim()})
+	stack.SetIngress(p.ingress)
+	stack.OnEstablished = p.onEstablished
+	stack.OnDataIn = p.onDataIn
+	stack.OnAckIn = p.onAckIn
+	stack.OnPeerFin = p.onPeerFin
+	stack.OnReaped = p.onReaped
+	return p
+}
+
+// EnableRetention attaches a connection log so the full logical TCP
+// history is kept for backup re-integration. It must be called before any
+// replicated traffic: history cannot be recovered retroactively.
+func (p *Primary) EnableRetention() {
+	if p.clog == nil {
+		p.clog = NewConnLog()
+	}
+}
+
+// Streaming reports whether logical-state deltas are being streamed to a
+// backup (a sync ring is attached and the backup has not died).
+func (p *Primary) Streaming() bool { return p.sync != nil && !p.live }
+
+// SnapshotState cuts the logical TCP half of a rejoin checkpoint from the
+// retained history. Call in scheduler context, atomically with AttachRing,
+// so no update lands in both the snapshot and the delta stream.
+func (p *Primary) SnapshotState() StateSnap {
+	if p.clog == nil {
+		panic("tcprep: SnapshotState requires retention")
+	}
+	return p.clog.Snapshot()
+}
+
+// AttachRing flips a detached (or gone-live) primary back into streaming
+// mode: subsequent state updates are synced to the rejoining backup over
+// the given ring and output commits gate on the sync barrier again.
+func (p *Primary) AttachRing(sync *shm.Ring) {
+	p.sync = sync
+	p.live = false
+	p.enqueued, p.synced = 0, 0
+	p.pending = nil
+	p.pendingBytes = 0
+	if p.cfg.BatchUpdates > 1 && !p.flusherUp {
+		p.flusherUp = true
+		p.ns.Kernel().Spawn("tcprep-flush", p.flushLoop)
+	}
 }
 
 // Instrument attaches an event scope (sync-ring flushes, going live)
@@ -164,7 +241,9 @@ func (p *Primary) GoLive() {
 	p.pendingBytes = 0
 	p.synced = p.enqueued
 	p.fireBarrier()
-	p.sync.Drain() // unblock a flusher parked on the dead ring
+	if p.sync != nil {
+		p.sync.Drain() // unblock a flusher parked on the dead ring
+	}
 	p.flushQ.WakeAll(0)
 }
 
@@ -187,7 +266,9 @@ var _ tcpstack.EgressGate = (*stabilityGate)(nil)
 
 // Transmit implements tcpstack.EgressGate.
 func (g *stabilityGate) Transmit(seg *tcpstack.Segment, send func()) {
-	if !g.ns.Recording() {
+	if !g.ns.Recording() || !g.prim.Streaming() {
+		// Not replicating (or recording detached, with no backup to
+		// outrun): native-speed release, no bookkeeping cost.
 		send()
 		return
 	}
@@ -215,7 +296,7 @@ func (g *stabilityGate) Transmit(seg *tcpstack.Segment, send func()) {
 // retransmits. Buffered-but-unflushed bytes count against the budget so the
 // pending buffer stays bounded by the ring capacity.
 func (p *Primary) ingress(seg *tcpstack.Segment) bool {
-	if len(seg.Data) == 0 {
+	if len(seg.Data) == 0 || p.sync == nil {
 		return true
 	}
 	return p.sync.Free()-p.pendingBytes >= int64(len(seg.Data))+128
@@ -226,7 +307,7 @@ func (p *Primary) ingress(seg *tcpstack.Segment) bool {
 // FlushInterval). Runs in segment/scheduler context; fn fires inline in
 // the common case where the forced flush is admitted at once.
 func (p *Primary) syncBarrier(fn func()) {
-	if p.live || p.cfg.BatchUpdates <= 1 {
+	if p.live || p.sync == nil || p.cfg.BatchUpdates <= 1 {
 		fn()
 		return
 	}
@@ -252,7 +333,7 @@ func (p *Primary) fireBarrier() {
 // the same stream. mustHave marks updates whose loss would break failover
 // transparency: if one cannot be accepted the connection is reset instead.
 func (p *Primary) trySync(c *tcpstack.Conn, kind int, payload any, size int, mustHave bool) {
-	if p.live {
+	if p.live || p.sync == nil {
 		return
 	}
 	if p.cfg.BatchUpdates <= 1 {
@@ -415,27 +496,46 @@ func (p *Primary) flushLoop(t *kernel.Task) {
 }
 
 func (p *Primary) onEstablished(c *tcpstack.Conn) {
-	meta := connMeta{Key: keyOf(c), ISS: c.ISS(), IRS: c.IRS()}
-	p.trySync(c, syncConnMeta, meta, 48, true)
+	key := keyOf(c)
+	if p.clog != nil {
+		p.clog.established(key, c.ISS(), c.IRS())
+	}
+	p.trySync(c, syncConnMeta, connMeta{Key: key, ISS: c.ISS(), IRS: c.IRS()}, 48, true)
 }
 
 func (p *Primary) onDataIn(c *tcpstack.Conn, data []byte) {
+	key := keyOf(c)
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	p.trySync(c, syncDataIn, dataIn{Key: keyOf(c), Data: cp}, 32+len(cp), true)
+	if p.clog != nil {
+		p.clog.dataIn(key, cp)
+	}
+	p.trySync(c, syncDataIn, dataIn{Key: key, Data: cp}, 32+len(cp), true)
 }
 
 func (p *Primary) onAckIn(c *tcpstack.Conn, acked uint64) {
+	key := keyOf(c)
+	if p.clog != nil {
+		p.clog.ackIn(key, acked)
+	}
 	// Losing an ack update only means extra retransmission after failover.
-	p.trySync(c, syncAckOut, ackOut{Key: keyOf(c), Acked: acked}, 40, false)
+	p.trySync(c, syncAckOut, ackOut{Key: key, Acked: acked}, 40, false)
 }
 
 func (p *Primary) onPeerFin(c *tcpstack.Conn) {
-	p.trySync(c, syncPeerFin, peerFin{Key: keyOf(c)}, 32, true)
+	key := keyOf(c)
+	if p.clog != nil {
+		p.clog.fin(key)
+	}
+	p.trySync(c, syncPeerFin, peerFin{Key: key}, 32, true)
 }
 
 func (p *Primary) onReaped(c *tcpstack.Conn) {
-	p.trySync(nil, syncGone, gone{Key: keyOf(c)}, 32, false)
+	key := keyOf(c)
+	if p.clog != nil {
+		p.clog.goneMark(key)
+	}
+	p.trySync(nil, syncGone, gone{Key: key}, 32, false)
 }
 
 // bindConn announces the det-log socket ID for an accepted connection.
@@ -443,6 +543,12 @@ func (p *Primary) onReaped(c *tcpstack.Conn) {
 // appended behind any pending updates and flushed immediately so the
 // secondary's bindWait is never delayed by batching.
 func (p *Primary) bindConn(th *replication.Thread, id uint64, c *tcpstack.Conn) {
+	if p.clog != nil {
+		p.clog.bind(id, keyOf(c))
+	}
+	if p.sync == nil {
+		return
+	}
 	m := shm.Message{Kind: syncBind, Payload: bind{ID: id, Key: keyOf(c)}, Size: 40}
 	if p.cfg.BatchUpdates <= 1 {
 		p.sync.Send(th.Task().Proc(), m)

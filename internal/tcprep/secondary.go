@@ -18,15 +18,22 @@ type LogicalConn struct {
 	iss, irs uint64
 
 	// in holds input bytes [inBase, inBase+len): streamed from the primary
-	// but not yet consumed by the replica's replayed reads.
+	// but not yet consumed by the replica's replayed reads. In retention
+	// mode inBase stays 0 and consumed bytes are kept — inRead marks how
+	// far the replayed application has read.
 	in     []byte
 	inBase uint64
+	inRead int
 
 	// out holds replica-regenerated output bytes [outBase, outBase+len):
 	// everything the client has not acknowledged, retransmittable after
-	// failover. outBase advances with ackOut updates.
-	out     []byte
-	outBase uint64
+	// failover. outBase advances with ackOut updates, but never past what
+	// the replica has regenerated: ackTarget remembers the highest
+	// watermark so output produced later is trimmed on arrival instead of
+	// being retransmitted to a client that already acknowledged it.
+	out       []byte
+	outBase   uint64
+	ackTarget uint64
 
 	peerFin   bool
 	appClosed bool
@@ -42,7 +49,7 @@ type LogicalConn struct {
 func (lc *LogicalConn) Key() ConnKey { return lc.key }
 
 // InBuffered reports synced input bytes not yet consumed by replay.
-func (lc *LogicalConn) InBuffered() int { return len(lc.in) }
+func (lc *LogicalConn) InBuffered() int { return len(lc.in) - lc.inRead }
 
 // OutBuffered reports replica output bytes not yet acknowledged by the
 // client.
@@ -57,13 +64,15 @@ type Secondary struct {
 	kern *kernel.Kernel
 	sync *shm.Ring
 
-	syncCost time.Duration
-	conns    map[ConnKey]*LogicalConn
-	order    []ConnKey // insertion order, for deterministic promotion
-	binds    map[uint64]ConnKey
-	bindQ    *sim.WaitQueue
-	puller   *kernel.Task
-	promoted bool
+	syncCost  time.Duration
+	retain    bool
+	conns     map[ConnKey]*LogicalConn
+	order     []ConnKey // insertion order, for deterministic promotion
+	binds     map[uint64]ConnKey
+	bindOrder []uint64 // announcement order, for deterministic history
+	bindQ     *sim.WaitQueue
+	puller    *kernel.Task
+	promoted  bool
 
 	// Stats.
 	DataBytes int64 // input bytes synced
@@ -71,26 +80,62 @@ type Secondary struct {
 	Batches   int64 // vectored deliveries drained (more than one update at once)
 }
 
+// SecondaryConfig tunes the sync-state maintainer.
+type SecondaryConfig struct {
+	// Cost is the per-update CPU cost — the serial TCP-state maintenance
+	// path whose expense makes network I/O synchronization costlier than
+	// Pthreads schedule replication (§4.2). Zero means free.
+	Cost time.Duration
+	// Retain keeps every connection's complete input stream (consumed
+	// bytes included) and never drops reaped connections, so the full
+	// logical TCP history can be checkpointed for backup re-integration.
+	Retain bool
+	// DeferPull creates the maintainer without starting the sync pull
+	// loop: a rejoining backup first applies the checkpoint's state
+	// snapshot (Seed) and then calls StartPull to consume the deltas that
+	// queued on the ring meanwhile.
+	DeferPull bool
+}
+
+// DefaultSecondaryCost is the calibrated per-update TCP-state maintenance
+// cost (§4.2).
+const DefaultSecondaryCost = 25 * time.Microsecond
+
 // NewSecondary starts the sync-state maintainer on the secondary kernel
 // with the default per-update processing cost.
 func NewSecondary(k *kernel.Kernel, sync *shm.Ring) *Secondary {
-	return NewSecondaryCost(k, sync, 25*time.Microsecond)
+	return NewSecondaryOpts(k, sync, SecondaryConfig{Cost: DefaultSecondaryCost})
 }
 
-// NewSecondaryCost is NewSecondary with an explicit per-update CPU cost —
-// the serial TCP-state maintenance path whose expense makes network I/O
-// synchronization costlier than Pthreads schedule replication (§4.2).
+// NewSecondaryCost is NewSecondary with an explicit per-update CPU cost.
 func NewSecondaryCost(k *kernel.Kernel, sync *shm.Ring, cost time.Duration) *Secondary {
+	return NewSecondaryOpts(k, sync, SecondaryConfig{Cost: cost})
+}
+
+// NewSecondaryOpts creates the sync-state maintainer with explicit policy.
+func NewSecondaryOpts(k *kernel.Kernel, sync *shm.Ring, cfg SecondaryConfig) *Secondary {
 	s := &Secondary{
 		kern:     k,
 		sync:     sync,
-		syncCost: cost,
+		syncCost: cfg.Cost,
+		retain:   cfg.Retain,
 		conns:    make(map[ConnKey]*LogicalConn),
 		binds:    make(map[uint64]ConnKey),
 		bindQ:    sim.NewWaitQueue(k.Sim()),
 	}
-	s.puller = k.Spawn("tcprep-sync", s.pullLoop)
+	if !cfg.DeferPull {
+		s.StartPull()
+	}
 	return s
+}
+
+// StartPull starts consuming the sync ring. It is a no-op if the pull loop
+// is already running or the maintainer has been promoted.
+func (s *Secondary) StartPull() {
+	if s.puller != nil || s.promoted {
+		return
+	}
+	s.puller = s.kern.Spawn("tcprep-sync", s.pullLoop)
 }
 
 // Conns reports the number of logical connections held.
@@ -146,6 +191,9 @@ func (s *Secondary) apply(m shm.Message) {
 		lc.dataQ.WakeAll(0)
 	case syncBind:
 		b := m.Payload.(bind)
+		if _, ok := s.binds[b.ID]; !ok {
+			s.bindOrder = append(s.bindOrder, b.ID)
+		}
 		s.binds[b.ID] = b.Key
 		s.bindQ.WakeAll(0)
 	case syncGone:
@@ -158,10 +206,22 @@ func (s *Secondary) apply(m shm.Message) {
 }
 
 func (lc *LogicalConn) trimOut(acked uint64) {
-	if acked <= lc.outBase {
+	if acked > lc.ackTarget {
+		lc.ackTarget = acked
+	}
+	lc.applyTrim()
+}
+
+// applyTrim discards regenerated output up to the acknowledged watermark.
+// The watermark can run ahead of the replica (an ackOut delta arrives
+// before replay regenerates those bytes — routine for a rejoining backup,
+// which starts with an empty out buffer and a checkpoint watermark), so the
+// trim is re-applied after every appendOut until outBase catches up.
+func (lc *LogicalConn) applyTrim() {
+	if lc.ackTarget <= lc.outBase {
 		return
 	}
-	n := acked - lc.outBase
+	n := lc.ackTarget - lc.outBase
 	if n > uint64(len(lc.out)) {
 		n = uint64(len(lc.out))
 	}
@@ -170,7 +230,7 @@ func (lc *LogicalConn) trimOut(acked uint64) {
 }
 
 func (s *Secondary) maybeDrop(lc *LogicalConn) {
-	if !(lc.gone && lc.appClosed) || s.promoted {
+	if s.retain || !(lc.gone && lc.appClosed) || s.promoted {
 		return
 	}
 	delete(s.conns, lc.key)
@@ -200,19 +260,25 @@ func (s *Secondary) bindWait(t *kernel.Task, id uint64) *LogicalConn {
 // stream has delivered them (they are guaranteed to arrive: the primary
 // recorded the read only after its stack delivered the bytes).
 func (s *Secondary) readReplay(t *kernel.Task, lc *LogicalConn, n int) []byte {
-	for len(lc.in) < n {
+	for len(lc.in)-lc.inRead < n {
 		lc.dataQ.Wait(t.Proc())
 	}
 	out := make([]byte, n)
-	copy(out, lc.in[:n])
-	lc.in = lc.in[n:]
-	lc.inBase += uint64(n)
+	copy(out, lc.in[lc.inRead:lc.inRead+n])
+	if s.retain {
+		lc.inRead += n
+	} else {
+		lc.in = lc.in[n:]
+		lc.inBase += uint64(n)
+	}
 	return out
 }
 
-// appendOut accumulates replica-regenerated output bytes.
+// appendOut accumulates replica-regenerated output bytes, discarding any
+// prefix the client has already acknowledged.
 func (s *Secondary) appendOut(lc *LogicalConn, data []byte) {
 	lc.out = append(lc.out, data...)
+	lc.applyTrim()
 }
 
 // markClosed records the replayed application's close.
@@ -230,7 +296,9 @@ func (s *Secondary) Promote(stack *tcpstack.Stack) ([]*tcpstack.Conn, error) {
 		return nil, fmt.Errorf("tcprep: already promoted")
 	}
 	s.promoted = true
-	s.puller.Kill()
+	if s.puller != nil {
+		s.puller.Kill()
+	}
 	for _, m := range s.sync.Drain() {
 		s.apply(m)
 	}
@@ -248,7 +316,7 @@ func (s *Secondary) Promote(stack *tcpstack.Stack) ([]*tcpstack.Conn, error) {
 			SndUna:    lc.iss + 1 + lc.outBase,
 			SndData:   lc.out,
 			RcvNxt:    lc.irs + 1 + lc.inBase + uint64(len(lc.in)),
-			RcvData:   lc.in,
+			RcvData:   lc.in[lc.inRead:],
 			PeerFin:   lc.peerFin,
 		}
 		if lc.peerFin {
@@ -263,4 +331,51 @@ func (s *Secondary) Promote(stack *tcpstack.Stack) ([]*tcpstack.Conn, error) {
 		restored = append(restored, c)
 	}
 	return restored, nil
+}
+
+// Seed applies a rejoin checkpoint's logical TCP state. It must run before
+// StartPull: the snapshot covers everything up to the checkpoint cut, and
+// the sync ring (attached at the same instant on the primary) carries
+// exactly the deltas after it, so the two compose without overlap.
+func (s *Secondary) Seed(snap StateSnap) {
+	for _, cs := range snap.Conns {
+		lc := s.logical(cs.Key)
+		lc.iss, lc.irs = cs.ISS, cs.IRS
+		lc.in = append([]byte(nil), cs.In...)
+		s.DataBytes += int64(len(cs.In))
+		lc.ackTarget = cs.Acked
+		lc.peerFin = cs.PeerFin
+		lc.gone = cs.Gone
+		lc.dataQ.WakeAll(0)
+	}
+	for _, b := range snap.Binds {
+		if _, ok := s.binds[b.ID]; !ok {
+			s.bindOrder = append(s.bindOrder, b.ID)
+		}
+		s.binds[b.ID] = b.Key
+	}
+	s.bindQ.WakeAll(0)
+}
+
+// HistoryLog converts the retained logical state into a connection log for
+// the promoted side's detached primary, which carries the history forward
+// so the next rejoin can be checkpointed from it. Requires retention.
+func (s *Secondary) HistoryLog() *ConnLog {
+	if !s.retain {
+		panic("tcprep: HistoryLog requires a retaining secondary")
+	}
+	cl := NewConnLog()
+	for _, key := range s.order {
+		lc := s.conns[key]
+		h := cl.hist(key)
+		h.iss, h.irs = lc.iss, lc.irs
+		h.in = append([]byte(nil), lc.in...)
+		h.acked = lc.ackTarget
+		h.peerFin = lc.peerFin
+		h.gone = lc.gone
+	}
+	for _, id := range s.bindOrder {
+		cl.bind(id, s.binds[id])
+	}
+	return cl
 }
