@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench check trace chaos
+.PHONY: all build vet lint test race bench bench-detshard check trace chaos
 
 all: check
 
@@ -26,6 +26,12 @@ race:
 # smoke test rather than a measurement run.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Per-object sequencing sweep (DESIGN.md §13): thread counts x {shared,
+# independent} locks x det shards {1, 4}, regenerating the checked-in
+# BENCH_detshard.json with commit-wait and replay-lag distributions.
+bench-detshard:
+	$(GO) run ./cmd/ftbench -exp detshard -json BENCH_detshard.json
 
 check: vet lint build race bench
 

@@ -13,6 +13,7 @@
 //	ftbench -exp faults         # §2.2 fault outcome sweep
 //	ftbench -exp ablations      # design-choice ablations
 //	ftbench -exp batching       # log batching sweep (-batches 1,8,32 -json out.json)
+//	ftbench -exp detshard       # per-object sequencing sweep (-shards 4 -threads 1,2,4,8,16)
 package main
 
 import (
@@ -28,12 +29,14 @@ import (
 )
 
 var (
-	batchSizes = flag.String("batches", "1,8,32", "comma-separated BatchTuples sizes for -exp batching")
-	jsonOut    = flag.String("json", "", "also write the batching sweep as JSON to this file")
+	batchSizes  = flag.String("batches", "1,8,32", "comma-separated BatchTuples sizes for -exp batching")
+	jsonOut     = flag.String("json", "", "also write the selected sweep (batching, detshard) as JSON to this file")
+	shardCount  = flag.String("shards", "4", "DetShards setting compared against 1 for -exp detshard")
+	threadSweep = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts for -exp detshard")
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced sweeps / scaled-down inputs")
 	flag.Parse()
@@ -61,6 +64,7 @@ func run(exp string, seed int64, quick bool) error {
 		{"faults", faults},
 		{"ablations", ablations},
 		{"batching", batching},
+		{"detshard", detshard},
 	} {
 		if !all && exp != e.name {
 			continue
@@ -311,6 +315,69 @@ func batching(seed int64, quick bool) error {
 	fmt.Println("bytes (64B headers included) drop as tuples share slot headers")
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	fmt.Println()
+	return nil
+}
+
+func detshard(seed int64, quick bool) error {
+	fmt.Println("== Per-object sequencing: commit wait and replay lag vs det shards ==")
+	opts := bench.DefaultDetShardOpts()
+	opts.Seed = seed
+	n, err := strconv.Atoi(strings.TrimSpace(*shardCount))
+	if err != nil || n < 2 {
+		return fmt.Errorf("bad -shards %q (need an integer >= 2)", *shardCount)
+	}
+	opts.Shards = n
+	var threads []int
+	for _, f := range strings.Split(*threadSweep, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad -threads entry %q", f)
+		}
+		threads = append(threads, v)
+	}
+	opts.Threads = threads
+	if quick {
+		// Trim the sweep, not the per-point workload: the commit-wait
+		// distribution only becomes interesting once the bounded log ring
+		// saturates, which needs the full iteration count.
+		opts.Threads = []int{1, 8}
+	}
+	report, err := bench.DetShard(opts)
+	if err != nil {
+		return err
+	}
+	var table [][]string
+	for _, p := range report.Points {
+		table = append(table, []string{
+			p.Workload,
+			fmt.Sprintf("%d", p.Threads),
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%d", p.Sections),
+			fmt.Sprintf("%dus", p.CommitWaitP50/1000),
+			fmt.Sprintf("%d", p.ReplayLagP50),
+			fmt.Sprintf("%dus", p.ShardWaitP50/1000),
+			bench.F1(p.SimMS),
+			fmt.Sprintf("%d", p.Divergences),
+		})
+	}
+	bench.Table(os.Stdout,
+		[]string{"workload", "threads", "shards", "sections", "commit p50", "lag p50", "shard-wait p50", "sim ms", "div"},
+		table)
+	fmt.Printf("at %d threads, independent locks: commit-wait p50 %.1fx lower, replay-lag p50 %.1fx lower at %d shards vs 1\n",
+		report.MeasuredAt, report.CommitWaitSpeedup, report.ReplayLagSpeedup, report.Shards)
+	fmt.Println("the shared-lock rows are the control: one sequencing object, so sharding")
+	fmt.Println("must not change sections or sim time")
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -50,6 +50,7 @@ type options struct {
 	chaosSeed   int64
 	rejoinDelay time.Duration
 	flight      string
+	shards      int
 }
 
 func main() {
@@ -64,6 +65,7 @@ func main() {
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 42, "seed for the chaos injector's RNG stream")
 	flag.DurationVar(&o.rejoinDelay, "rejoin-delay", 10*time.Second, "partition repair time before a backup rejoins")
 	flag.StringVar(&o.flight, "flight", "", "write the failover flight-recorder dump to this file")
+	flag.IntVar(&o.shards, "shards", 1, "det-section sequencer shards (1 = the global-mutex total order)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ftsim:", err)
@@ -101,6 +103,7 @@ func run(o options) error {
 		// Rejoin only on chaos runs: the single-failure experiments match
 		// the paper's setup, where the degraded system runs to completion.
 		core.WithRejoin(o.chaosSpec != ""),
+		core.WithDetShards(o.shards),
 	}
 	if o.chaosSpec != "" {
 		spec := o.chaosSpec

@@ -1,0 +1,88 @@
+// Package shardrec is the golden fixture for the watermark analyzer's
+// per-object grant-table rule (DESIGN.md §13): a sharded recorder arms
+// output-commit waiters by storing a watermark-carrying struct into a
+// table keyed by object id, gated on that object's Seq_obj cursor. Like
+// the global-queue append, the store must be dominated by a force-flush
+// — otherwise tuples buffered on the object's shard never push out and
+// the waiter sleeps through its own release.
+package shardrec
+
+// objWaiter is the per-object commit waiter shape: watermark is the
+// Seq_obj cursor the release is gated on.
+type objWaiter struct {
+	watermark uint64
+	fn        func()
+}
+
+// plain is a non-waiter struct: map stores of it are not arm sites.
+type plain struct {
+	seq uint64
+}
+
+type Rec struct {
+	grants map[uint64]objWaiter
+	pgrant map[uint64]*objWaiter
+	queues map[uint64][]objWaiter
+	objSeq map[uint64]uint64
+	cursor map[uint64]plain
+	buffed int
+}
+
+func (r *Rec) flushShard() { r.buffed = 0 }
+
+// bad arms a grant-table entry with no flush anywhere in sight.
+func (r *Rec) bad(obj uint64, fn func()) {
+	r.grants[obj] = objWaiter{watermark: r.objSeq[obj], fn: fn} // want "without a dominating force-flush"
+}
+
+// good flushes the shard first: the Seq_obj watermark covers only
+// in-flight tuples.
+func (r *Rec) good(obj uint64, fn func()) {
+	r.flushShard()
+	r.grants[obj] = objWaiter{watermark: r.objSeq[obj], fn: fn}
+}
+
+// goodGuarded mirrors the fast path: early-return guards before the
+// flush are fine, those paths never arm.
+func (r *Rec) goodGuarded(obj uint64, fn func()) {
+	if r.buffed == 0 {
+		fn()
+		return
+	}
+	r.flushShard()
+	r.grants[obj] = objWaiter{watermark: r.objSeq[obj], fn: fn}
+}
+
+// badBranch: a flush inside one arm does not dominate a store after the
+// branch.
+func (r *Rec) badBranch(obj uint64, fn func(), cond bool) {
+	if cond {
+		r.flushShard()
+	}
+	r.grants[obj] = objWaiter{watermark: r.objSeq[obj], fn: fn} // want "without a dominating force-flush"
+}
+
+// badPtr: pointer-valued grant tables are armed the same way.
+func (r *Rec) badPtr(obj uint64, w *objWaiter) {
+	r.pgrant[obj] = w // want "without a dominating force-flush"
+}
+
+// badQueue: appending to a per-object waiter queue is the slice rule's
+// territory and still fires through the map lookup.
+func (r *Rec) badQueue(obj uint64, w objWaiter) {
+	r.queues[obj] = append(r.queues[obj], w) // want "without a dominating force-flush"
+}
+
+// goodQueue: the same append under a dominating flush passes.
+func (r *Rec) goodQueue(obj uint64, w objWaiter) {
+	r.flushShard()
+	r.queues[obj] = append(r.queues[obj], w)
+}
+
+// unrelated map stores are not output-commit waiters: cursor bookkeeping
+// (plain structs, scalar cursors) must stay lintable without flushes.
+func (r *Rec) unrelated(obj, seq uint64) {
+	r.objSeq[obj] = seq
+	r.cursor[obj] = plain{seq: seq}
+	delete(r.grants, obj)
+}

@@ -20,6 +20,16 @@
 // must appear earlier in the same or an enclosing statement block, so a
 // flush inside one if-arm does not satisfy an arm-site on another path.
 // Early returns before the flush are fine — those paths never arm.
+//
+// Per-object sequencing (DESIGN.md §13) added a second arming idiom the
+// slice rule cannot see: a grant table keyed by object id, where the
+// waiter is armed by map-index assignment (`table[obj] = waiter{...}`)
+// against that object's Seq_obj cursor instead of being appended to one
+// global queue. The waiter struct shape is the same — a watermark field
+// names the release cursor — so the analyzer treats a map-index store of
+// a watermark-carrying struct (or pointer to one) exactly like an
+// append: it must be dominated by a force-flush, or tuples of that
+// object's shard could sit buffered while the waiter sleeps.
 package watermark
 
 import (
@@ -120,6 +130,16 @@ func checkArm(pass *ftvet.Pass, pkg *ftvet.Package, s ast.Stmt, flushSeen bool) 
 				pass.Report(n.Pos(),
 					"output-commit waiter armed without a dominating force-flush: tuples buffered by batching could stall (or deadlock) output release; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5)")
 			}
+		case *ast.AssignStmt:
+			if flushSeen {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if armsWatermarkTable(pkg, lhs) {
+					pass.Report(lhs.Pos(),
+						"per-object output-commit waiter armed without a dominating force-flush: a grant-table entry gated on Seq_obj can sleep across buffered tuples of its shard; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5, DESIGN.md §13)")
+				}
+			}
 		}
 		return true
 	})
@@ -175,7 +195,35 @@ func armsWatermark(pkg *ftvet.Package, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	elem := sl.Elem()
+	return watermarkStruct(sl.Elem())
+}
+
+// armsWatermarkTable reports whether lhs is a map-index store whose value
+// type is a watermark-carrying struct — the per-object grant-table idiom
+// (`table[obj] = waiter{watermark: seqObj, ...}`).
+func armsWatermarkTable(pkg *ftvet.Package, lhs ast.Expr) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pkg.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	mp, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	return watermarkStruct(mp.Elem())
+}
+
+// watermarkStruct reports whether elem (a pointer indirection is looked
+// through) is a struct carrying a watermark field — the output-commit
+// waiter shape shared by the global queue and the per-object grant table.
+func watermarkStruct(elem types.Type) bool {
+	if elem == nil {
+		return false
+	}
 	if p, ok := elem.Underlying().(*types.Pointer); ok {
 		elem = p.Elem()
 	}

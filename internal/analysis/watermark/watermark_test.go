@@ -13,5 +13,5 @@ func TestWatermark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	analysistest.Run(t, td, watermark.Analyzer, "repro/internal/wmfix")
+	analysistest.Run(t, td, watermark.Analyzer, "repro/internal/wmfix", "repro/internal/shardrec")
 }

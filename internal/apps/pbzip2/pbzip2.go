@@ -40,6 +40,12 @@ type Config struct {
 	// MaxBlocks truncates the run after this many blocks (0 = whole file);
 	// benchmarks use it to bound simulated work per sweep point.
 	MaxBlocks int
+	// CommitEvery makes the writer request output commit every N written
+	// blocks — modelling fsync/flush points on the compressed file. 0
+	// disables it (the pure-compute configuration of Figure 4). The commit
+	// is asynchronous: the writer keeps going and the wait shows up in the
+	// recorder's commit-wait histogram, not in the block times.
+	CommitEvery int
 }
 
 // DefaultConfig matches the paper's setup.
@@ -194,6 +200,9 @@ func Run(th *replication.Thread, cfg Config, st *Stats) {
 				st.Blocks++
 				st.BlockTimes = append(st.BlockTimes, w.Task().Now())
 				next++
+				if cfg.CommitEvery > 0 && next%cfg.CommitEvery == 0 {
+					w.NS().OnStable(func() {})
+				}
 			}
 		}
 	})

@@ -123,6 +123,10 @@ func batchPoint(batch int, opts BatchSweepOpts) (BatchPoint, error) {
 	app := pbzip2.DefaultConfig()
 	app.Workers = opts.Workers
 	app.MaxBlocks = opts.Blocks
+	// Commit every few written blocks so the sweep actually exercises the
+	// output-commit path: without it the commit-wait histogram sits at
+	// count 0 and the batching win on commit latency is invisible.
+	app.CommitEvery = 4
 	var pst, sst pbzip2.Stats
 	pns.Start("pbzip2", nil, func(th *replication.Thread) { pbzip2.Run(th, app, &pst) })
 	sns.Start("pbzip2", nil, func(th *replication.Thread) { pbzip2.Run(th, app, &sst) })

@@ -51,6 +51,15 @@ func WithBatching(n int, flush time.Duration) Option {
 	}
 }
 
+// WithDetShards shards the namespace-wide deterministic-section mutex
+// across n per-object sequencer locks on both replicas: sections on
+// different sequencing objects (mutexes, condvars, replicated syscall
+// classes) record and replay concurrently. n <= 1 selects the paper's
+// single global mutex and reproduces the unsharded engine byte for byte.
+func WithDetShards(n int) Option {
+	return func(c *Config) { c.Replication.DetShards = n }
+}
+
 // WithTCPSync overrides the TCP logical-state sync batching separately
 // from the det-log policy (rarely needed; WithBatching sets both).
 func WithTCPSync(cfg tcprep.SyncConfig) Option {
@@ -149,13 +158,18 @@ func (cfg Config) validate() (Config, error) {
 		cfg.Kernel = kernel.DefaultParams()
 	}
 	if cfg.Replication.LogRingBytes == 0 {
+		shards := cfg.Replication.DetShards
 		cfg.Replication = replication.DefaultConfig()
+		cfg.Replication.DetShards = shards
 	}
 	// One coalescing policy, normalized once: <=1 means batching off;
 	// batching without a flush bound gets the calibrated default so a
 	// partial batch can never sit forever.
 	if cfg.Replication.BatchTuples < 1 {
 		cfg.Replication.BatchTuples = 1
+	}
+	if cfg.Replication.DetShards < 1 {
+		cfg.Replication.DetShards = 1
 	}
 	if cfg.TCPSync == (tcprep.SyncConfig{}) {
 		cfg.TCPSync = tcprep.DefaultSyncConfig()

@@ -39,7 +39,7 @@ const rejoinStreamTotal = 64 << 20
 // received chunk against the deterministic pattern as it arrives, and
 // returns the system, the FNV-1a hash of the received stream, and the
 // sequence of distinct lifecycle states observed by a 5 ms poller.
-func rejoinRun(t *testing.T, spec string, seed int64, until time.Duration) (*core.System, uint64, []core.LifecycleState) {
+func rejoinRun(t *testing.T, spec string, seed int64, until time.Duration, extra ...core.Option) (*core.System, uint64, []core.LifecycleState) {
 	t.Helper()
 	tcp := tcpstack.DefaultParams()
 	tcp.MSS = 16 << 10
@@ -50,6 +50,7 @@ func rejoinRun(t *testing.T, spec string, seed int64, until time.Duration) (*cor
 		core.WithNICDriverLoadTime(time.Second),
 		core.WithRejoinDelay(3 * time.Second),
 	}
+	opts = append(opts, extra...)
 	if spec != "" {
 		opts = append(opts, core.WithChaos(chaos.MustParse(spec), 42))
 	}

@@ -262,3 +262,15 @@ func (s Snapshot) Gauge(name string) (int64, bool) {
 	}
 	return 0, false
 }
+
+// Histogram looks up a histogram summary by name in a snapshot, reporting
+// whether it exists — benches use it to pull percentiles into flat report
+// fields without re-walking the snapshot.
+func (s Snapshot) Histogram(name string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}

@@ -145,6 +145,19 @@ func (l *Lib) newID() uint64 {
 	return l.nextID
 }
 
+// ShardOf maps a sequencing-object key to one of shards det-section locks.
+// A Fibonacci multiplicative hash spreads the small, dense ids produced by
+// newID across shards so that adjacent objects (a condvar and the mutex
+// created next to it) usually land on different locks. The mapping is a
+// pure function of (key, shards): both replicas, the checkpoint verifier
+// and the benchmarks compute the same placement independently.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int((key * 0x9e3779b97f4a7c15) >> 32 % uint64(shards))
+}
+
 // fifo reports whether hand-off order follows the paper's FIFO-futex
 // modification; when false, a deterministically-random waiter is chosen,
 // modelling stock futex wake order.

@@ -46,6 +46,12 @@ type Checkpoint struct {
 	NextFTPid int
 	// Threads holds the per-thread sequence cursors, sorted by ft_pid.
 	Threads []replication.SeqCursor
+	// Objs holds the per-object sequencing cursors (Seq_obj), sorted by
+	// object key. With sharded det sections SeqGlobal is only a Lamport
+	// watermark, so the cut's real cursor state is this vector; with one
+	// shard it is still recorded and verified, keeping checkpoints
+	// comparable across WithDetShards settings.
+	Objs []replication.ObjCursor
 	// Env is the replicated environment mirror in sorted-key order.
 	Env []EnvEntry
 	// TCP is the logical connection history the backup seeds its sync
@@ -69,6 +75,7 @@ func Cut(gen int, ns *replication.Namespace, prim *tcprep.Primary) *Checkpoint {
 		SeqGlobal:  seqGlobal,
 		NextFTPid:  ns.NextFTPid(),
 		Threads:    threads,
+		Objs:       ns.ObjCursors(),
 		Env:        sortedEnv(ns.Env()),
 	}
 	if prim != nil {
@@ -99,6 +106,9 @@ func (cp *Checkpoint) digest() uint64 {
 	for _, t := range cp.Threads {
 		fmt.Fprintf(h, "|t%d:%d", t.FTPid, t.Seq)
 	}
+	for _, o := range cp.Objs {
+		fmt.Fprintf(h, "|o%d:%d", o.Obj, o.Seq)
+	}
 	for _, e := range cp.Env {
 		fmt.Fprintf(h, "|e%s=%s", e.Key, e.Value)
 	}
@@ -115,7 +125,7 @@ func (cp *Checkpoint) digest() uint64 {
 
 // Bytes is the checkpoint's accounted bulk-transfer footprint.
 func (cp *Checkpoint) Bytes() int {
-	n := 64 + 16*len(cp.Threads)
+	n := 64 + 16*len(cp.Threads) + 16*len(cp.Objs)
 	for _, e := range cp.Env {
 		n += 16 + len(e.Key) + len(e.Value)
 	}
@@ -146,6 +156,17 @@ func (cp *Checkpoint) VerifyReplay(ns *replication.Namespace) error {
 				ErrChecksumMismatch, t.FTPid, t.Seq, cp.Threads[i].FTPid, cp.Threads[i].Seq)
 		}
 	}
+	objs := ns.ObjCursors()
+	if len(objs) != len(cp.Objs) {
+		return fmt.Errorf("%w: %d object cursors, checkpoint %d",
+			ErrChecksumMismatch, len(objs), len(cp.Objs))
+	}
+	for i, o := range objs {
+		if o != cp.Objs[i] {
+			return fmt.Errorf("%w: object %d at Seq_obj %d, checkpoint <%d,%d>",
+				ErrChecksumMismatch, o.Obj, o.Seq, cp.Objs[i].Obj, cp.Objs[i].Seq)
+		}
+	}
 	env := sortedEnv(ns.Env())
 	if len(env) != len(cp.Env) {
 		return fmt.Errorf("%w: %d env entries, checkpoint %d",
@@ -172,6 +193,7 @@ const (
 	bulkChunk
 	bulkBinds
 	bulkDone
+	bulkObjs
 )
 
 // chunkBytes bounds one bulk-ring transfer so the checkpoint streams
@@ -209,6 +231,7 @@ func Send(t *kernel.Task, ring *shm.Ring, cp *Checkpoint) {
 		Sum:        cp.Sum,
 	}})
 	ring.Send(p, shm.Message{Kind: bulkThreads, Size: 16 + 16*len(cp.Threads), Payload: cp.Threads})
+	ring.Send(p, shm.Message{Kind: bulkObjs, Size: 16 + 16*len(cp.Objs), Payload: cp.Objs})
 	envSize := 16
 	for _, e := range cp.Env {
 		envSize += 16 + len(e.Key) + len(e.Value)
@@ -250,6 +273,8 @@ func Recv(t *kernel.Task, ring *shm.Ring) (*Checkpoint, error) {
 			want = h.Sum
 		case bulkThreads:
 			cp.Threads = m.Payload.([]replication.SeqCursor)
+		case bulkObjs:
+			cp.Objs = m.Payload.([]replication.ObjCursor)
 		case bulkEnv:
 			cp.Env = m.Payload.([]EnvEntry)
 		case bulkConn:

@@ -49,6 +49,9 @@ func testCheckpoint() *Checkpoint {
 		Threads: []replication.SeqCursor{
 			{FTPid: 1, Seq: 4000}, {FTPid: 2, Seq: 8345},
 		},
+		Objs: []replication.ObjCursor{
+			{Obj: 1, Seq: 7000}, {Obj: 2, Seq: 5345},
+		},
 		Env: []EnvEntry{{Key: "FT_MODE", Value: "replicated"}, {Key: "HOME", Value: "/"}},
 		TCP: tcprep.StateSnap{
 			Conns: []tcprep.ConnSnap{{
@@ -88,6 +91,9 @@ func TestBulkTransferRoundTrip(t *testing.T) {
 	if len(got.Threads) != 2 || got.Threads[1] != cp.Threads[1] {
 		t.Errorf("thread cursors differ: %+v", got.Threads)
 	}
+	if len(got.Objs) != 2 || got.Objs[0] != cp.Objs[0] || got.Objs[1] != cp.Objs[1] {
+		t.Errorf("object cursors differ: %+v", got.Objs)
+	}
 	if len(got.Env) != 2 || got.Env[0] != cp.Env[0] {
 		t.Errorf("env differs: %+v", got.Env)
 	}
@@ -114,12 +120,31 @@ func TestBulkTransferDetectsCorruption(t *testing.T) {
 	}
 }
 
+// TestBulkTransferDetectsCursorCorruption corrupts one per-object cursor
+// AFTER the digest was computed — the skew a buggy sharded cut would
+// produce — and requires the reassembly digest check to reject it.
+func TestBulkTransferDetectsCursorCorruption(t *testing.T) {
+	s, pk, bk, ring := bulkPair(t)
+	cp := testCheckpoint()
+	cp.Objs[1].Seq += 3 // post-digest corruption of a Seq_obj cursor
+	var rerr error
+	pk.Spawn("send", func(tk *kernel.Task) { Send(tk, ring, cp) })
+	bk.Spawn("recv", func(tk *kernel.Task) { _, rerr = Recv(tk, ring) })
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(rerr, ErrChecksumMismatch) {
+		t.Fatalf("Recv = %v, want ErrChecksumMismatch", rerr)
+	}
+}
+
 func TestDigestCoversContent(t *testing.T) {
 	base := testCheckpoint()
 	mutations := map[string]func(*Checkpoint){
 		"seq":    func(c *Checkpoint) { c.SeqGlobal++ },
 		"ftpid":  func(c *Checkpoint) { c.NextFTPid++ },
 		"cursor": func(c *Checkpoint) { c.Threads[0].Seq++ },
+		"objs":   func(c *Checkpoint) { c.Objs[1].Seq++ },
 		"env":    func(c *Checkpoint) { c.Env[0].Value = "degraded" },
 		"input":  func(c *Checkpoint) { c.TCP.Conns[0].In[0]++ },
 		"acked":  func(c *Checkpoint) { c.TCP.Conns[0].Acked++ },

@@ -1,6 +1,10 @@
 package replication
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Instrument attaches an event scope and registers this side's metrics,
 // prefixed by the namespace name. Call it once, right after construction
@@ -28,6 +32,25 @@ func (r *Recorder) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
 	r.hCommitWait = reg.Histogram(name+".commit.wait", "ns")
 	r.hBatchFill = reg.Histogram(name+".flush.batch", "tuples")
 	r.hFlushLag = reg.Histogram(name+".flush.lag", "tuples")
+	// Shard-level contention signals: the det-lock wait distribution (the
+	// global-mutex contention when DetShards is 1) and per-shard section
+	// counts, which expose placement skew across the sharded sequencers.
+	r.hShardWait = reg.Histogram(name+".shard.wait", "ns")
+	if reg != nil {
+		r.cShardSecs = make([]*obs.Counter, len(r.mus))
+		for i := range r.cShardSecs {
+			r.cShardSecs[i] = reg.Counter(fmt.Sprintf("%s.shard.%d.sections", name, i))
+		}
+	}
+}
+
+// cShardSec returns the section counter for one det shard (nil when the
+// recorder is uninstrumented).
+func (r *Recorder) cShardSec(shard int) *obs.Counter {
+	if shard >= len(r.cShardSecs) {
+		return nil
+	}
+	return r.cShardSecs[shard]
 }
 
 // noteFlush records one vectored log flush of n tuples: the batch-fill
@@ -42,4 +65,8 @@ func (r *Replayer) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
 	r.sc = sc
 	r.cAcks = reg.Counter(name + ".replay.acks")
 	r.hRecvBatch = reg.Histogram(name+".replay.batch", "tuples")
+	// Grant wait: how long a shadow thread sits parked in __det_start
+	// before its turn arrives — the replay-side serialization signal the
+	// per-object grant table exists to shrink.
+	r.hGrantWait = reg.Histogram(name+".grant.wait", "ns")
 }

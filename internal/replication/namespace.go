@@ -91,8 +91,8 @@ func NewSecondary(name string, k *kernel.Kernel, cfg Config, log, acks *shm.Ring
 // left unregistered — the dead primary's namespace already claimed the
 // metric names — but it shares the replayer's event scope so the flight
 // timeline stays contiguous.
-func (ns *Namespace) forkRecorder(hist []shm.Message, nextGlobal uint64) *Recorder {
-	rec := newForkRecorder(ns.kern, ns.cfg, hist, nextGlobal)
+func (ns *Namespace) forkRecorder(hist []shm.Message, nextGlobal uint64, objSeq map[uint64]uint64) *Recorder {
+	rec := newForkRecorder(ns.kern, ns.cfg, hist, nextGlobal, objSeq)
 	rec.sc = ns.rep.sc
 	ns.rec = rec
 	ns.role = RolePrimary
@@ -162,12 +162,13 @@ func (ns *Namespace) SeqGlobal() uint64 {
 	return 0
 }
 
-// ReplayHead returns the global sequence number the replayer will grant
-// next; zero on non-replaying roles. The replay lag of a deployment is
-// the primary's SeqGlobal minus the secondary's ReplayHead.
+// ReplayHead returns the scalar replay watermark: the next global sequence
+// number with one det shard, the Lamport frontier (every GlobalSeq below it
+// replayed) with more; zero on non-replaying roles. The replay lag of a
+// deployment is the primary's SeqGlobal minus the secondary's ReplayHead.
 func (ns *Namespace) ReplayHead() uint64 {
 	if ns.rep != nil {
-		return ns.rep.nextGlobal
+		return ns.rep.head()
 	}
 	return 0
 }
@@ -193,9 +194,32 @@ func (ns *Namespace) Cursors() (seqGlobal uint64, threads []SeqCursor) {
 	case ns.rec != nil:
 		seqGlobal = ns.rec.seqGlobal
 	case ns.rep != nil:
-		seqGlobal = ns.rep.nextGlobal
+		seqGlobal = ns.rep.head()
 	}
 	return seqGlobal, threads
+}
+
+// ObjCursors returns the per-object sequencing cursors — each sequencing
+// object's Seq_obj this side has passed — sorted by object key (the cursor
+// maps iterate in arbitrary order; the sort restores a deterministic,
+// comparable view). Together with the Lamport watermark from Cursors they
+// form the sharded checkpoint cut; with one det shard the recorder still
+// maintains them, so checkpoints taken before a WithDetShards change stay
+// verifiable after it.
+func (ns *Namespace) ObjCursors() []ObjCursor {
+	var m map[uint64]uint64
+	switch {
+	case ns.rec != nil:
+		m = ns.rec.objSeq
+	case ns.rep != nil:
+		m = ns.rep.objDone
+	}
+	out := make([]ObjCursor, 0, len(m))
+	for k, v := range m { // ftvet:nondet collect-then-sort
+		out = append(out, ObjCursor{Obj: k, Seq: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
+	return out
 }
 
 // NextFTPid returns the next ft_pid the namespace would assign — part of

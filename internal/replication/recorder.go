@@ -39,11 +39,18 @@ type replicaLink struct {
 }
 
 // Recorder is the primary-side engine: it serializes deterministic
-// sections under the namespace global mutex and streams the log. It
+// sections under the namespace det-section locks and streams the log. It
 // supports any number of backup replicas (the paper's prototype uses one;
 // §6 sketches the extension to more): the log is broadcast to every
 // backup and output is stable only when EVERY live backup has received it
 // — the conservative rule that also covers a future voting configuration.
+//
+// With Config.DetShards == 1 there is a single lock — the namespace-wide
+// global mutex of Figure 3 — and recording is byte-identical to the
+// unsharded engine. With more shards each sequencing object hashes to one
+// lock, sections on different objects run concurrently, and every tuple
+// carries its object's own Seq_obj; GlobalSeq degrades to a Lamport
+// watermark that is still unique and monotone per thread and per object.
 //
 // With Config.BatchTuples > 1 the recorder coalesces tuples per backup and
 // flushes them as one vectored ring transfer when the batch fills, when
@@ -54,7 +61,8 @@ type Recorder struct {
 	cfg      Config
 	replicas []*replicaLink
 
-	mu        *pthread.Mutex // the namespace-wide global mutex of Figure 3
+	mus       []*pthread.Mutex  // det-section locks; one = the global mutex of Figure 3
+	objSeq    map[uint64]uint64 // next Seq_obj per sequencing object
 	seqGlobal uint64
 	sent      uint64
 	stableQ   []stableWaiter
@@ -71,6 +79,21 @@ type Recorder struct {
 	hCommitWait *obs.Histogram
 	hBatchFill  *obs.Histogram
 	hFlushLag   *obs.Histogram
+	hShardWait  *obs.Histogram
+	cShardSecs  []*obs.Counter // per-shard section counts
+}
+
+// newShardLocks builds the det-section lock array: one pthread mutex per
+// shard, on a private zero-cost library so lock traffic is pure
+// synchronization (the section's CPU cost is charged explicitly).
+func newShardLocks(k *kernel.Kernel, shards int) []*pthread.Mutex {
+	plib := pthread.NewLib(k, nil)
+	plib.SetOpCost(0)
+	mus := make([]*pthread.Mutex, shards)
+	for i := range mus {
+		mus[i] = plib.NewMutex()
+	}
+	return mus
 }
 
 func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder {
@@ -78,12 +101,11 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 		panic("replication: recorder needs one log+ack ring pair per backup")
 	}
 	cfg = cfg.withBatchDefaults()
-	plib := pthread.NewLib(k, nil)
-	plib.SetOpCost(0)
 	r := &Recorder{
 		kern:      k,
 		cfg:       cfg,
-		mu:        plib.NewMutex(),
+		mus:       newShardLocks(k, cfg.DetShards),
+		objSeq:    make(map[uint64]uint64),
 		flushQ:    sim.NewWaitQueue(k.Sim()),
 		flushDone: sim.NewWaitQueue(k.Sim()),
 	}
@@ -98,17 +120,20 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 
 // newForkRecorder builds the recorder a promoted replica forks into at
 // the instant of finishing promotion (Config.Rejoinable): it continues
-// the dead primary's sequence space (seqGlobal) and inherits the replayed
-// history, so a backup rejoined later can catch up from sequence zero. It
-// starts degraded, with no backup links.
-func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal uint64) *Recorder {
+// the dead primary's sequence space (seqGlobal plus the per-object
+// cursors) and inherits the replayed history, so a backup rejoined later
+// can catch up from sequence zero. It starts degraded, with no backup
+// links.
+func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal uint64, objSeq map[uint64]uint64) *Recorder {
 	cfg = cfg.withBatchDefaults()
-	plib := pthread.NewLib(k, nil)
-	plib.SetOpCost(0)
+	if objSeq == nil {
+		objSeq = make(map[uint64]uint64)
+	}
 	r := &Recorder{
 		kern:      k,
 		cfg:       cfg,
-		mu:        plib.NewMutex(),
+		mus:       newShardLocks(k, cfg.DetShards),
+		objSeq:    objSeq,
 		flushQ:    sim.NewWaitQueue(k.Sim()),
 		flushDone: sim.NewWaitQueue(k.Sim()),
 		seqGlobal: seqGlobal,
@@ -258,8 +283,10 @@ func (r *Recorder) syncingBackups() int {
 // immediately; batched, it coalesces into the link's pending buffer and
 // flushes when the batch fills. Either way a full in-flight buffer blocks
 // the caller, throttling the primary to the slowest backup's drain rate.
-func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size int) {
-	m := shm.Message{Kind: kind, Payload: payload, Size: size}
+// stream tags the message with its det shard, multiplexing the per-shard
+// log streams over the one vectored ring.
+func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size, stream int) {
+	m := shm.Message{Kind: kind, Payload: payload, Size: size, Stream: stream}
 	if r.cfg.Rejoinable {
 		r.history = append(r.history, m)
 	}
@@ -293,8 +320,8 @@ func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size int) {
 // flushLink sends the link's buffered batch as one vectored transfer,
 // blocking while the ring is full. Flushes are serialized per link: a
 // later, smaller batch must never overtake an earlier one stalled on a
-// full ring, because the replayer treats out-of-order GlobalSeq as a fatal
-// log gap.
+// full ring, because the replayer treats out-of-order sequence numbers
+// (GlobalSeq unsharded, per-object Seq_obj sharded) as a fatal log gap.
 func (r *Recorder) flushLink(p *sim.Proc, link *replicaLink) {
 	for link.flushing {
 		r.flushDone.Wait(p)
@@ -365,24 +392,56 @@ func (r *Recorder) flushForCommit() {
 	}
 }
 
+// lockShard acquires the det-section lock owning the sequencing object and
+// returns it with its shard index. The wait is sampled into the
+// shard-contention histogram (the global-mutex contention when DetShards
+// is 1).
+func (r *Recorder) lockShard(t *kernel.Task, key uint64) (*pthread.Mutex, int) {
+	shard := pthread.ShardOf(key, len(r.mus))
+	mu := r.mus[shard]
+	start := t.Now()
+	mu.Lock(t)
+	r.hShardWait.Observe(int64(t.Now().Sub(start)))
+	return mu, shard
+}
+
+// commitSeqs assigns one section's tuple cursors and advances every
+// counter. Sharded, the advance happens BEFORE the emit's first possible
+// yield, so a concurrent section on another shard can never observe a
+// half-advanced cursor state (and GlobalSeq stays unique); unsharded, the
+// advance stays after the emit, preserving the exact pre-sharding
+// execution byte for byte.
+func (r *Recorder) commitSeqs(th *Thread, key uint64) {
+	th.seq++
+	r.seqGlobal++
+	r.objSeq[key]++
+	r.stats.Sections++
+}
+
 func (r *Recorder) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 	if r.live {
 		fn()
 		return
 	}
 	t := th.task
-	r.mu.Lock(t)
+	key := objKey(op, obj)
+	mu, shard := r.lockShard(t, key)
 	r.sc.Emit(obs.DetEnter, th.ftpid, int64(r.seqGlobal), 0)
 	t.Busy(r.cfg.SectionCost)
 	fn()
-	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, FTPid: th.ftpid, Op: op, Obj: obj}
-	r.emit(t, msgTuple, tu, tu.size())
-	r.noteTuple(th, tu)
-	th.seq++
-	r.seqGlobal++
-	r.stats.Sections++
+	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, ObjSeq: r.objSeq[key], FTPid: th.ftpid, Op: op, Obj: obj}
+	if len(r.mus) > 1 {
+		r.commitSeqs(th, key)
+		r.emit(t, msgTuple, tu, tu.size(), shard)
+		r.noteTuple(th, tu)
+	} else {
+		r.emit(t, msgTuple, tu, tu.size(), shard)
+		r.noteTuple(th, tu)
+		r.commitSeqs(th, key)
+	}
+	r.cShardSec(shard).Inc()
 	r.sc.Emit(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0)
-	r.mu.Unlock(t)
+	mu.Unlock(t)
 }
 
 // noteTuple records one emitted tuple's lifecycle event and count.
@@ -402,18 +461,24 @@ func (r *Recorder) resolve(th *Thread, op pthread.Op, obj uint64, block func(), 
 	}
 	block()
 	t := th.task
-	r.mu.Lock(t)
+	key := objKey(op, obj)
+	mu, shard := r.lockShard(t, key)
 	r.sc.Emit(obs.DetEnter, th.ftpid, int64(r.seqGlobal), 0)
 	t.Busy(r.cfg.SectionCost)
 	out, data := settle()
-	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, FTPid: th.ftpid, Op: op, Obj: obj, Outcome: out, Data: data}
-	r.emit(t, msgTuple, tu, tu.size())
-	r.noteTuple(th, tu)
-	th.seq++
-	r.seqGlobal++
-	r.stats.Sections++
+	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, ObjSeq: r.objSeq[key], FTPid: th.ftpid, Op: op, Obj: obj, Outcome: out, Data: data}
+	if len(r.mus) > 1 {
+		r.commitSeqs(th, key)
+		r.emit(t, msgTuple, tu, tu.size(), shard)
+		r.noteTuple(th, tu)
+	} else {
+		r.emit(t, msgTuple, tu, tu.size(), shard)
+		r.noteTuple(th, tu)
+		r.commitSeqs(th, key)
+	}
+	r.cShardSec(shard).Inc()
 	r.sc.Emit(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0)
-	r.mu.Unlock(t)
+	mu.Unlock(t)
 	return out, data
 }
 
@@ -422,7 +487,7 @@ func (r *Recorder) sendEnv(t *kernel.Task, env map[string]string) {
 	for k, v := range env {
 		size += len(k) + len(v) + 2
 	}
-	r.emit(t, msgEnv, env, size)
+	r.emit(t, msgEnv, env, size, 0)
 }
 
 // onStable invokes fn once the secondary has acknowledged every log message

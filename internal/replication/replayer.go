@@ -2,6 +2,7 @@ package replication
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -11,37 +12,72 @@ import (
 )
 
 // headSub is one callback armed to fire when the replay head reaches a
-// global sequence number.
+// global sequence number. While any sub is armed on a sharded replayer,
+// grants at or past the earliest armed watermark are withheld so the
+// replayed set at fire time is exactly the prefix below it — the property
+// the rejoin checkpoint verifier compares cursor vectors under.
 type headSub struct {
 	seq uint64
 	fn  func()
 }
 
 // replWaiter is a shadow thread parked in a deterministic section, waiting
-// for its tuple to reach the head of the log.
+// for its tuple to be grantable: at the head of the log with one det
+// shard, at the head of its object's queue with more.
 type replWaiter struct {
 	th        *Thread
 	key       uint64
+	obj       uint64 // sequencing-object key the thread parked on
 	granted   bool
 	liveFlush bool // granted by promotion to live execution, no tuple
 	tuple     Tuple
 }
 
+// shardIngress is one det shard's dispatch queue on the secondary: the
+// pull loop routes tuples here in ring order and the shard's grant task
+// pays the per-tuple dispatch cost — in parallel across shards.
+type shardIngress struct {
+	q  []shm.Message
+	wq *sim.WaitQueue
+}
+
 // Replayer is the secondary-side engine: it pulls the primary's log off the
 // shared-memory ring and delivers deterministic-section turns to shadow
-// threads in the recorded global order.
+// threads. With one det shard turns follow the recorded global order
+// through a single cursor; with more, a per-object grant table lets shadow
+// threads on independent objects replay concurrently, and the scalar
+// replay head becomes the Lamport frontier (every GlobalSeq below it has
+// been replayed).
 type Replayer struct {
 	kern *kernel.Kernel
 	cfg  Config
 	log  *shm.Ring
 	acks *shm.Ring
 
+	// Unsharded (DetShards <= 1) grant state: the recorded total order.
 	pending     []Tuple
 	headGranted bool
 	nextGlobal  uint64
-	waiting     map[int]*replWaiter
-	waitOrder   []int // ftpids in park order, for deterministic live-flush
-	processed   uint64
+
+	// Sharded (DetShards > 1) grant state: the per-object grant table.
+	objSeen    map[uint64]uint64  // next ObjSeq expected off the ring (duplicate filter)
+	objPending map[uint64][]Tuple // arrived, unreplayed tuples per object
+	objGranted map[uint64]bool    // object currently executing a granted section
+	objKnown   map[uint64]bool
+	objOrder   []uint64 // object keys in first-arrival order: the deterministic rescan order
+	unreplayed int      // total tuples across objPending
+	frontier   uint64   // Lamport replay head: every GlobalSeq < frontier is replayed
+	ahead      map[uint64]bool // replayed GlobalSeqs at or past the frontier
+	shardQ     []*shardIngress
+	granters   []*kernel.Task
+
+	// objDone is maintained in both modes: the per-object cursor vector
+	// checkpoints compare and forks continue from.
+	objDone map[uint64]uint64
+
+	waiting   map[int]*replWaiter
+	waitOrder []int // ftpids in park order, for deterministic live-flush
+	processed uint64
 
 	env      map[string]string
 	envReady bool
@@ -60,13 +96,14 @@ type Replayer struct {
 	// the history has no gap. headSubs are watermark callbacks used by the
 	// rejoin checkpoint verifier.
 	history  []shm.Message
-	onFork   func(hist []shm.Message, nextGlobal uint64) *Recorder
+	onFork   func(hist []shm.Message, seqGlobal uint64, objSeq map[uint64]uint64) *Recorder
 	fork     *Recorder
 	headSubs []headSub
 
 	sc         *obs.Scope
 	cAcks      *obs.Counter
 	hRecvBatch *obs.Histogram
+	hGrantWait *obs.Histogram
 }
 
 func newReplayer(k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Replayer {
@@ -76,11 +113,50 @@ func newReplayer(k *kernel.Kernel, cfg Config, log, acks *shm.Ring) *Replayer {
 		log:      log,
 		acks:     acks,
 		waiting:  make(map[int]*replWaiter),
+		objDone:  make(map[uint64]uint64),
 		envQ:     sim.NewWaitQueue(k.Sim()),
 		promoted: sim.NewWaitQueue(k.Sim()),
 	}
-	r.puller = k.Spawn("ft-replay", r.pullLoop)
+	if !r.sharded() {
+		r.puller = k.Spawn("ft-replay", r.pullLoop)
+		return r
+	}
+	r.objSeen = make(map[uint64]uint64)
+	r.objPending = make(map[uint64][]Tuple)
+	r.objGranted = make(map[uint64]bool)
+	r.objKnown = make(map[uint64]bool)
+	r.ahead = make(map[uint64]bool)
+	r.shardQ = make([]*shardIngress, r.cfg.DetShards)
+	for i := range r.shardQ {
+		r.shardQ[i] = &shardIngress{wq: sim.NewWaitQueue(k.Sim())}
+	}
+	r.puller = k.Spawn("ft-replay", r.pullLoopSharded)
+	for i := range r.shardQ {
+		i := i
+		r.granters = append(r.granters,
+			k.Spawn(fmt.Sprintf("ft-grant.%d", i), func(t *kernel.Task) { r.grantLoop(t, i) }))
+	}
 	return r
+}
+
+// sharded reports whether the per-object grant table is in effect.
+func (r *Replayer) sharded() bool { return r.cfg.DetShards > 1 }
+
+// head is the scalar replay watermark: the recorded-order cursor
+// unsharded, the Lamport frontier sharded.
+func (r *Replayer) head() uint64 {
+	if r.sharded() {
+		return r.frontier
+	}
+	return r.nextGlobal
+}
+
+// outstanding is the number of arrived, unreplayed tuples.
+func (r *Replayer) outstanding() int {
+	if r.sharded() {
+		return r.unreplayed
+	}
+	return len(r.pending)
 }
 
 // pullLoop is the serial log-dispatch path whose per-tuple cost (riding
@@ -117,6 +193,120 @@ func (r *Replayer) pullLoop(t *kernel.Task) {
 			r.ingest(m)
 		}
 	}
+}
+
+// pullLoopSharded is the sharded receive path: it acknowledges receipt and
+// routes each tuple to its det shard's ingress queue WITHOUT paying the
+// dispatch cost — the shard grant tasks pay it concurrently, which is what
+// lifts the §4.1 serial-dispatch ceiling by the shard count.
+func (r *Replayer) pullLoopSharded(t *kernel.Task) {
+	max := r.cfg.BatchTuples
+	if max < 1 {
+		max = 1
+	}
+	var lastAcked uint64
+	for {
+		batch := r.log.RecvBatch(t.Proc(), max)
+		r.hRecvBatch.Observe(int64(len(batch)))
+		r.processed += uint64(len(batch))
+		if len(batch) > 1 {
+			r.stats.LogBatches++
+		}
+		if r.cfg.AckEvery > 0 && r.processed-lastAcked >= uint64(r.cfg.AckEvery) {
+			if r.acks.TrySend(shm.Message{Kind: msgTuple, Payload: r.processed, Size: 16}) {
+				lastAcked = r.processed
+				r.stats.AckMessages++
+				r.cAcks.Inc()
+				r.sc.Emit(obs.AckSend, 0, int64(r.processed), 0)
+			}
+		}
+		for _, m := range batch {
+			r.route(m)
+		}
+	}
+}
+
+// route performs the sharded receive-side bookkeeping for one message, in
+// ring order: duplicate filtering, history retention (the retained order
+// must respect every per-thread and per-object order, which ring order
+// does and per-shard completion order would not), then hand-off to the
+// shard ingress queue.
+func (r *Replayer) route(m shm.Message) {
+	switch m.Kind {
+	case msgEnv:
+		if env, ok := m.Payload.(map[string]string); ok {
+			if r.envReady {
+				r.stats.Duplicates++
+				return
+			}
+			r.env = env
+			r.envReady = true
+			r.envQ.WakeAll(0)
+		}
+	case msgTuple:
+		if tu, ok := m.Payload.(Tuple); ok {
+			key := objKey(tu.Op, tu.Obj)
+			if tu.ObjSeq < r.objSeen[key] {
+				// Behind the object's ring cursor: a stale duplicate
+				// (injected duplication, or promotion-drain overlap).
+				r.stats.Duplicates++
+				return
+			}
+			if tu.ObjSeq > r.objSeen[key] {
+				// The mailbox is FIFO and coherency loss only truncates a
+				// suffix, so a per-object gap cannot occur on this path.
+				panic(fmt.Sprintf("replication: per-object log gap: %v expected obj-seq %d", tu, r.objSeen[key]))
+			}
+			r.objSeen[key] = tu.ObjSeq + 1
+			sh := r.shardQ[pthread.ShardOf(key, r.cfg.DetShards)]
+			sh.q = append(sh.q, m)
+			sh.wq.WakeAll(0)
+		}
+	}
+	if r.cfg.Rejoinable {
+		r.history = append(r.history, m)
+	}
+	r.stats.LogMessages++
+}
+
+// grantLoop is one det shard's dispatch task: it pays the per-tuple
+// dispatch cost for its shard's tuples and admits them into the grant
+// table. Shards progress independently — the replay-side analogue of the
+// recorder's sharded det locks.
+func (r *Replayer) grantLoop(t *kernel.Task, shard int) {
+	sh := r.shardQ[shard]
+	for {
+		for len(sh.q) == 0 {
+			sh.wq.Wait(t.Proc())
+		}
+		// Pay the dispatch cost BEFORE popping: if promotion kills this
+		// task mid-dispatch, the tuple is still queued and the promotion
+		// drain admits it — popping first would lose it and strand its
+		// object's queue behind a permanent gap. This task is the queue's
+		// only consumer, so the head cannot change across the yield.
+		if r.cfg.ReplayDispatchCost > 0 {
+			t.Compute(r.cfg.ReplayDispatchCost)
+		}
+		m := sh.q[0]
+		sh.q = sh.q[1:]
+		r.admit(m)
+	}
+}
+
+// admit enters one routed tuple into the per-object grant table.
+func (r *Replayer) admit(m shm.Message) {
+	tu, ok := m.Payload.(Tuple)
+	if !ok {
+		return
+	}
+	key := objKey(tu.Op, tu.Obj)
+	if !r.objKnown[key] {
+		r.objKnown[key] = true
+		r.objOrder = append(r.objOrder, key)
+	}
+	r.objPending[key] = append(r.objPending[key], tu)
+	r.unreplayed++
+	r.tryGrantObj(key)
 }
 
 func (r *Replayer) ingest(m shm.Message) {
@@ -159,7 +349,7 @@ func (r *Replayer) waitEnv(t *kernel.Task) map[string]string {
 }
 
 // tryGrant hands the head tuple's turn to its shadow thread, if it has
-// arrived at its deterministic section.
+// arrived at its deterministic section (unsharded discipline).
 func (r *Replayer) tryGrant() {
 	if r.headGranted || r.live || len(r.pending) == 0 {
 		return
@@ -190,6 +380,62 @@ func (r *Replayer) tryGrant() {
 	r.kern.FutexWakeRaw(w.key, 1)
 }
 
+// grantBarrier is the earliest armed head watermark: while the rejoin
+// verifier waits at W, no tuple with GlobalSeq >= W may be granted, so
+// the replayed set at frontier == W is exactly [0, W). Deadlock-free: the
+// recorded prefix is closed under per-thread and per-object predecessors
+// (GlobalSeq increases along both orders), so replay below the barrier
+// always makes progress.
+func (r *Replayer) grantBarrier() uint64 {
+	min := ^uint64(0)
+	for _, s := range r.headSubs {
+		if s.seq < min {
+			min = s.seq
+		}
+	}
+	return min
+}
+
+// tryGrantObj hands the head of one object's queue to its shadow thread if
+// the thread has arrived at the matching point in its program order
+// (sharded discipline). Thread-order matching happens here — the thread
+// may legitimately still be short of this tuple while its earlier sections
+// on other objects replay; op/object divergence is still detected by
+// verify after the grant, as in the unsharded engine.
+func (r *Replayer) tryGrantObj(key uint64) {
+	if r.live || r.objGranted[key] {
+		return
+	}
+	q := r.objPending[key]
+	if len(q) == 0 {
+		return
+	}
+	tu := q[0]
+	if tu.GlobalSeq >= r.grantBarrier() {
+		return
+	}
+	w, ok := r.waiting[tu.FTPid]
+	if !ok || w.th.seq != tu.ThreadSeq {
+		return
+	}
+	delete(r.waiting, tu.FTPid)
+	r.dropWaitOrder(tu.FTPid)
+	r.objGranted[key] = true
+	w.tuple = tu
+	w.granted = true
+	r.sc.Emit(obs.Replay, tu.FTPid, int64(tu.GlobalSeq), 0)
+	r.kern.FutexWakeRaw(w.key, 1)
+}
+
+// tryGrantAll rescans every object's queue in first-arrival order — a
+// deterministic order, unlike a map walk — after an event that can unblock
+// more than one object (a park, a completed section, a lifted barrier).
+func (r *Replayer) tryGrantAll() {
+	for _, key := range r.objOrder {
+		r.tryGrantObj(key)
+	}
+}
+
 func (r *Replayer) dropWaitOrder(ftpid int) {
 	for i, id := range r.waitOrder {
 		if id == ftpid {
@@ -200,24 +446,37 @@ func (r *Replayer) dropWaitOrder(ftpid int) {
 }
 
 // park registers the calling shadow thread and blocks until its turn (or
-// until promotion flushes it into live execution).
-func (r *Replayer) park(th *Thread) *replWaiter {
+// until promotion flushes it into live execution). key is the sequencing
+// object of the section the thread is entering.
+func (r *Replayer) park(th *Thread, key uint64) *replWaiter {
 	if _, dup := r.waiting[th.ftpid]; dup {
 		panic(fmt.Sprintf("replication: ft_pid %d parked twice", th.ftpid))
 	}
-	w := &replWaiter{th: th, key: r.kern.NewFutexKey()}
+	w := &replWaiter{th: th, key: r.kern.NewFutexKey(), obj: key}
 	r.waiting[th.ftpid] = w
 	r.waitOrder = append(r.waitOrder, th.ftpid)
-	r.tryGrant()
+	start := th.task.Now()
+	if r.sharded() {
+		r.tryGrantAll()
+	} else {
+		r.tryGrant()
+	}
 	for !w.granted {
 		th.task.FutexWait(w.key, -1)
 	}
+	r.hGrantWait.Observe(int64(th.task.Now().Sub(start)))
 	return w
 }
 
-// sectionDone advances the global replay cursor after the granted shadow
-// thread finished executing its section.
-func (r *Replayer) sectionDone() {
+// sectionDone advances the replay cursors after the granted shadow thread
+// finished executing its section.
+func (r *Replayer) sectionDone(w *replWaiter) {
+	if r.sharded() {
+		r.sectionDoneSharded(w.tuple)
+		return
+	}
+	tu := r.pending[0]
+	r.objDone[objKey(tu.Op, tu.Obj)] = tu.ObjSeq + 1
 	r.headGranted = false
 	r.pending = r.pending[1:]
 	r.nextGlobal++
@@ -229,12 +488,36 @@ func (r *Replayer) sectionDone() {
 	}
 }
 
+// sectionDoneSharded releases the object, advances its cursor and folds
+// the completed GlobalSeq into the Lamport frontier.
+func (r *Replayer) sectionDoneSharded(tu Tuple) {
+	key := objKey(tu.Op, tu.Obj)
+	r.objGranted[key] = false
+	r.objPending[key] = r.objPending[key][1:]
+	r.objDone[key] = tu.ObjSeq + 1
+	r.unreplayed--
+	r.stats.Sections++
+	r.ahead[tu.GlobalSeq] = true
+	for r.ahead[r.frontier] {
+		delete(r.ahead, r.frontier)
+		r.frontier++
+	}
+	// Fire watermark subs BEFORE rescanning: removing a sub lifts the
+	// barrier, and its callback is scheduled ahead of any wake the rescan
+	// issues, so the verifier observes the exact barrier-frozen state.
+	r.fireHeadSubs()
+	r.tryGrantAll()
+	if r.primaryDead && r.unreplayed == 0 {
+		r.finishPromotion()
+	}
+}
+
 // OnHead arms fn to run once the replay head reaches seq (immediately if
 // it already has). Callbacks run as scheduled events, never in the shadow
 // thread's context; the rejoin checkpoint verifier uses this to compare
 // cursor state exactly at the checkpoint watermark.
 func (r *Replayer) OnHead(seq uint64, fn func()) {
-	if r.nextGlobal >= seq {
+	if r.head() >= seq {
 		r.kern.Sim().Schedule(0, fn)
 		return
 	}
@@ -243,7 +526,7 @@ func (r *Replayer) OnHead(seq uint64, fn func()) {
 
 func (r *Replayer) fireHeadSubs() {
 	for i := 0; i < len(r.headSubs); {
-		if r.headSubs[i].seq <= r.nextGlobal {
+		if r.headSubs[i].seq <= r.head() {
 			fn := r.headSubs[i].fn
 			r.headSubs = append(r.headSubs[:i], r.headSubs[i+1:]...)
 			r.kern.Sim().Schedule(0, fn)
@@ -278,7 +561,7 @@ func (r *Replayer) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 		fn()
 		return
 	}
-	w := r.park(th)
+	w := r.park(th, objKey(op, obj))
 	if w.liveFlush {
 		if r.fork != nil {
 			// Promotion forked the namespace into a recording primary:
@@ -294,7 +577,7 @@ func (r *Replayer) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 	r.verify(w, op, obj)
 	fn()
 	th.seq++
-	r.sectionDone()
+	r.sectionDone(w)
 }
 
 // resolve replays a resolve section: block is skipped (the outcome is the
@@ -308,7 +591,7 @@ func (r *Replayer) resolve(th *Thread, op pthread.Op, obj uint64, block func(), 
 		block()
 		return settle()
 	}
-	w := r.park(th)
+	w := r.park(th, objKey(op, obj))
 	if w.liveFlush {
 		if r.fork != nil {
 			return r.fork.resolve(th, op, obj, block, settle)
@@ -323,7 +606,7 @@ func (r *Replayer) resolve(th *Thread, op pthread.Op, obj uint64, block func(), 
 		r.diverge(fmt.Sprintf("resolve outcome %d differs from recorded %d (%v obj=%d)", out, w.tuple.Outcome, op, obj))
 	}
 	th.seq++
-	r.sectionDone()
+	r.sectionDone(w)
 	return w.tuple.Outcome, w.tuple.Data
 }
 
@@ -336,14 +619,14 @@ func (r *Replayer) replayed(th *Thread, op pthread.Op, obj uint64) (uint64, []by
 	if r.live {
 		return 0, nil, false, r.fork
 	}
-	w := r.park(th)
+	w := r.park(th, objKey(op, obj))
 	if w.liveFlush {
 		return 0, nil, false, r.fork
 	}
 	th.task.Busy(r.cfg.ReplaySectionCost)
 	r.verify(w, op, obj)
 	th.seq++
-	r.sectionDone()
+	r.sectionDone(w)
 	return w.tuple.Outcome, w.tuple.Data, true, nil
 }
 
@@ -357,16 +640,36 @@ func (r *Replayer) Promote() {
 	}
 	r.primaryDead = true
 	r.puller.Kill()
+	for _, g := range r.granters {
+		g.Kill()
+	}
 	// Drain what the dead primary left in shared memory (§3.5: messages in
 	// the mailbox survive the sender's death).
 	drained := 0
-	for _, m := range r.log.Drain() {
-		r.processed++
-		drained++
-		r.ingest(m)
+	if r.sharded() {
+		for _, m := range r.log.Drain() {
+			r.processed++
+			drained++
+			r.route(m)
+		}
+		// The grant tasks are dead: admit everything routed (including
+		// tuples they left queued) directly, without dispatch cost.
+		for _, sh := range r.shardQ {
+			for len(sh.q) > 0 {
+				m := sh.q[0]
+				sh.q = sh.q[1:]
+				r.admit(m)
+			}
+		}
+	} else {
+		for _, m := range r.log.Drain() {
+			r.processed++
+			drained++
+			r.ingest(m)
+		}
 	}
-	r.sc.Emit(obs.Promote, 0, int64(r.nextGlobal), int64(drained))
-	if len(r.pending) == 0 {
+	r.sc.Emit(obs.Promote, 0, int64(r.head()), int64(drained))
+	if r.outstanding() == 0 {
 		r.finishPromotion()
 	}
 	// Otherwise replay continues as shadow threads arrive; the last
@@ -378,11 +681,12 @@ func (r *Replayer) finishPromotion() {
 		return
 	}
 	r.live = true
-	r.sc.Emit(obs.GoLive, 0, int64(r.nextGlobal), 0)
+	r.sc.Emit(obs.GoLive, 0, int64(r.head()), 0)
 	if r.onFork != nil {
 		// Fork BEFORE flushing waiters: their sections must be recorded
 		// by the fork so the retained history stays gapless.
-		r.fork = r.onFork(r.truncatedHistory(), r.nextGlobal)
+		hist, n := r.replayedHistory()
+		r.fork = r.onFork(hist, n, r.objSeqSnapshot())
 	}
 	order := r.waitOrder
 	r.waitOrder = nil
@@ -398,23 +702,54 @@ func (r *Replayer) finishPromotion() {
 	r.promoted.WakeAll(0)
 }
 
-// truncatedHistory returns the executed prefix of the retained log: every
-// environment message plus the first nextGlobal tuples. Tuples ingested
-// past a coherency gap were discarded unreplayed and must not survive
-// into the forked recorder's history.
-func (r *Replayer) truncatedHistory() []shm.Message {
-	out := make([]shm.Message, 0, len(r.history))
-	var tuples uint64
-	for _, m := range r.history {
-		if m.Kind == msgTuple {
-			if tuples >= r.nextGlobal {
-				break
-			}
-			tuples++
-		}
-		out = append(out, m)
+// objSeqSnapshot copies the per-object cursors for the fork recorder,
+// which continues each object's Seq_obj space where replay stopped.
+func (r *Replayer) objSeqSnapshot() map[uint64]uint64 {
+	keys := make([]uint64, 0, len(r.objDone))
+	for k := range r.objDone { // ftvet:nondet collect-then-sort
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make(map[uint64]uint64, len(keys))
+	for _, k := range keys {
+		out[k] = r.objDone[k]
 	}
 	return out
+}
+
+// replayedHistory returns the executed subset of the retained log — every
+// environment message plus exactly the tuples whose sections replayed —
+// with GlobalSeq renumbered densely in retained (ring) order. Unsharded,
+// the replayed set is the first nextGlobal tuples and the renumbering is
+// the identity. Sharded, sections completed past a promotion gap would
+// leave holes below the Lamport maximum; dropping unreplayed tuples and
+// renumbering restores a dense, causally consistent order (ring order
+// respects every per-thread and per-object order), so a backup rejoining
+// the fork can replay the history under either discipline. It returns the
+// history and the fork's starting GlobalSeq.
+func (r *Replayer) replayedHistory() ([]shm.Message, uint64) {
+	out := make([]shm.Message, 0, len(r.history))
+	var n uint64
+	for _, m := range r.history {
+		if m.Kind != msgTuple {
+			out = append(out, m)
+			continue
+		}
+		tu, ok := m.Payload.(Tuple)
+		if !ok {
+			continue
+		}
+		if tu.ObjSeq >= r.objDone[objKey(tu.Op, tu.Obj)] {
+			continue // arrived but never replayed: beyond the stable point
+		}
+		if tu.GlobalSeq != n {
+			tu.GlobalSeq = n
+			m.Payload = tu
+		}
+		n++
+		out = append(out, m)
+	}
+	return out, n
 }
 
 // Live reports whether promotion has completed.

@@ -16,6 +16,16 @@
 // the log, yielding the primary's total order while unordered code runs in
 // parallel.
 //
+// With Config.DetShards > 1 the namespace-wide mutex is sharded into
+// per-object sequencing: every replicated object (mutex, rwlock,
+// condvar+internal-lock pair, replicated syscall class) owns a Seq_obj
+// counter, sections on different objects record concurrently under
+// different shard locks, and the secondary grants turns from a per-object
+// table — independent objects replay in parallel. Seq_global is retained
+// as a Lamport clock so output commit, checkpoint cuts and rejoin
+// verification keep a scalar watermark; Seq_thread preserves each thread's
+// program order. Shard count 1 is exactly the paper's global total order.
+//
 // Syscall results the secondary must not recompute (gettimeofday, bytes
 // returned by reads, poll results) are recorded as resolve sections whose
 // outcome (and payload bytes) travel with the tuple; the secondary returns
@@ -86,13 +96,23 @@ const (
 // header is added by the messaging layer).
 const tupleBytes = 64
 
-// Tuple is one deterministic-section record.
+// Tuple is one deterministic-section record: <Seq_thread, Seq_obj, obj_id,
+// ft_pid> plus the Lamport Seq_global watermark and the op metadata. The
+// sequence numbers fit the same accounted cache line as before sharding
+// (tupleBytes), so the wire footprint is unchanged.
 type Tuple struct {
 	ThreadSeq uint64
+	// GlobalSeq is the namespace Lamport clock at emission. With one det
+	// shard it is the paper's dense global sequence; with more it remains
+	// unique and consistent with every per-thread and per-object order,
+	// giving the scalar watermark output commit and checkpoints need.
 	GlobalSeq uint64
-	FTPid     int
-	Op        pthread.Op
-	Obj       uint64
+	// ObjSeq is the section's rank in its sequencing object's own order —
+	// the cursor the sharded replayer grants against.
+	ObjSeq uint64
+	FTPid  int
+	Op     pthread.Op
+	Obj    uint64
 	// Outcome is the recorded result for resolve sections.
 	Outcome uint64
 	// Data carries payload bytes for data-bearing syscalls (reads).
@@ -102,8 +122,29 @@ type Tuple struct {
 func (tu Tuple) size() int { return tupleBytes + len(tu.Data) }
 
 func (tu Tuple) String() string {
-	return fmt.Sprintf("<%d,%d,%d> %v obj=%d out=%d len=%d",
-		tu.ThreadSeq, tu.GlobalSeq, tu.FTPid, tu.Op, tu.Obj, tu.Outcome, len(tu.Data))
+	return fmt.Sprintf("<%d,%d,%d,%d> %v obj=%d out=%d len=%d",
+		tu.ThreadSeq, tu.GlobalSeq, tu.ObjSeq, tu.FTPid, tu.Op, tu.Obj, tu.Outcome, len(tu.Data))
+}
+
+// objKey derives a tuple's sequencing object. Pthread primitives carry
+// library-unique object ids already; the extended ops fold the op into the
+// key so each replicated syscall class (and each socket fd within a class)
+// gets its own sequencer. OpThreadCreate stays totally ordered among itself
+// because ft_pid assignment mutates shared namespace state. A colliding key
+// only over-orders — it can never under-order — so the packing is safe.
+func objKey(op pthread.Op, obj uint64) uint64 {
+	if op < OpThreadCreate {
+		return obj
+	}
+	return uint64(op)<<48 | obj
+}
+
+// ObjCursor is one sequencing object's replication cursor: the Seq_obj its
+// side has reached. The per-object cursor vector plus the Lamport watermark
+// replaces the single global cursor in sharded checkpoints.
+type ObjCursor struct {
+	Obj uint64
+	Seq uint64
 }
 
 // Config tunes the replication engine.
@@ -143,6 +184,13 @@ type Config struct {
 	// buffered on the primary before the flusher pushes it out (0 with
 	// BatchTuples > 1 selects defaultFlushInterval).
 	FlushInterval time.Duration
+	// DetShards is the number of det-section locks the namespace global
+	// mutex is sharded across (<= 1 selects the paper's single global
+	// mutex and is byte-identical to the unsharded engine). With more
+	// shards, sections on different sequencing objects record and replay
+	// concurrently; per-object FIFO hand-off and per-thread program order
+	// are preserved, so race-free applications replay deterministically.
+	DetShards int
 	// Rejoinable retains the full log history on both sides so a fresh
 	// backup can be re-integrated after a failure: the recorder keeps
 	// every emitted message for catch-up streaming (AddReplica) and,
@@ -167,6 +215,9 @@ func (c Config) withBatchDefaults() Config {
 	}
 	if c.BatchTuples > 1 && c.FlushInterval <= 0 {
 		c.FlushInterval = defaultFlushInterval
+	}
+	if c.DetShards < 1 {
+		c.DetShards = 1
 	}
 	return c
 }

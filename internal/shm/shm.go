@@ -21,6 +21,7 @@ package shm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -34,11 +35,15 @@ const headerBytes = 64
 
 // Message is one entry in a mailbox ring. Payload is the structured content
 // the receiver reads out of shared memory; Size is the payload's footprint
-// in bytes for traffic accounting.
+// in bytes for traffic accounting. Stream labels the logical sub-channel a
+// message belongs to when several sequencer shards multiplex one ring
+// (messages of one stream stay FIFO relative to each other; the ring keeps
+// everything FIFO anyway, but per-stream counters expose the multiplex mix).
 type Message struct {
 	Kind    int
 	Payload any
 	Size    int
+	Stream  int
 	SentAt  sim.Time
 }
 
@@ -128,6 +133,16 @@ type Ring struct {
 
 	chaos       func(msgs []Message) ChaosVerdict
 	lastDeliver sim.Time // latest scheduled delivery instant, FIFO clamp
+
+	streams map[int]*StreamStats // per-stream traffic, keyed by Message.Stream
+}
+
+// StreamStats counts one logical sub-channel's traffic through a ring —
+// the per-shard breakdown when sequencer shards multiplex one mailbox.
+type StreamStats struct {
+	Stream   int
+	Payloads int64
+	Bytes    int64 // payload bytes only; the slot header belongs to the transfer
 }
 
 // Fabric owns every ring of a deployment.
@@ -236,6 +251,19 @@ func (r *Ring) Instrument(sc *obs.Scope) { r.sc = sc }
 
 // Stats returns the ring's traffic counters.
 func (r *Ring) Stats() Stats { return r.stats }
+
+// StreamStats returns the per-stream traffic breakdown sorted by stream id
+// (the stream map iterates in arbitrary order; the sort restores a
+// deterministic view). Rings carrying only unlabelled traffic report a
+// single stream 0.
+func (r *Ring) StreamStats() []StreamStats {
+	out := make([]StreamStats, 0, len(r.streams))
+	for _, ss := range r.streams { // ftvet:nondet collect-then-sort
+		out = append(out, *ss)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
 
 // Len reports the number of messages delivered and waiting to be received.
 func (r *Ring) Len() int { return len(r.buf) }
@@ -371,6 +399,18 @@ func (r *Ring) enqueue(msgs []Message, extra time.Duration, doomed bool) {
 		r.stats.Batches++
 	}
 	r.stats.Bytes += in.bytes
+	for _, m := range msgs {
+		if r.streams == nil {
+			r.streams = make(map[int]*StreamStats)
+		}
+		ss := r.streams[m.Stream]
+		if ss == nil {
+			ss = &StreamStats{Stream: m.Stream}
+			r.streams[m.Stream] = ss
+		}
+		ss.Payloads++
+		ss.Bytes += int64(m.Size)
+	}
 	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 	at := now.Add(r.latency + extra)
 	if at < r.lastDeliver {
