@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-detshard check trace chaos
+.PHONY: all build vet lint test race bench bench-detshard bench-fabric check trace chaos
 
 all: check
 
@@ -32,6 +32,12 @@ bench:
 # BENCH_detshard.json with commit-wait and replay-lag distributions.
 bench-detshard:
 	$(GO) run ./cmd/ftbench -exp detshard -json BENCH_detshard.json
+
+# Shared-memory fabric sweep (DESIGN.md §14): locked-copy vs lock-free
+# reservation vs adaptive batching across producer counts and workload
+# regimes, regenerating the checked-in BENCH_fabric.json.
+bench-fabric:
+	$(GO) run ./cmd/ftbench -exp fabric -json BENCH_fabric.json
 
 check: vet lint build race bench
 

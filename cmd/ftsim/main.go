@@ -51,6 +51,7 @@ type options struct {
 	rejoinDelay time.Duration
 	flight      string
 	shards      int
+	adaptive    bool
 }
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 	flag.DurationVar(&o.rejoinDelay, "rejoin-delay", 10*time.Second, "partition repair time before a backup rejoins")
 	flag.StringVar(&o.flight, "flight", "", "write the failover flight-recorder dump to this file")
 	flag.IntVar(&o.shards, "shards", 1, "det-section sequencer shards (1 = the global-mutex total order)")
+	flag.BoolVar(&o.adaptive, "adaptive", false, "adaptive det-log batching (AIMD controller instead of the static batch size)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ftsim:", err)
@@ -104,6 +106,9 @@ func run(o options) error {
 		// the paper's setup, where the degraded system runs to completion.
 		core.WithRejoin(o.chaosSpec != ""),
 		core.WithDetShards(o.shards),
+	}
+	if o.adaptive {
+		opts = append(opts, core.WithAdaptiveBatching(0))
 	}
 	if o.chaosSpec != "" {
 		spec := o.chaosSpec

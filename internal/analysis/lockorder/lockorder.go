@@ -16,8 +16,10 @@
 //     sync.Mutex/RWMutex Lock/RLock, and the pseudo-lock "x.flushing =
 //     true" (released by "= false") that serializes batched flushes;
 //   - transient acquisitions: blocking shm.Ring operations (Send,
-//     SendBatch, Recv, RecvBatch, RecvTimeout) — held only for the call,
-//     but ordered after everything currently held;
+//     SendBatch, Recv, RecvBatch, RecvTimeout, and the zero-copy
+//     Reserve, whose capacity wait is the same backpressure park) —
+//     held only for the call, but ordered after everything currently
+//     held;
 //   - lock identity is the receiver's field path (Type.field) or the
 //     package-level variable; distinct locals of the same type within a
 //     function collapse onto one node (an approximation);
@@ -35,6 +37,13 @@
 // held, non-reentrant pthread mutex) is reported once per cycle.
 // Condition-variable Wait, which releases and reacquires its mutex, is
 // outside the model.
+//
+// The pass also polices the reserve/commit idiom of the zero-copy
+// fabric: a span claimed with Reserve or TryReserve holds ring sequence
+// and capacity until Commit or Abort, and reservation order is
+// publication order — so a local span that is never settled and never
+// escapes the function permanently blocks every span reserved after it.
+// That leak is reported at the reservation site.
 package lockorder
 
 import (
@@ -60,7 +69,7 @@ var Debug io.Writer
 // shm; replication does the same with its own).
 var Analyzer = &ftvet.Analyzer{
 	Name:   "lockorder",
-	Doc:    "build a static lock-acquisition graph over pthread/sync mutexes, flush-serialization flags, and blocking shm ring operations; report ordering cycles as potential deadlocks",
+	Doc:    "build a static lock-acquisition graph over pthread/sync mutexes, flush-serialization flags, and blocking shm ring operations; report ordering cycles as potential deadlocks, plus reserved spans that are never committed or aborted (a leaked reservation jams the ring's publication sequence)",
 	Module: true,
 	Run:    run,
 }
@@ -100,6 +109,7 @@ func run(pass *ftvet.Pass) error {
 				w := &walker{pass: pass, pkg: pkg, fname: obj.FullName(), sum: &funcSummary{}}
 				w.stmts(fd.Body.List)
 				sums[obj] = w.sum
+				checkSpanLeaks(pass, pkg, fd)
 			}
 		}
 	}
@@ -232,6 +242,139 @@ func run(pass *ftvet.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkSpanLeaks reports function-local spans claimed from an shm ring
+// (Reserve/TryReserve) that no statement ever settles: no Commit, no
+// Abort, and no escape out of the function (returned, passed to a call,
+// re-assigned, stored into a composite, sent on a channel, or
+// address-taken). Reservation order is publication order, so a leaked
+// open span blocks every span reserved after it from ever publishing —
+// a stall no runtime check catches because nothing is deadlocked, the
+// ring is just silently jammed.
+//
+// The check is intraprocedural and conservative toward silence: any
+// escape hands responsibility to the receiver (the recorder parks its
+// open span in link.span for the flush loop to settle), and only plain
+// identifier locals are tracked.
+func checkSpanLeaks(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
+	type reservation struct {
+		obj  types.Object
+		pos  token.Pos
+		name string
+	}
+	var spans []reservation
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isReserveCall(pkg, call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id] // plain `=` onto an existing local
+		}
+		if obj != nil {
+			spans = append(spans, reservation{obj: obj, pos: as.Pos(), name: id.Name})
+		}
+		return true
+	})
+	for _, sp := range spans {
+		uses := func(e ast.Expr) bool {
+			found := false
+			ast.Inspect(e, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == sp.obj {
+					found = true
+				}
+				return !found
+			})
+			return found
+		}
+		settled, escaped := false, false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if settled || escaped {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pkg.Info.Uses[id] == sp.obj {
+						switch sel.Sel.Name {
+						case "Commit", "Abort":
+							settled = true
+							return false
+						}
+					}
+				}
+				for _, a := range n.Args {
+					if uses(a) {
+						escaped = true
+						return false
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, e := range n.Results {
+					if uses(e) {
+						escaped = true
+						return false
+					}
+				}
+			case *ast.AssignStmt:
+				// Any re-assignment of the span value (link.span = sp,
+				// alias := sp) hands it off; the defining statement itself
+				// has the Reserve call, not the local, on its RHS.
+				for _, e := range n.Rhs {
+					if uses(e) {
+						escaped = true
+						return false
+					}
+				}
+			case *ast.SendStmt:
+				if uses(n.Value) {
+					escaped = true
+					return false
+				}
+			case *ast.CompositeLit:
+				for _, e := range n.Elts {
+					if uses(e) {
+						escaped = true
+						return false
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND && uses(n.X) {
+					escaped = true
+					return false
+				}
+			}
+			return true
+		})
+		if !settled && !escaped {
+			pass.Reportf(sp.pos,
+				"span %q is reserved but never committed or aborted: reservation order is publication order, so a leaked open span blocks every later span on this ring from publishing; Commit it, Abort it on early-exit paths, or hand it off",
+				sp.name)
+		}
+	}
+}
+
+// isReserveCall reports whether a call claims a span from an shm ring.
+func isReserveCall(pkg *ftvet.Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.Contains(fn.Pkg().Path(), "internal/shm") {
+		return false
+	}
+	return fn.Name() == "Reserve" || fn.Name() == "TryReserve"
 }
 
 // canonical normalizes a cycle (first element repeated at the end) to a
@@ -463,7 +606,12 @@ func (w *walker) classify(call *ast.CallExpr) (opKind, string) {
 		}
 	case strings.Contains(path, "internal/shm"):
 		switch name {
-		case "Send", "SendBatch", "Recv", "RecvBatch", "RecvTimeout":
+		case "Send", "SendBatch", "Recv", "RecvBatch", "RecvTimeout", "Reserve":
+			// Reserve blocks for ring capacity exactly like the wrapper
+			// sends did (the claim is FIFO behind earlier reservations), so
+			// it is ordered after everything currently held. Commit/Abort
+			// never block and TryReserve fails instead of waiting — none of
+			// them participate in the lock graph.
 			return opTransient, w.lockID(sel.X) + "(ring)"
 		}
 	}

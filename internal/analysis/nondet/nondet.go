@@ -21,7 +21,8 @@
 //     *rand.Rand obtained from the simulation are sanctioned
 //   - map-range iteration whose loop variables escape into ordered
 //     output (append, channel send, string concatenation, or a
-//     send/write/emit-like call): Go randomizes map iteration order per
+//     send/write/emit-like call, including the zero-copy fabric's
+//     Span.Put/Commit/Reserve): Go randomizes map iteration order per
 //     process, so replicas emit different sequences. Iterate a sorted
 //     key slice instead. Commutative aggregation (numeric +=, map
 //     writes, len) is not flagged, and neither is the collect-then-sort
@@ -57,8 +58,11 @@ var replicatedPrefixes = []string{
 }
 
 // orderedSink matches call names that serialize their arguments into an
-// ordered stream visible to the other replica.
-var orderedSink = regexp.MustCompile(`(?i)^(send|write|emit|record|print|printf|println|log|sync|push|put|append|enqueue|trysync|fprintf)`)
+// ordered stream visible to the other replica. Put, commit and reserve
+// cover the zero-copy fabric idiom: a Span.Put writes the payload in
+// place at its reserved ring position, so its argument order is exactly
+// the publication order the other replica replays.
+var orderedSink = regexp.MustCompile(`(?i)^(send|write|emit|record|print|printf|println|log|sync|push|put|append|enqueue|trysync|fprintf|commit|reserve)`)
 
 // obsPath is the observability package. Its calls are a sanctioned sink
 // (events are local, not replicated state), but their arguments must be

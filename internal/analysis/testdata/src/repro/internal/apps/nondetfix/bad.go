@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"repro/internal/shm"
 )
 
 type sink struct{ out []string }
@@ -42,5 +44,19 @@ func emit(m map[string]int, s *sink, ch chan string) {
 	_ = joined
 	for k, v := range m { // want "via Send"
 		s.Send(fmt.Sprint(k, v))
+	}
+}
+
+func commitTuple(v int) {}
+
+// fabric: the zero-copy span is an ordered sink too — a Put writes its
+// argument at the span's reserved ring position, so map order becomes
+// the publication order the other replica replays.
+func fabric(m map[string]int, sp *shm.Span) {
+	for k, v := range m { // want "via Put"
+		sp.Put(shm.Message{Kind: v, Size: len(k)})
+	}
+	for _, v := range m { // want "via commitTuple"
+		commitTuple(v)
 	}
 }

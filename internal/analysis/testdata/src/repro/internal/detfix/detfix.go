@@ -50,6 +50,17 @@ func (s *state) resolveSettle(t *kernel.Task, ch chan int) uint64 {
 		})
 }
 
+// spanInSection: the zero-copy reservation API is still the mailbox.
+// Claiming a span (which can block on ring backpressure) or writing one
+// inside a section is the same re-entry the wrapper sends were banned
+// for.
+func (s *state) spanInSection(t *kernel.Task, sp *shm.Span) {
+	s.det.Section(t, pthread.OpMutexLock, 5, func() {
+		s.ring.TryReserve(1, 64) // want "shared-memory mailbox"
+		sp.Put(shm.Message{})    // want "shared-memory mailbox"
+	})
+}
+
 // good: sections that only update local state, with mailbox traffic
 // moved after the section returns.
 func (s *state) good(t *kernel.Task, p *sim.Proc) {

@@ -91,3 +91,54 @@ func (p *P) flagFirst(t *kernel.Task) {
 	p.mu.Unlock(t)
 	p.flushing = false
 }
+
+// reserveOrdered blocks in Reserve while holding mu: the claim wait is
+// the same backpressure park the wrapper sends had, so it adds the
+// transient edge mu -> ring. Consistent with the existing order; the
+// span is settled, so no leak either.
+func (p *P) reserveOrdered(t *kernel.Task, proc *sim.Proc, m shm.Message) {
+	p.mu.Lock(t)
+	sp := p.ring.Reserve(proc, 1, int64(m.Size))
+	sp.Put(m)
+	sp.Commit()
+	p.mu.Unlock(t)
+}
+
+// leak reserves a span and returns without Commit or Abort: the open
+// span jams the ring's publication sequence forever.
+func (p *P) leak(proc *sim.Proc, m shm.Message) {
+	sp := p.ring.Reserve(proc, 1, int64(m.Size)) // want "never committed or aborted"
+	sp.Put(m)
+}
+
+// tryLeak leaks a nonblocking claim the same way; the nil check does
+// not settle anything.
+func (p *P) tryLeak(m shm.Message) {
+	if sp := p.ring.TryReserve(1, int64(m.Size)); sp != nil { // want "never committed or aborted"
+		sp.Put(m)
+	}
+}
+
+// settled commits on the success path and aborts on the full path:
+// every exit settles the span, no finding.
+func (p *P) settled(proc *sim.Proc, m shm.Message) {
+	sp := p.ring.Reserve(proc, 1, int64(m.Size))
+	if sp.Put(m) {
+		sp.Commit()
+	} else {
+		sp.Abort()
+	}
+}
+
+type holder struct{ span *shm.Span }
+
+// handoff parks the open span in a field for a flush loop to settle
+// later — the recorder's pattern. The escape transfers responsibility,
+// so the leak check stays silent.
+func (h *holder) handoff(r *shm.Ring, m shm.Message) {
+	sp := r.TryReserve(1, int64(m.Size))
+	if sp != nil {
+		sp.Put(m)
+		h.span = sp
+	}
+}

@@ -51,6 +51,21 @@ func WithBatching(n int, flush time.Duration) Option {
 	}
 }
 
+// WithAdaptiveBatching replaces the fixed det-log batch size with the
+// recorder's AIMD feedback controller: the effective batch starts at the
+// configured BatchTuples, grows while output commits find their watermark
+// already acknowledged, and halves the moment a commit stalls or the
+// unacked-log lag climbs. max caps the controller (0 selects the engine
+// default, max(4*BatchTuples, 32)). The output-commit force-flush
+// invariant is untouched, and with the controller off the batch policy is
+// exactly the static WithBatching one.
+func WithAdaptiveBatching(max int) Option {
+	return func(c *Config) {
+		c.Replication.AdaptiveBatching = true
+		c.Replication.MaxBatchTuples = max
+	}
+}
+
 // WithDetShards shards the namespace-wide deterministic-section mutex
 // across n per-object sequencer locks on both replicas: sections on
 // different sequencing objects (mutexes, condvars, replicated syscall
@@ -168,6 +183,12 @@ func (cfg Config) validate() (Config, error) {
 	if cfg.Replication.BatchTuples < 1 {
 		cfg.Replication.BatchTuples = 1
 	}
+	if cfg.Replication.AdaptiveBatching && cfg.Replication.MaxBatchTuples < 1 {
+		cfg.Replication.MaxBatchTuples = 4 * cfg.Replication.BatchTuples
+		if cfg.Replication.MaxBatchTuples < 32 {
+			cfg.Replication.MaxBatchTuples = 32
+		}
+	}
 	if cfg.Replication.DetShards < 1 {
 		cfg.Replication.DetShards = 1
 	}
@@ -178,7 +199,7 @@ func (cfg Config) validate() (Config, error) {
 		cfg.TCPSync.BatchUpdates = 1
 	}
 	def := tcprep.DefaultSyncConfig().FlushInterval
-	if cfg.Replication.BatchTuples > 1 && cfg.Replication.FlushInterval <= 0 {
+	if (cfg.Replication.BatchTuples > 1 || cfg.Replication.AdaptiveBatching) && cfg.Replication.FlushInterval <= 0 {
 		cfg.Replication.FlushInterval = def
 	}
 	if cfg.TCPSync.BatchUpdates > 1 && cfg.TCPSync.FlushInterval <= 0 {

@@ -1,0 +1,99 @@
+package replication
+
+import "repro/internal/obs"
+
+// Controller tuning. The transfer function (DESIGN.md §14): the effective
+// batch size grows additively — +1 after every ctrlGrowAfter consecutive
+// healthy observations — and shrinks multiplicatively — halved on every
+// unhealthy one. Healthy means an output-commit waiter found its watermark
+// already acknowledged (commit wait idle) or a flush saw the unacked-log
+// lag below the threshold; unhealthy means a commit stalled or the lag
+// climbed past it. AIMD converges onto the largest batch the backup's
+// drain rate sustains without stretching the output-commit path, and backs
+// off within one commit of the workload turning latency-sensitive.
+const (
+	// ctrlGrowAfter is how many consecutive healthy observations earn one
+	// additive step. Growth is deliberately slower than decay: a batch
+	// that is too large stalls real output, a batch that is too small only
+	// costs header amortization.
+	ctrlGrowAfter = 4
+
+	// ctrlLagFactor sets the lag threshold in units of the current batch:
+	// a flush finding more than ctrlLagFactor*eff + ctrlLagSlack unacked
+	// tuples means the backup is falling behind and buffering more would
+	// only widen the loss window.
+	ctrlLagFactor = 8
+	ctrlLagSlack  = 32
+)
+
+// batchController is the AIMD feedback loop that replaces the static
+// BatchTuples knob under Config.AdaptiveBatching. It observes the two
+// signals the recorder already measures — output-commit stalls
+// (ftns.commit.wait) and unacked-log lag at flush (ftns.flush.lag, the
+// primary-side view of replay.lag) — and steers the effective batch size
+// between 1 and Config.MaxBatchTuples. All state changes happen inside
+// recorder calls on the virtual clock, so runs are deterministic and the
+// controller adds no events of its own.
+type batchController struct {
+	eff    int // current effective batch size
+	min    int
+	max    int
+	streak int // consecutive healthy observations since the last step
+
+	cGrow   *obs.Counter
+	cShrink *obs.Counter
+}
+
+func newBatchController(cfg Config) *batchController {
+	return &batchController{eff: cfg.BatchTuples, min: 1, max: cfg.MaxBatchTuples}
+}
+
+// instrument registers the controller signals under the namespace prefix:
+// the effective batch size as a sampled gauge plus the step counters.
+func (c *batchController) instrument(name string, reg *obs.Registry) {
+	reg.Gauge(name+".ctrl.batch", func() int64 { return int64(c.eff) })
+	c.cGrow = reg.Counter(name + ".ctrl.grow")
+	c.cShrink = reg.Counter(name + ".ctrl.shrink")
+}
+
+// observeCommit feeds one output-commit observation: stalled means the
+// waiter's watermark was not yet acknowledged and output is now held.
+func (c *batchController) observeCommit(stalled bool) {
+	if stalled {
+		c.shrink()
+		return
+	}
+	c.healthy()
+}
+
+// observeFlush feeds one flush observation: lag is the unacked-log depth
+// (sent minus the lowest live-backup watermark) at the flush instant.
+func (c *batchController) observeFlush(lag uint64) {
+	if lag > uint64(ctrlLagFactor*c.eff+ctrlLagSlack) {
+		c.shrink()
+		return
+	}
+	c.healthy()
+}
+
+func (c *batchController) healthy() {
+	c.streak++
+	if c.streak < ctrlGrowAfter || c.eff >= c.max {
+		return
+	}
+	c.streak = 0
+	c.eff++
+	c.cGrow.Inc()
+}
+
+func (c *batchController) shrink() {
+	c.streak = 0
+	if c.eff <= c.min {
+		return
+	}
+	c.eff /= 2
+	if c.eff < c.min {
+		c.eff = c.min
+	}
+	c.cShrink.Inc()
+}

@@ -1,0 +1,201 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func testCtrlConfig(batch, max int) Config {
+	cfg := DefaultConfig()
+	cfg.BatchTuples = batch
+	cfg.AdaptiveBatching = true
+	cfg.MaxBatchTuples = max
+	return cfg
+}
+
+func TestControllerGrowsAdditively(t *testing.T) {
+	c := newBatchController(testCtrlConfig(8, 64))
+	if c.eff != 8 {
+		t.Fatalf("initial eff = %d, want the configured BatchTuples 8", c.eff)
+	}
+	// One additive step per ctrlGrowAfter consecutive healthy observations.
+	for i := 0; i < ctrlGrowAfter; i++ {
+		c.observeCommit(false)
+	}
+	if c.eff != 9 {
+		t.Errorf("eff = %d after %d healthy commits, want 9", c.eff, ctrlGrowAfter)
+	}
+	for i := 0; i < ctrlGrowAfter; i++ {
+		c.observeFlush(0)
+	}
+	if c.eff != 10 {
+		t.Errorf("eff = %d after another healthy streak, want 10", c.eff)
+	}
+}
+
+func TestControllerShrinksMultiplicatively(t *testing.T) {
+	c := newBatchController(testCtrlConfig(32, 64))
+	c.observeCommit(true)
+	if c.eff != 16 {
+		t.Errorf("eff = %d after a commit stall, want halved to 16", c.eff)
+	}
+	// Lag past ctrlLagFactor*eff + ctrlLagSlack is the other shrink signal.
+	c.observeFlush(uint64(ctrlLagFactor*c.eff + ctrlLagSlack + 1))
+	if c.eff != 8 {
+		t.Errorf("eff = %d after excess lag, want halved to 8", c.eff)
+	}
+	// A shrink resets the healthy streak: three healthies, a stall, then
+	// three more must not grow.
+	for i := 0; i < ctrlGrowAfter-1; i++ {
+		c.observeCommit(false)
+	}
+	c.observeCommit(true)
+	for i := 0; i < ctrlGrowAfter-1; i++ {
+		c.observeCommit(false)
+	}
+	if c.eff != 4 {
+		t.Errorf("eff = %d, want 4 (streak reset by the stall, no growth)", c.eff)
+	}
+}
+
+func TestControllerRespectsBounds(t *testing.T) {
+	c := newBatchController(testCtrlConfig(2, 3))
+	for i := 0; i < 10*ctrlGrowAfter; i++ {
+		c.observeCommit(false)
+	}
+	if c.eff != 3 {
+		t.Errorf("eff = %d after sustained health, want capped at MaxBatchTuples 3", c.eff)
+	}
+	for i := 0; i < 10; i++ {
+		c.observeCommit(true)
+	}
+	if c.eff != 1 {
+		t.Errorf("eff = %d after sustained stalls, want floored at 1", c.eff)
+	}
+	// At the floor a further shrink is a no-op, and recovery still works.
+	for i := 0; i < ctrlGrowAfter; i++ {
+		c.observeFlush(0)
+	}
+	if c.eff != 2 {
+		t.Errorf("eff = %d, want recovery to 2 from the floor", c.eff)
+	}
+}
+
+// TestAdaptiveOffKeepsStaticPolicy: without AdaptiveBatching no controller
+// exists and the effective batch is exactly the static knob — the golden
+// shards=1 trace depends on this equivalence.
+func TestAdaptiveOffKeepsStaticPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchTuples = 8
+	_, _, _, rec := newRecorderHarness(t, cfg, 64<<10)
+	if rec.ctrl != nil {
+		t.Fatal("controller built with AdaptiveBatching off")
+	}
+	if rec.effBatch() != 8 {
+		t.Errorf("effBatch = %d, want the static BatchTuples 8", rec.effBatch())
+	}
+}
+
+func TestAdaptiveOnStartsAtStaticBatch(t *testing.T) {
+	cfg := testCtrlConfig(8, 0).withBatchDefaults()
+	_, _, _, rec := newRecorderHarness(t, cfg, 64<<10)
+	if rec.ctrl == nil {
+		t.Fatal("no controller built with AdaptiveBatching on")
+	}
+	if rec.effBatch() != 8 {
+		t.Errorf("effBatch = %d at boot, want the configured BatchTuples 8", rec.effBatch())
+	}
+	if rec.ctrl.max != 32 {
+		t.Errorf("MaxBatchTuples defaulted to %d, want max(4*BatchTuples, 32) = 32", rec.ctrl.max)
+	}
+}
+
+// TestDeadlineForceFlushSameInstant is the regression test for the
+// flush-deadline edge: a FlushInterval deadline expiring in the same
+// scheduler instant as an output-commit force-flush used to double-send,
+// putting an empty batch on the wire. Now whichever path runs second
+// finds the span already published and commits nothing — exactly one
+// transfer, no zero-tuple flush sample.
+func TestDeadlineForceFlushSameInstant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchTuples = 8
+	cfg.FlushInterval = 50 * time.Microsecond
+	s, log, _, rec := newRecorderHarness(t, cfg, 64<<10)
+	rec.kern.Spawn("emitter", func(tk *kernel.Task) {
+		for i := 0; i < 3; i++ {
+			rec.emit(tk, msgTuple, Tuple{GlobalSeq: uint64(i)}, 64, 0)
+		}
+		// Sleep to exactly the armed deadline: the flusher's timeout and
+		// this wake-up land in the same scheduler instant.
+		tk.Proc().Sleep(cfg.FlushInterval)
+		rec.flushForCommit()
+	})
+	s.Spawn("drain", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			log.Recv(p)
+		}
+	})
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	st := log.Stats()
+	if st.Messages != 1 || st.Payloads != 3 {
+		t.Errorf("log ring saw %d transfers / %d payloads, want exactly 1 / 3 (no empty double-send)", st.Messages, st.Payloads)
+	}
+	if rec.stats.LogBatches != 1 {
+		t.Errorf("LogBatches = %d, want 1 (the second flusher found nothing to send)", rec.stats.LogBatches)
+	}
+}
+
+// TestForceFlushPublishesOpenSpan: an output-commit waiter must never
+// wait on buffering — flushForCommit publishes the open span in
+// scheduler context without blocking.
+func TestForceFlushPublishesOpenSpan(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchTuples = 16
+	cfg.FlushInterval = time.Second // far away: only the force flush fires
+	s, log, _, rec := newRecorderHarness(t, cfg, 64<<10)
+	released := false
+	rec.kern.Spawn("emitter", func(tk *kernel.Task) {
+		rec.emit(tk, msgTuple, Tuple{GlobalSeq: 1}, 64, 0)
+		rec.onStable(func() { released = true })
+	})
+	s.Spawn("drain", func(p *sim.Proc) {
+		log.Recv(p)
+	})
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if log.Stats().Payloads != 1 {
+		t.Errorf("log ring saw %d payloads, want the buffered tuple force-flushed", log.Stats().Payloads)
+	}
+	if !released {
+		t.Error("output-commit waiter never released: force flush did not publish the open span")
+	}
+}
+
+// TestRecorderFeedsController: commit stalls reach the controller through
+// onStable and shrink the effective batch; the recovery after the ack
+// grows it back — the closed loop, driven end to end through the
+// recorder rather than the controller API.
+func TestRecorderFeedsController(t *testing.T) {
+	cfg := testCtrlConfig(8, 64)
+	cfg.FlushInterval = 10 * time.Microsecond
+	s, log, _, rec := newRecorderHarness(t, cfg, 64<<10)
+	rec.kern.Spawn("emitter", func(tk *kernel.Task) {
+		rec.emit(tk, msgTuple, Tuple{GlobalSeq: 1}, 64, 0)
+		rec.onStable(func() {}) // watermark unacked: a commit stall
+		if rec.effBatch() != 4 {
+			t.Errorf("effBatch = %d after a commit stall, want halved to 4", rec.effBatch())
+		}
+	})
+	s.Spawn("drain", func(p *sim.Proc) {
+		log.Recv(p)
+	})
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,6 +42,17 @@ func (r *Recorder) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
 			r.cShardSecs[i] = reg.Counter(fmt.Sprintf("%s.shard.%d.sections", name, i))
 		}
 	}
+	if r.ctrl != nil {
+		r.ctrl.instrument(name, reg)
+	}
+	// Fabric-side sending signals, sampled off the first log ring (the
+	// links are symmetric): how many reservations are open but unpublished
+	// and how often senders had to park for capacity.
+	if len(r.replicas) > 0 {
+		ring := r.replicas[0].log
+		reg.Gauge(name+".ring.spans", func() int64 { return int64(ring.OpenSpans()) })
+		reg.Gauge(name+".ring.reserve.waits", func() int64 { return ring.Stats().ReserveWaits })
+	}
 }
 
 // cShardSec returns the section counter for one det shard (nil when the
@@ -54,11 +65,16 @@ func (r *Recorder) cShardSec(shard int) *obs.Counter {
 }
 
 // noteFlush records one vectored log flush of n tuples: the batch-fill
-// sample, the flush event, and the unacked backlog at this moment.
+// sample, the flush event, and the unacked backlog at this moment — which
+// also feeds the adaptive controller its lag signal.
 func (r *Recorder) noteFlush(n int) {
+	lag := r.sent - r.ackedAll()
 	r.sc.Emit(obs.BatchFlush, 0, int64(r.sent), int64(n))
 	r.hBatchFill.Observe(int64(n))
-	r.hFlushLag.Observe(int64(r.sent - r.ackedAll()))
+	r.hFlushLag.Observe(int64(lag))
+	if r.ctrl != nil {
+		r.ctrl.observeFlush(lag)
+	}
 }
 
 func (r *Replayer) instrument(name string, sc *obs.Scope, reg *obs.Registry) {

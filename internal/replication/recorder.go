@@ -18,16 +18,25 @@ type stableWaiter struct {
 
 // replicaLink is the recorder's view of one backup replica: its log ring,
 // its acknowledgement ring, the receipt watermark observed so far, and the
-// tuples coalesced but not yet flushed to the ring.
+// tuples written but not yet published to the ring.
 type replicaLink struct {
 	log   *shm.Ring
 	acks  *shm.Ring
 	acked uint64
 	dead  bool
 
-	pending  []shm.Message // tuples buffered for the next vectored flush
-	deadline sim.Time      // flush deadline armed when pending became non-empty
-	flushing bool          // a blocking SendBatch for this link is in progress
+	// span is the link's open zero-copy reservation: emitted tuples are
+	// written straight into the ring's reserved slots and published in one
+	// Commit when the batch fills (or a deadline/output commit forces it).
+	// pending is the spill path — tuples buffered off-ring when no
+	// reservation could be claimed (ring full, or the locked-copy baseline
+	// model, which has no reservation to write into). While pending is
+	// non-empty new tuples must append behind it, never to a fresh span:
+	// the spill was reserved later than nothing, so writing around it
+	// would reorder the log.
+	span     *shm.Span
+	pending  []shm.Message
+	deadline sim.Time // flush deadline armed when the link became non-empty
 
 	// A syncing link is a rejoined backup still catching up: new emits
 	// append to its backlog behind the retained history, it is excluded
@@ -52,10 +61,15 @@ type replicaLink struct {
 // carries its object's own Seq_obj; GlobalSeq degrades to a Lamport
 // watermark that is still unique and monotone per thread and per object.
 //
-// With Config.BatchTuples > 1 the recorder coalesces tuples per backup and
-// flushes them as one vectored ring transfer when the batch fills, when
-// FlushInterval expires, or — unconditionally — when an output-commit
-// waiter registers, so strict output commit never waits on buffering.
+// With Config.BatchTuples > 1 the recorder coalesces tuples per backup —
+// written in place into an open ring reservation (zero-copy) and published
+// as one Commit when the batch fills, when FlushInterval expires, or —
+// unconditionally — when an output-commit waiter registers, so strict
+// output commit never waits on buffering. Because ring reservation order
+// is publication order, concurrent flushes need no mutual exclusion: a
+// later batch physically cannot overtake an earlier one. With
+// Config.AdaptiveBatching the batch size is steered at runtime by a
+// feedback controller (see batchController).
 type Recorder struct {
 	kern     *kernel.Kernel
 	cfg      Config
@@ -71,8 +85,8 @@ type Recorder struct {
 	history   []shm.Message
 	stats     Stats
 
-	flushQ    *sim.WaitQueue // wakes the flusher task when work or deadlines change
-	flushDone *sim.WaitQueue // serializes blocking flushes per link
+	flushQ *sim.WaitQueue // wakes the flusher task when work or deadlines change
+	ctrl   *batchController
 
 	sc          *obs.Scope
 	cTuples     *obs.Counter
@@ -102,17 +116,19 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 	}
 	cfg = cfg.withBatchDefaults()
 	r := &Recorder{
-		kern:      k,
-		cfg:       cfg,
-		mus:       newShardLocks(k, cfg.DetShards),
-		objSeq:    make(map[uint64]uint64),
-		flushQ:    sim.NewWaitQueue(k.Sim()),
-		flushDone: sim.NewWaitQueue(k.Sim()),
+		kern:   k,
+		cfg:    cfg,
+		mus:    newShardLocks(k, cfg.DetShards),
+		objSeq: make(map[uint64]uint64),
+		flushQ: sim.NewWaitQueue(k.Sim()),
+	}
+	if cfg.AdaptiveBatching {
+		r.ctrl = newBatchController(cfg)
 	}
 	for i := range logs {
 		r.addLink(&replicaLink{log: logs[i], acks: acks[i]})
 	}
-	if cfg.BatchTuples > 1 {
+	if cfg.batched() {
 		k.Spawn("ft-flush", r.flushLoop)
 	}
 	return r
@@ -135,13 +151,15 @@ func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal
 		mus:       newShardLocks(k, cfg.DetShards),
 		objSeq:    objSeq,
 		flushQ:    sim.NewWaitQueue(k.Sim()),
-		flushDone: sim.NewWaitQueue(k.Sim()),
 		seqGlobal: seqGlobal,
 		sent:      uint64(len(hist)),
 		history:   hist,
 		degraded:  true,
 	}
-	if cfg.BatchTuples > 1 {
+	if cfg.AdaptiveBatching {
+		r.ctrl = newBatchController(cfg)
+	}
+	if cfg.batched() {
 		k.Spawn("ft-flush", r.flushLoop)
 	}
 	return r
@@ -279,17 +297,35 @@ func (r *Recorder) syncingBackups() int {
 	return n
 }
 
+// effBatch is the batch size currently in force: the controller's output
+// under AdaptiveBatching, the static BatchTuples knob otherwise.
+func (r *Recorder) effBatch() int {
+	if r.ctrl != nil {
+		return r.ctrl.eff
+	}
+	return r.cfg.BatchTuples
+}
+
+// buffered reports whether the link holds tuples not yet published — in
+// its open span or its spill buffer.
+func (link *replicaLink) buffered() bool {
+	return (link.span != nil && link.span.Open() && link.span.Len() > 0) || len(link.pending) > 0
+}
+
 // emit streams one log message to every live backup. Unbatched, it sends
-// immediately; batched, it coalesces into the link's pending buffer and
-// flushes when the batch fills. Either way a full in-flight buffer blocks
-// the caller, throttling the primary to the slowest backup's drain rate.
-// stream tags the message with its det shard, multiplexing the per-shard
-// log streams over the one vectored ring.
+// immediately; batched, it writes the tuple in place into the link's open
+// ring reservation (zero-copy) and publishes when the effective batch
+// fills. When no reservation can be claimed — ring full, or the
+// locked-copy baseline model — tuples spill to the link's pending buffer
+// and a blocking vectored flush throttles the primary to the slowest
+// backup's drain rate. stream tags the message with its det shard,
+// multiplexing the per-shard log streams over the one vectored ring.
 func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size, stream int) {
 	m := shm.Message{Kind: kind, Payload: payload, Size: size, Stream: stream}
 	if r.cfg.Rejoinable {
 		r.history = append(r.history, m)
 	}
+	eff := r.effBatch()
 	for _, link := range r.replicas {
 		if link.dead {
 			continue
@@ -300,56 +336,130 @@ func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size, stream int)
 			link.backlog = append(link.backlog, m)
 			continue
 		}
-		if r.cfg.BatchTuples <= 1 {
+		if !r.cfg.batched() {
 			link.log.Send(t.Proc(), m)
 			continue
 		}
+		if r.emitSpan(link, m, eff) {
+			continue
+		}
+		// Spill path: no reservation available (or the baseline model).
 		if len(link.pending) == 0 {
 			link.deadline = r.kern.Sim().Now().Add(r.cfg.FlushInterval)
 			r.flushQ.WakeAll(0)
 		}
 		link.pending = append(link.pending, m)
-		if len(link.pending) >= r.cfg.BatchTuples {
-			r.flushLink(t.Proc(), link)
+		if len(link.pending) >= eff {
+			r.flushPending(t.Proc(), link)
 		}
 	}
 	r.sent++
 	r.stats.LogMessages++
 }
 
-// flushLink sends the link's buffered batch as one vectored transfer,
-// blocking while the ring is full. Flushes are serialized per link: a
-// later, smaller batch must never overtake an earlier one stalled on a
-// full ring, because the replayer treats out-of-order sequence numbers
-// (GlobalSeq unsharded, per-object Seq_obj sharded) as a fatal log gap.
-func (r *Recorder) flushLink(p *sim.Proc, link *replicaLink) {
-	for link.flushing {
-		r.flushDone.Wait(p)
+// emitSpan tries the zero-copy path: write m into the link's open span,
+// claiming a fresh reservation when none is open, and publish once the
+// effective batch fills. It reports false when the tuple must spill
+// instead — the ring has no room, earlier work is already queued (spilled
+// tuples or a blocked reservation, which writing around would reorder), or
+// the fabric runs the locked-copy baseline, which has no reservation API.
+func (r *Recorder) emitSpan(link *replicaLink, m shm.Message, eff int) bool {
+	if link.log.SenderModel() == shm.SenderLockedCopy || len(link.pending) > 0 {
+		return false
 	}
-	if link.dead || len(link.pending) == 0 {
+	if link.span == nil || !link.span.Open() {
+		if !r.openSpan(link, eff, int64(m.Size)) {
+			return false
+		}
+	}
+	if !link.span.Put(m) {
+		// Slot or byte budget exhausted: publish what is written and
+		// claim a fresh span for this tuple.
+		r.commitSpan(link)
+		if !r.openSpan(link, eff, int64(m.Size)) {
+			return false
+		}
+		link.span.Put(m)
+	}
+	if link.span.Len() >= eff {
+		r.commitSpan(link)
+	}
+	return true
+}
+
+// openSpan claims a fresh reservation sized for the effective batch (at
+// least minBytes, so an oversized data tuple gets a span of its own) and
+// arms the flush deadline.
+func (r *Recorder) openSpan(link *replicaLink, eff int, minBytes int64) bool {
+	budget := int64(eff) * tupleBytes
+	if budget < minBytes {
+		budget = minBytes
+	}
+	sp := link.log.TryReserve(eff, budget)
+	if sp == nil {
+		return false
+	}
+	link.span = sp
+	link.deadline = r.kern.Sim().Now().Add(r.cfg.FlushInterval)
+	r.flushQ.WakeAll(0)
+	return true
+}
+
+// commitSpan publishes the link's open span as one vectored transfer —
+// the single release-store of the reserve/commit protocol. An empty span
+// releases its reservation without a transfer, which is what makes a
+// flush deadline firing in the same scheduler instant as an output-commit
+// force-flush harmless: whichever runs second finds nothing to send and
+// sends nothing (no empty batch on the wire, no spurious flush sample).
+// Never blocks, so it is safe in scheduler context.
+func (r *Recorder) commitSpan(link *replicaLink) {
+	sp := link.span
+	if sp == nil || !sp.Open() {
+		link.span = nil
 		return
 	}
-	batch := link.pending
-	link.pending = nil
-	link.flushing = true
-	link.log.SendBatch(p, batch)
-	link.flushing = false
+	link.span = nil
+	n := sp.Len()
+	if n == 0 {
+		sp.Abort()
+		return
+	}
+	sp.Commit()
 	r.stats.LogBatches++
-	r.noteFlush(len(batch))
-	r.flushDone.WakeAll(0)
-	r.flushQ.WakeAll(0) // tuples may have buffered while the send was stalled
+	r.noteFlush(n)
+}
+
+// flushPending drains the link's spill buffer with blocking vectored
+// sends. No per-link serialization is needed: a blocked send already
+// holds its reservation ticket, and ring claim order is publication
+// order, so a batch taken later physically cannot overtake one stalled
+// on a full ring (the reordering the replayer would treat as a fatal log
+// gap). Tuples that spill while this flush is blocked are drained by the
+// next loop iteration, still in order — the ring refuses opportunistic
+// claims while earlier tickets wait.
+func (r *Recorder) flushPending(p *sim.Proc, link *replicaLink) {
+	for len(link.pending) > 0 && !link.dead {
+		batch := link.pending
+		link.pending = nil
+		link.log.SendBatch(p, batch)
+		r.stats.LogBatches++
+		r.noteFlush(len(batch))
+	}
+	r.flushQ.WakeAll(0) // deadlines may have re-armed while the send was stalled
 }
 
 // flushLoop is the background flusher: it pushes out partially filled
 // batches once their FlushInterval deadline expires, bounding how long a
-// tuple can sit buffered when the primary goes quiet.
+// tuple can sit buffered when the primary goes quiet. The re-check under
+// "expired" is the double-send guard: a force-flush in the same instant
+// may already have emptied the link.
 func (r *Recorder) flushLoop(t *kernel.Task) {
 	p := t.Proc()
 	for {
 		var link *replicaLink
 		var dl sim.Time
 		for _, l := range r.replicas {
-			if l.dead || l.flushing || len(l.pending) == 0 {
+			if l.dead || !l.buffered() {
 				continue
 			}
 			if link == nil || l.deadline < dl {
@@ -365,22 +475,29 @@ func (r *Recorder) flushLoop(t *kernel.Task) {
 			r.flushQ.WaitTimeout(p, dl.Sub(now))
 			continue
 		}
-		r.flushLink(p, link)
+		r.commitSpan(link)
+		if len(link.pending) > 0 {
+			r.flushPending(p, link)
+		}
 	}
 }
 
 // flushForCommit pushes every buffered tuple toward the backups before an
-// output-commit watermark is armed. It may run in scheduler context, so it
-// must not block: if a ring cannot take the batch (or a blocking flush is
-// already in progress) the flusher task finishes the job immediately — the
-// waiter's watermark is r.sent, which covers buffered tuples, so output
-// cannot be released before they are genuinely delivered.
+// output-commit watermark is armed. It may run in scheduler context, so
+// it must not block: open spans publish with a non-blocking Commit, and a
+// spill buffer the ring cannot take right now is handed to the flusher
+// task — the waiter's watermark is r.sent, which covers buffered tuples,
+// so output cannot be released before they are genuinely delivered.
 func (r *Recorder) flushForCommit() {
 	for _, link := range r.replicas {
-		if link.dead || len(link.pending) == 0 {
+		if link.dead {
 			continue
 		}
-		if !link.flushing && link.log.TrySendBatch(link.pending) {
+		r.commitSpan(link)
+		if len(link.pending) == 0 {
+			continue
+		}
+		if link.log.TrySendBatch(link.pending) {
 			n := len(link.pending)
 			link.pending = nil
 			r.stats.LogBatches++
@@ -504,8 +621,14 @@ func (r *Recorder) onStable(fn func()) {
 	w := r.sent
 	if r.ackedAll() >= w {
 		r.hCommitWait.Observe(0)
+		if r.ctrl != nil {
+			r.ctrl.observeCommit(false)
+		}
 		fn()
 		return
+	}
+	if r.ctrl != nil {
+		r.ctrl.observeCommit(true)
 	}
 	r.sc.Emit(obs.OutputHeld, 0, int64(w), 0)
 	r.stableQ = append(r.stableQ, stableWaiter{watermark: w, fn: fn, heldAt: r.kern.Sim().Now()})
@@ -531,8 +654,7 @@ func (r *Recorder) dropReplica(i int) {
 		return
 	}
 	r.replicas[i].dead = true
-	r.replicas[i].pending = nil
-	r.replicas[i].backlog = nil
+	r.abandonLink(r.replicas[i])
 	r.replicas[i].log.Drain() // unblock senders stalled on the dead ring
 	r.fireStable()
 	for _, link := range r.replicas {
@@ -562,8 +684,22 @@ func (r *Recorder) goLive() {
 	// gone, so the buffered log is discarded and the senders released.
 	for _, link := range r.replicas {
 		link.dead = true
-		link.pending = nil
+		r.abandonLink(link)
 		link.log.Drain()
+	}
+}
+
+// abandonLink discards a dead link's unpublished state: the spill buffer,
+// the backlog, and — critically — its open span. An open reservation on
+// the dead ring would otherwise jam the ring's publication sequence
+// forever (the reserve-without-commit leak), stalling any sender still
+// parked on it.
+func (r *Recorder) abandonLink(link *replicaLink) {
+	link.pending = nil
+	link.backlog = nil
+	if link.span != nil {
+		link.span.Abort()
+		link.span = nil
 	}
 }
 
@@ -573,8 +709,7 @@ func (r *Recorder) goLive() {
 func (r *Recorder) degrade() {
 	for _, link := range r.replicas {
 		link.dead = true
-		link.pending = nil
-		link.backlog = nil
+		r.abandonLink(link)
 		link.log.Drain()
 	}
 	if !r.degraded {

@@ -184,6 +184,20 @@ type Config struct {
 	// buffered on the primary before the flusher pushes it out (0 with
 	// BatchTuples > 1 selects defaultFlushInterval).
 	FlushInterval time.Duration
+	// AdaptiveBatching replaces the fixed BatchTuples policy with an AIMD
+	// feedback controller: the effective batch size starts at BatchTuples,
+	// grows while output commits find their watermark already acknowledged
+	// (commit wait idle), and halves the moment an output commit stalls or
+	// the unacked-log lag climbs past the controller's threshold. The
+	// output-commit force-flush invariant is unchanged — a strict waiter
+	// still flushes everything buffered before arming its watermark — so
+	// the controller trades only buffering latency, never commit safety.
+	// With AdaptiveBatching false the recorder's batch policy is exactly
+	// the static BatchTuples/FlushInterval one.
+	AdaptiveBatching bool
+	// MaxBatchTuples caps the adaptive controller's effective batch size
+	// (0 selects max(4*BatchTuples, 32)). Ignored without AdaptiveBatching.
+	MaxBatchTuples int
 	// DetShards is the number of det-section locks the namespace global
 	// mutex is sharded across (<= 1 selects the paper's single global
 	// mutex and is byte-identical to the unsharded engine). With more
@@ -207,19 +221,33 @@ type Config struct {
 const defaultFlushInterval = 50 * time.Microsecond
 
 // withBatchDefaults normalizes the batching knobs: a zero BatchTuples means
-// batching off (1), and batching without a flush interval gets the default
-// so buffered tuples can never sit forever.
+// batching off (1), batching without a flush interval gets the default so
+// buffered tuples can never sit forever, and the adaptive controller gets
+// its cap.
 func (c Config) withBatchDefaults() Config {
 	if c.BatchTuples < 1 {
 		c.BatchTuples = 1
 	}
-	if c.BatchTuples > 1 && c.FlushInterval <= 0 {
+	if c.batched() && c.FlushInterval <= 0 {
 		c.FlushInterval = defaultFlushInterval
+	}
+	if c.AdaptiveBatching && c.MaxBatchTuples < 1 {
+		c.MaxBatchTuples = 4 * c.BatchTuples
+		if c.MaxBatchTuples < 32 {
+			c.MaxBatchTuples = 32
+		}
 	}
 	if c.DetShards < 1 {
 		c.DetShards = 1
 	}
 	return c
+}
+
+// batched reports whether the recorder coalesces tuples at all — statically
+// (BatchTuples > 1) or under controller governance (the controller may
+// drive the effective batch above 1 even when BatchTuples is 1).
+func (c Config) batched() bool {
+	return c.BatchTuples > 1 || c.AdaptiveBatching
 }
 
 // DefaultConfig returns the calibrated engine configuration.

@@ -12,6 +12,16 @@
 // one slot header and one propagation event, so the replication layer can
 // amortize the per-message overhead that dominates Figure 5/7 traffic.
 //
+// The sending side is a lock-free MPSC ring with zero-copy reservation:
+// a producer claims a slot span with Reserve (a fetch-add on the write
+// cursor plus FIFO capacity admission), writes payloads in place with
+// Span.Put, and publishes the whole span with one Commit — the single
+// release-store the consumer's acquire-load pairs with. Send and
+// SendBatch are thin wrappers over that path. The pre-optimization
+// baseline — a global sender mutex protecting a copy-in — is preserved
+// as a switchable model (SetSenderModel) so benchmarks can quantify the
+// win; see DESIGN.md §14 for the memory-model argument.
+//
 // Because the rings live in shared memory, messages survive the death of
 // the sending kernel: only a cache-coherency-disrupting fault can lose the
 // messages still in flight from the failed partition (§3.5). A Fabric
@@ -57,6 +67,16 @@ type Stats struct {
 	Bytes    int64 // includes per-transfer header overhead
 	Dropped  int64 // payloads lost to coherency faults
 
+	// ReserveWaits counts reservations that had to park for capacity
+	// (drain-rate backpressure events); LockWaits counts parks on the
+	// sender mutex of the locked-copy baseline model. SendWaitNs is the
+	// total virtual time senders spent blocked in either state — the
+	// "sender blocking" signal the fabric benchmark compares across
+	// models.
+	ReserveWaits int64
+	LockWaits    int64
+	SendWaitNs   int64
+
 	// HighWaterBytes is the peak occupancy (delivered + in flight) the
 	// ring ever reached — the sizing signal for capBytes. Aggregating
 	// takes the max, not the sum: peaks on different rings are not
@@ -75,6 +95,9 @@ func (s Stats) add(o Stats) Stats {
 		Batches:        s.Batches + o.Batches,
 		Bytes:          s.Bytes + o.Bytes,
 		Dropped:        s.Dropped + o.Dropped,
+		ReserveWaits:   s.ReserveWaits + o.ReserveWaits,
+		LockWaits:      s.LockWaits + o.LockWaits,
+		SendWaitNs:     s.SendWaitNs + o.SendWaitNs,
 		HighWaterBytes: hw,
 	}
 }
@@ -110,6 +133,36 @@ type slot struct {
 	bytes int64
 }
 
+// SenderModel selects how the sending side of a ring is modelled.
+type SenderModel int
+
+const (
+	// SenderLockFree is the reserve/commit MPSC path: claim order is
+	// publication order, producers never serialize on a mutex, and
+	// payloads are written in place (no copy cost).
+	SenderLockFree SenderModel = iota
+
+	// SenderLockedCopy is the pre-optimization baseline: every blocking
+	// send takes a global per-ring mutex and pays a modelled copy-in cost
+	// while holding it. Kept switchable so `ftbench -exp fabric` can
+	// measure what the lock-free reservation buys.
+	SenderLockedCopy
+)
+
+// LockedCopyCost is the modelled cost of the locked-copy baseline's
+// critical section: slot bookkeeping per payload plus the memcpy into the
+// ring, both paid while the sender mutex is held.
+type LockedCopyCost struct {
+	PerPayload time.Duration
+	PerByte    time.Duration
+}
+
+// DefaultLockedCopyCost models a contended cache line plus memcpy:
+// ~1µs of slot accounting per payload and 2ns/byte of copy bandwidth.
+func DefaultLockedCopyCost() LockedCopyCost {
+	return LockedCopyCost{PerPayload: time.Microsecond, PerByte: 2 * time.Nanosecond}
+}
+
 // Ring is a bounded unidirectional mailbox. It is identified by the sending
 // partition so that a coherency fault on that partition can drop its
 // in-flight messages.
@@ -121,7 +174,7 @@ type Ring struct {
 	capBytes int64
 	latency  time.Duration
 
-	used      int64 // bytes occupied: delivered + in flight
+	used      int64 // bytes occupied: delivered + in flight + reserved
 	delivered int64
 	onDeliver []func()
 	buf       []slot
@@ -130,6 +183,14 @@ type Ring struct {
 	recvQ     *sim.WaitQueue
 	stats     Stats
 	sc        *obs.Scope
+
+	resQ  []*resTicket // reservations waiting for capacity, claim order
+	spans []*Span      // admitted spans not yet published, claim order
+
+	model    SenderModel
+	copyCost LockedCopyCost
+	lockQ    *sim.WaitQueue // locked-copy baseline: parked lock waiters
+	locked   bool           // locked-copy baseline: sender mutex state
 
 	chaos       func(msgs []Message) ChaosVerdict
 	lastDeliver sim.Time // latest scheduled delivery instant, FIFO clamp
@@ -147,9 +208,11 @@ type StreamStats struct {
 
 // Fabric owns every ring of a deployment.
 type Fabric struct {
-	sim     *sim.Simulation
-	latency time.Duration
-	rings   []*Ring
+	sim      *sim.Simulation
+	latency  time.Duration
+	rings    []*Ring
+	model    SenderModel
+	copyCost LockedCopyCost
 }
 
 // NewFabric creates a fabric whose rings propagate messages with the given
@@ -172,10 +235,31 @@ func (f *Fabric) NewRing(name string, src int, capBytes int64) *Ring {
 		latency:  f.latency,
 		sendQ:    sim.NewWaitQueue(f.sim),
 		recvQ:    sim.NewWaitQueue(f.sim),
+		lockQ:    sim.NewWaitQueue(f.sim),
+		model:    f.model,
+		copyCost: f.copyCost,
 	}
 	f.rings = append(f.rings, r)
 	return r
 }
+
+// SetSenderModel switches every ring of the fabric (existing and future)
+// between the lock-free reserve/commit path and the locked-copy baseline.
+// The zero-valued cost means "use DefaultLockedCopyCost".
+func (f *Fabric) SetSenderModel(m SenderModel, cost LockedCopyCost) {
+	if m == SenderLockedCopy && cost == (LockedCopyCost{}) {
+		cost = DefaultLockedCopyCost()
+	}
+	f.model = m
+	f.copyCost = cost
+	for _, r := range f.rings {
+		r.model = m
+		r.copyCost = cost
+	}
+}
+
+// SenderModel reports which sending-side model the ring runs.
+func (r *Ring) SenderModel() SenderModel { return r.model }
 
 // Stats aggregates traffic across all rings of the fabric.
 func (f *Fabric) Stats() Stats {
@@ -221,16 +305,35 @@ func (f *Fabric) DropInflight(src int) int {
 			continue
 		}
 		lost := 0
+		freed := false
 		for _, in := range r.inflight {
 			in.ev.Cancel()
 			r.used -= in.bytes
 			r.stats.Dropped += int64(len(in.msgs))
 			lost += len(in.msgs)
+			freed = true
 		}
 		r.inflight = nil
+		// Reserved spans — open or committed-but-unpublished — are lost
+		// too: their slots sit on the failed partition's side of the
+		// coherency boundary and the consumer can never advance over them.
+		// Payloads already written into a span count as dropped (they were
+		// log entries the replayer will now see as a gap); the reservation
+		// itself just returns to the ring.
+		for _, sp := range r.spans {
+			sp.aborted = true
+			sp.committed = false
+			r.used -= sp.reserved
+			r.stats.Dropped += int64(len(sp.msgs))
+			lost += len(sp.msgs)
+			freed = true
+		}
+		r.spans = nil
 		if lost > 0 {
 			dropped += lost
 			r.sc.Emit(obs.LogDrop, 0, 0, int64(lost))
+		}
+		if freed {
 			r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 			r.wakeSenders()
 		}
@@ -291,10 +394,6 @@ func (r *Ring) OnDelivered(fn func()) { r.onDeliver = append(r.onDeliver, fn) }
 // dropping work instead of messages.
 func (r *Ring) Free() int64 { return r.capBytes - r.used }
 
-func (r *Ring) footprint(m Message) int64 {
-	return int64(m.Size) + headerBytes
-}
-
 // batchFootprint is the ring space a vectored transfer occupies: the sum of
 // the payload sizes plus one shared slot header.
 func (r *Ring) batchFootprint(msgs []Message) int64 {
@@ -305,45 +404,61 @@ func (r *Ring) batchFootprint(msgs []Message) int64 {
 	return total
 }
 
-// TrySend attempts a non-blocking send. It reports false if the ring lacks
-// space.
-func (r *Ring) TrySend(m Message) bool {
-	if r.footprint(m) > r.capBytes-r.used {
-		return false
+// payloadBytes sums the payload sizes of a batch (the reservation budget;
+// the shared header is accounted by the reservation itself).
+func payloadBytes(msgs []Message) int64 {
+	var total int64
+	for _, m := range msgs {
+		total += int64(m.Size)
 	}
-	r.send([]Message{m})
-	return true
+	return total
+}
+
+// TrySend attempts a non-blocking send. It reports false if the ring lacks
+// space or earlier reservations are still queued ahead of it.
+func (r *Ring) TrySend(m Message) bool {
+	return r.TrySendBatch([]Message{m})
 }
 
 // TrySendBatch attempts a non-blocking vectored send of all msgs as one
 // transfer. It reports false (sending nothing) if the ring lacks space for
-// the whole batch. An empty batch trivially succeeds.
+// the whole batch, if earlier reservations are queued (claiming now would
+// publish out of order), or — under the locked-copy baseline — if the
+// sender mutex is held. An empty batch trivially succeeds.
 func (r *Ring) TrySendBatch(msgs []Message) bool {
 	if len(msgs) == 0 {
 		return true
 	}
-	if r.batchFootprint(msgs) > r.capBytes-r.used {
+	if r.model == SenderLockedCopy && r.locked {
 		return false
 	}
-	r.send(msgs)
+	sp := r.TryReserve(len(msgs), payloadBytes(msgs))
+	if sp == nil {
+		return false
+	}
+	for _, m := range msgs {
+		sp.Put(m)
+	}
+	sp.Commit()
 	return true
 }
 
 // Send writes a message into the ring, blocking the calling process while
-// the ring is full. Blocked senders are woken in FIFO order as capacity
-// frees and re-check their footprint, so a small message may be admitted
-// ahead of an earlier, larger one that still does not fit.
+// the ring is full. Admission is strictly FIFO by claim order: a blocked
+// send holds its place in the ring sequence, so a later smaller message
+// can never be admitted ahead of it (that reordering would let two
+// concurrent log flushes swap, which the replayer would see as a gap).
 func (r *Ring) Send(p *sim.Proc, m Message) {
-	for r.footprint(m) > r.capBytes-r.used {
-		r.sendQ.Wait(p)
-	}
-	r.send([]Message{m})
+	r.SendBatch(p, []Message{m})
 }
 
 // SendBatch writes all msgs into the ring as one vectored transfer sharing
 // a single slot header and a single propagation event, blocking while the
 // batch does not fit. The batch is delivered atomically: receivers observe
-// its members contiguously and in order.
+// its members contiguously and in order. It is a wrapper over the
+// reserve/commit path — under the locked-copy baseline model it first
+// takes the ring's sender mutex and pays the modelled copy-in cost while
+// holding it.
 func (r *Ring) SendBatch(p *sim.Proc, msgs []Message) {
 	if len(msgs) == 0 {
 		return
@@ -352,54 +467,99 @@ func (r *Ring) SendBatch(p *sim.Proc, msgs []Message) {
 	if fp > r.capBytes {
 		panic(fmt.Sprintf("shm: batch of %d bytes exceeds ring %q capacity %d", fp, r.name, r.capBytes))
 	}
-	for fp > r.capBytes-r.used {
-		r.sendQ.Wait(p)
+	if r.model == SenderLockedCopy {
+		r.lockSender(p)
+		// Deferred so a sender killed mid-copy (or mid-admission) releases
+		// the mutex as its process unwinds instead of jamming the ring.
+		defer r.unlockSender()
+		if hold := r.copyHold(msgs); hold > 0 {
+			p.Sleep(hold)
+		}
 	}
-	r.send(msgs)
+	sp := r.Reserve(p, len(msgs), payloadBytes(msgs))
+	for _, m := range msgs {
+		sp.Put(m)
+	}
+	sp.Commit()
+}
+
+// copyHold is the modelled duration of the locked-copy critical section.
+func (r *Ring) copyHold(msgs []Message) time.Duration {
+	return time.Duration(len(msgs))*r.copyCost.PerPayload +
+		time.Duration(payloadBytes(msgs))*r.copyCost.PerByte
+}
+
+// lockSender takes the locked-copy baseline's per-ring sender mutex.
+func (r *Ring) lockSender(p *sim.Proc) {
+	start := r.sim.Now()
+	waited := false
+	for r.locked {
+		waited = true
+		r.lockQ.Wait(p)
+	}
+	r.locked = true
+	if waited {
+		r.stats.LockWaits++
+		r.stats.SendWaitNs += int64(r.sim.Now().Sub(start))
+	}
+}
+
+func (r *Ring) unlockSender() {
+	r.locked = false
+	r.lockQ.WakeAll(0)
 }
 
 // SetChaosHook installs a fault-injection hook consulted once per
-// transfer (chaos layer only; nil uninstalls). The hook runs at send
-// time in whatever context the sender runs in and must not block.
+// transfer, at span commit (chaos layer only; nil uninstalls). The hook
+// runs in whatever context the committing sender runs in and must not
+// block.
 func (r *Ring) SetChaosHook(fn func(msgs []Message) ChaosVerdict) { r.chaos = fn }
 
-func (r *Ring) send(msgs []Message) {
+// publish turns a committed span into propagation: the chaos hook rules
+// on the whole span once, then each copy (one, several under Dup, none
+// surviving under Drop — a doomed copy still propagates and vanishes)
+// is enqueued as a single transfer.
+func (r *Ring) publish(sp *Span) {
 	var v ChaosVerdict
 	if r.chaos != nil {
-		v = r.chaos(msgs)
+		v = r.chaos(sp.msgs)
 	}
 	copies := 1
 	if !v.Drop && v.Dup > 0 {
 		copies += v.Dup
 	}
 	for c := 0; c < copies; c++ {
-		r.enqueue(msgs, v.Delay, v.Drop)
+		r.enqueue(sp, c > 0, v.Delay, v.Drop)
 	}
 }
 
-// enqueue schedules one propagation of msgs. Delivery instants are
-// clamped monotonic per ring: a transfer slowed by chaos delay pushes the
-// delivery horizon forward for everything sent after it, so injected
-// delay can never reorder a FIFO mailbox (which would turn a latency
-// fault into an impossible log gap).
-func (r *Ring) enqueue(msgs []Message, extra time.Duration, doomed bool) {
+// enqueue schedules one propagation of a committed span. Delivery
+// instants are clamped monotonic per ring: a transfer slowed by chaos
+// delay pushes the delivery horizon forward for everything sent after
+// it, so injected delay can never reorder a FIFO mailbox (which would
+// turn a latency fault into an impossible log gap). The first copy's
+// bytes were accounted at reservation time; a dup copy occupies
+// additional capacity of its own.
+func (r *Ring) enqueue(sp *Span, dupCopy bool, extra time.Duration, doomed bool) {
 	now := r.sim.Now()
-	in := &inflight{msgs: make([]Message, len(msgs)), bytes: r.batchFootprint(msgs), doomed: doomed}
-	for i, m := range msgs {
+	in := &inflight{msgs: make([]Message, len(sp.msgs)), bytes: sp.reserved, doomed: doomed}
+	for i, m := range sp.msgs {
 		m.SentAt = now
 		in.msgs[i] = m
 	}
-	r.used += in.bytes
-	if r.used > r.stats.HighWaterBytes {
-		r.stats.HighWaterBytes = r.used
+	if dupCopy {
+		r.used += in.bytes
+		if r.used > r.stats.HighWaterBytes {
+			r.stats.HighWaterBytes = r.used
+		}
 	}
 	r.stats.Messages++
-	r.stats.Payloads += int64(len(msgs))
-	if len(msgs) > 1 {
+	r.stats.Payloads += int64(len(in.msgs))
+	if len(in.msgs) > 1 {
 		r.stats.Batches++
 	}
 	r.stats.Bytes += in.bytes
-	for _, m := range msgs {
+	for _, m := range in.msgs {
 		if r.streams == nil {
 			r.streams = make(map[int]*StreamStats)
 		}
@@ -411,7 +571,9 @@ func (r *Ring) enqueue(msgs []Message, extra time.Duration, doomed bool) {
 		ss.Payloads++
 		ss.Bytes += int64(m.Size)
 	}
-	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
+	if dupCopy {
+		r.sc.Emit(obs.RingDepth, 0, 0, r.used)
+	}
 	at := now.Add(r.latency + extra)
 	if at < r.lastDeliver {
 		at = r.lastDeliver
@@ -512,15 +674,23 @@ func (r *Ring) pop() Message {
 	return s.msg
 }
 
-// wakeSenders wakes every blocked sender after capacity frees. Each woken
-// sender re-checks its footprint in Send's admission loop (in FIFO wake
-// order) and re-parks if it still does not fit — so one large receive can
-// admit several small pending messages, instead of waking exactly one
-// sender and leaving the rest parked beside free space.
-func (r *Ring) wakeSenders() { r.sendQ.WakeAll(0) }
+// wakeSenders runs after capacity frees: queued reservations are admitted
+// head-first while they fit (one large receive can admit several small
+// pending spans), then every parked sender wakes to pick up its span.
+func (r *Ring) wakeSenders() {
+	r.admitWaiters()
+	r.sendQ.WakeAll(0)
+}
 
 // Drain removes and returns every delivered message without blocking. The
 // failover path uses it to collect the log the dead primary left behind.
+// Reserved-but-uncommitted spans are released: their contents were never
+// published, so no drain can recover them, and leaving the reservation in
+// place would jam the ring's sequence forever (a sender that died between
+// Reserve and Commit is exactly the leak the ftvet lockorder analyzer
+// flags statically). Committed spans queued behind such a hole publish
+// normally once it is released — like in-flight transfers, they survive
+// the sender's death.
 func (r *Ring) Drain() []Message {
 	out := make([]Message, 0, len(r.buf))
 	for _, s := range r.buf {
@@ -528,6 +698,11 @@ func (r *Ring) Drain() []Message {
 		r.used -= s.bytes
 	}
 	r.buf = nil
+	for _, sp := range append([]*Span(nil), r.spans...) {
+		if sp.Open() {
+			sp.Abort()
+		}
+	}
 	r.sc.Emit(obs.RingDepth, 0, 0, r.used)
 	r.wakeSenders()
 	return out

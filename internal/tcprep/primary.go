@@ -40,9 +40,7 @@ type Primary struct {
 	pending      []syncPending
 	pendingBytes int64
 	deadline     sim.Time
-	flushing     bool // a blocking SendBatch is in progress
 	flushQ       *sim.WaitQueue
-	flushDone    *sim.WaitQueue
 
 	enqueued uint64 // logical updates accepted for syncing
 	synced   uint64 // logical updates pushed onto the ring
@@ -125,12 +123,11 @@ func NewPrimaryFull(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.
 		syncCfg.FlushInterval = DefaultSyncConfig().FlushInterval
 	}
 	p := &Primary{
-		ns:        ns,
-		stack:     stack,
-		sync:      sync,
-		cfg:       syncCfg,
-		flushQ:    sim.NewWaitQueue(ns.Kernel().Sim()),
-		flushDone: sim.NewWaitQueue(ns.Kernel().Sim()),
+		ns:     ns,
+		stack:  stack,
+		sync:   sync,
+		cfg:    syncCfg,
+		flushQ: sim.NewWaitQueue(ns.Kernel().Sim()),
 	}
 	stack.SetEgress(&stabilityGate{ns: ns, prim: p, cfg: gate, sim: ns.Kernel().Sim()})
 	stack.SetIngress(p.ingress)
@@ -160,12 +157,11 @@ func NewDetachedPrimary(ns *replication.Namespace, stack *tcpstack.Stack, gate G
 		clog = NewConnLog()
 	}
 	p := &Primary{
-		ns:        ns,
-		stack:     stack,
-		cfg:       syncCfg,
-		clog:      clog,
-		flushQ:    sim.NewWaitQueue(ns.Kernel().Sim()),
-		flushDone: sim.NewWaitQueue(ns.Kernel().Sim()),
+		ns:     ns,
+		stack:  stack,
+		cfg:    syncCfg,
+		clog:   clog,
+		flushQ: sim.NewWaitQueue(ns.Kernel().Sim()),
 	}
 	stack.SetEgress(&stabilityGate{ns: ns, prim: p, cfg: gate, sim: ns.Kernel().Sim()})
 	stack.SetIngress(p.ingress)
@@ -419,16 +415,12 @@ func (p *Primary) takePending() ([]shm.Message, uint64) {
 }
 
 // flushForCommit pushes the pending buffer out without blocking. If the
-// ring cannot take the batch (or a blocking flush is in progress) the
-// flusher task finishes the job immediately; barrier waiters keep output
-// held until then.
+// ring cannot take the batch right now — no capacity, or an earlier
+// blocked flush holds a reservation ticket ahead of it — the flusher task
+// finishes the job immediately; barrier waiters keep output held until
+// then.
 func (p *Primary) flushForCommit() {
 	if len(p.pending) == 0 {
-		return
-	}
-	if p.flushing {
-		p.deadline = p.ns.Kernel().Sim().Now()
-		p.flushQ.WakeAll(0)
 		return
 	}
 	msgs := make([]shm.Message, len(p.pending))
@@ -452,24 +444,23 @@ func (p *Primary) flushForCommit() {
 	p.fireBarrier()
 }
 
-// flushSync is the blocking flush used from task context. Flushes are
-// serialized so batches are admitted to the ring in snapshot order.
+// flushSync is the blocking flush used from task context. It needs no
+// per-primary serialization: SendBatch rides the ring's reserve/commit
+// path, and a blocked flush already holds its reservation ticket, so a
+// batch snapshotted later is admitted — and published — strictly after
+// it. Updates that buffer while the send is stalled are either taken by
+// a later flush (ordered behind this one by its ticket) or pushed by the
+// flusher.
 func (p *Primary) flushSync(proc *sim.Proc) {
-	for p.flushing {
-		p.flushDone.Wait(proc)
-	}
 	if p.live || len(p.pending) == 0 {
 		return
 	}
 	msgs, reps := p.takePending()
-	p.flushing = true
 	p.sync.SendBatch(proc, msgs)
-	p.flushing = false
 	p.synced += reps
 	p.SyncFlushes++
 	p.noteFlush(len(msgs))
 	p.fireBarrier()
-	p.flushDone.WakeAll(0)
 	p.flushQ.WakeAll(0)
 }
 
@@ -482,7 +473,7 @@ func (p *Primary) flushLoop(t *kernel.Task) {
 			p.flushQ.Wait(proc)
 			continue
 		}
-		if len(p.pending) == 0 || p.flushing {
+		if len(p.pending) == 0 {
 			p.flushQ.Wait(proc)
 			continue
 		}
