@@ -3,13 +3,21 @@
 // watermark) over the module and exits non-zero on findings, mirroring
 // `go vet` usage:
 //
-//	go run ./cmd/ftvet ./...          # whole module (the default)
+//	go run ./cmd/ftvet ./...             # whole module (the default)
 //	go run ./cmd/ftvet ./internal/tcprep ./internal/replication
-//	go run ./cmd/ftvet -list          # describe the analyzers
-//	go run ./cmd/ftvet -run nondet    # subset by name
+//	go run ./cmd/ftvet -list             # describe the analyzers
+//	go run ./cmd/ftvet -run nondet       # subset by name
+//	go run ./cmd/ftvet -format=sarif ./... > ftvet.sarif
+//	go run ./cmd/ftvet -callgraph ./internal/replication
+//	go run ./cmd/ftvet -summary ./internal/shm
 //
-// Findings print in the canonical file:line:col format. Suppressions use
-// the audited escape hatch documented in internal/analysis/ftvet:
+// Findings print in the canonical file:line:col format (or as SARIF
+// 2.1.0 / flat JSON with -format, for CI annotation upload). The
+// -callgraph and -summary flags dump the interprocedural engine's
+// resolved call edges and per-function dataflow summaries instead of
+// running the analyzers — the audit artifacts for debugging a
+// surprising multi-hop trace. Suppressions use the audited escape
+// hatch documented in internal/analysis/ftvet:
 //
 //	//ftvet:allow <analyzer>: <justification>
 //
@@ -25,8 +33,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis/detsection"
+	"repro/internal/analysis/flow"
 	"repro/internal/analysis/ftvet"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/nondet"
@@ -44,6 +54,10 @@ var All = []*ftvet.Analyzer{
 func main() {
 	list := flag.Bool("list", false, "describe the registered analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	verbose := flag.Bool("v", false, "print per-analyzer timing to stderr")
+	callgraph := flag.Bool("callgraph", false, "dump the resolved call graph instead of running analyzers")
+	summary := flag.Bool("summary", false, "dump per-function dataflow summaries instead of running analyzers")
 	lockgraph := flag.Bool("lockgraph", false, "dump the static lock-acquisition graph (the lockorder audit artifact)")
 	flag.Parse()
 	if *lockgraph {
@@ -92,12 +106,63 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	diags, err := ftvet.Run(loader.Fset, pkgs, analyzers)
+
+	if *callgraph || *summary {
+		// Debug dumps are scoped to the filtered package set: edges into
+		// unlisted packages are resolved (the loader pulls dependencies)
+		// but only functions defined in listed packages get nodes.
+		g := flow.Build(loader.Fset, pkgs)
+		if *callgraph {
+			g.DumpCallGraph(os.Stdout)
+		}
+		if *summary {
+			g.DumpSummaries(os.Stdout)
+		}
+		return
+	}
+
+	// Subset runs still pass the full registry as the known-analyzer
+	// set, so an //ftvet:allow naming an analyzer outside this run is
+	// accepted rather than flagged as a typo.
+	known := make([]string, len(All))
+	for i, a := range All {
+		known[i] = a.Name
+	}
+	diags, timings, err := ftvet.RunTimed(loader.Fset, pkgs, analyzers, known)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if n := ftvet.Print(os.Stdout, loader.Fset, diags); n > 0 {
+	if *verbose {
+		perAnalyzer := map[string]time.Duration{}
+		for _, tm := range timings {
+			perAnalyzer[tm.Analyzer] += tm.Elapsed
+		}
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "ftvet: %-12s %v over %d package(s)\n",
+				a.Name, perAnalyzer[a.Name].Round(time.Millisecond), len(pkgs))
+		}
+	}
+
+	n := len(diags)
+	switch *format {
+	case "text":
+		n = ftvet.Print(os.Stdout, loader.Fset, diags)
+	case "json":
+		err = ftvet.WriteJSON(os.Stdout, loader.Fset, root, diags)
+	case "sarif":
+		// Always emit a well-formed log, even when clean, so a CI upload
+		// step has a file to consume on every run.
+		err = ftvet.WriteSARIF(os.Stdout, loader.Fset, root, All, diags)
+	default:
+		fmt.Fprintf(os.Stderr, "ftvet: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
 		fmt.Fprintf(os.Stderr, "ftvet: %d finding(s)\n", n)
 		os.Exit(1)
 	}

@@ -22,15 +22,21 @@
 // pthread.Det implementation: goroutine spawns, channel operations
 // (send, receive, select, close), and any call into internal/shm.
 //
-// The check is syntactic and local: only literal callbacks at the call
-// site are inspected, not named functions passed by reference.
+// The checks are interprocedural via the flow summaries: a helper
+// called from a section body is judged by what its body (transitively)
+// can reach — a goroutine spawn, a channel operation, or an shm call
+// buried two helpers deep is reported at the call site in the section,
+// with the call chain to the ultimate site. A named function passed as
+// the section body (instead of a literal) is judged the same way.
 package detsection
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
 
+	"repro/internal/analysis/flow"
 	"repro/internal/analysis/ftvet"
 )
 
@@ -51,23 +57,77 @@ func run(pass *ftvet.Pass) error {
 			if !ok {
 				return true
 			}
-			body := sectionBody(pkg, call)
-			if body == nil {
+			arg := sectionArg(pkg, call)
+			if arg == nil {
 				return true
 			}
-			checkBody(pass, pkg, body)
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				checkBody(pass, pkg, lit)
+				return true
+			}
+			// A named function (or method value) as the section body:
+			// judge it by its flow summary.
+			checkNamedBody(pass, pkg, arg)
 			return true
 		})
 	}
 	return nil
 }
 
-// sectionBody returns the function literal that will execute inside a
+// checkNamedBody reports a named section callback whose summary shows a
+// forbidden effect.
+func checkNamedBody(pass *ftvet.Pass, pkg *ftvet.Package, arg ast.Expr) {
+	var fn *types.Func
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.ObjectOf(e).(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pkg.ObjectOf(e.Sel).(*types.Func)
+	}
+	if fn == nil {
+		return
+	}
+	g := flow.Of(pass)
+	node := g.NodeOf(fn)
+	if node == nil || node.Sum == nil {
+		return
+	}
+	for _, kind := range []flow.EffectKind{flow.EffSpawn, flow.EffChanOp, flow.EffShmCall} {
+		if eff := node.Sum.Effect(kind); eff != nil {
+			pass.ReportTrace(arg.Pos(), fmt.Sprintf(
+				"%s used as a deterministic-section body can reach a %s (%s): sections run under the namespace global mutex and must stay short and non-blocking (Figure 3)",
+				fn.Name(), effectNoun(kind), describeChain(fn.Name(), eff)), eff.Trace())
+		}
+	}
+}
+
+// effectNoun names an effect kind for a diagnostic.
+func effectNoun(kind flow.EffectKind) string {
+	switch kind {
+	case flow.EffSpawn:
+		return "goroutine spawn"
+	case flow.EffChanOp:
+		return "channel operation"
+	case flow.EffShmCall:
+		return "call into the shared-memory mailbox"
+	}
+	return "forbidden operation"
+}
+
+// describeChain renders "helper -> deeper -> site" for a message.
+func describeChain(first string, eff *flow.Effect) string {
+	if p := eff.Path(); p != "" {
+		return first + " -> " + p
+	}
+	return first + " -> " + eff.Desc
+}
+
+// sectionArg returns the callback argument that will execute inside a
 // deterministic section for this call, or nil. For Section(t, op, obj,
 // fn) that is fn; for Resolve(t, op, obj, block, settle) it is settle —
 // block runs outside the global mutex by design (§3.3: it may park, like
 // accept or read).
-func sectionBody(pkg *ftvet.Package, call *ast.CallExpr) *ast.FuncLit {
+func sectionArg(pkg *ftvet.Package, call *ast.CallExpr) ast.Expr {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return nil
@@ -85,18 +145,11 @@ func sectionBody(pkg *ftvet.Package, call *ast.CallExpr) *ast.FuncLit {
 		return nil
 	}
 	switch fn.Name() {
-	case "Section", "section":
+	case "Section", "section", "Resolve", "resolve":
 		if len(call.Args) == 0 {
 			return nil
 		}
-		lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
-		return lit
-	case "Resolve", "resolve":
-		if len(call.Args) == 0 {
-			return nil
-		}
-		lit, _ := call.Args[len(call.Args)-1].(*ast.FuncLit)
-		return lit
+		return call.Args[len(call.Args)-1]
 	}
 	return nil
 }
@@ -138,5 +191,22 @@ func checkSectionCall(pass *ftvet.Pass, pkg *ftvet.Package, call *ast.CallExpr) 
 	}
 	if strings.Contains(fn.Pkg().Path(), "internal/shm") {
 		pass.Reportf(call.Pos(), "call into the shared-memory mailbox (%s.%s) inside a deterministic section: re-entering the mailbox while holding the namespace global mutex can block on ring backpressure and breaks the <Seq_thread, Seq_global, ft_pid> serialization (Figure 3); buffer the message and send after the section", fn.Pkg().Name(), fn.Name())
+		return
+	}
+	// A helper defined in-tree is judged by its summary: any effect its
+	// body can transitively reach happens inside the section. (Direct
+	// shm callees are excluded above — reporting their summaries too
+	// would double-count the same site.)
+	g := flow.Of(pass)
+	node := g.NodeOf(fn)
+	if node == nil || node.Sum == nil {
+		return
+	}
+	for _, kind := range []flow.EffectKind{flow.EffSpawn, flow.EffChanOp, flow.EffShmCall} {
+		if eff := node.Sum.Effect(kind); eff != nil {
+			pass.ReportTrace(call.Pos(), fmt.Sprintf(
+				"call to %s inside a deterministic section can reach a %s (%s): sections run under the namespace global mutex and must stay short and non-blocking (Figure 3)",
+				fn.Name(), effectNoun(kind), describeChain(fn.Name(), eff)), eff.Trace())
+		}
 	}
 }

@@ -13,5 +13,8 @@ func TestDetSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	analysistest.Run(t, td, detsection.Analyzer, "repro/internal/detfix")
+	analysistest.Run(t, td, detsection.Analyzer,
+		"repro/internal/detfix",    // intraprocedural shapes
+		"repro/internal/dethelper", // effects hidden behind helpers + named section bodies
+	)
 }

@@ -1,0 +1,347 @@
+// Package flow is the interprocedural engine under the ftvet analyzers:
+// a call graph over the loaded package set plus per-function summaries
+// computed bottom-up over strongly connected components.
+//
+// The intra-procedural analyzers ftvet shipped with (PR 2) go blind the
+// moment a violation is wrapped in one helper call: a time.Now() hidden
+// behind `func stamp() int64`, a lock cycle whose two acquisitions live
+// in different functions, a goroutine spawned by a helper invoked from a
+// deterministic-section body. flow closes that hole with three layers:
+//
+//   - a call graph (graph.go): static edges for direct calls, plus
+//     type-set-bounded resolution for interface method calls — a call
+//     through an interface fans out to every concrete type declared in
+//     the analyzed tree that implements it (the "type set" the program
+//     could actually dispatch to, since the tree is a closed world);
+//
+//   - per-function summaries (summary.go, taint.go) iterated to
+//     fixpoint over Tarjan SCCs in bottom-up (reverse topological)
+//     order, so recursion converges: which taints a function's results
+//     carry (wall-clock, pid, rand draws, map-iteration order), which
+//     effects its body can reach (goroutine spawns, channel operations,
+//     shm mailbox re-entry), whether it force-flushes, which locks it
+//     may transitively acquire, and how it disposes of *shm.Span
+//     parameters (settles, passes through, or leaks on an early
+//     return);
+//
+//   - diagnostic traces: every summary entry carries the call chain
+//     back to its origin, so an analyzer consuming a summary reports
+//     source → hop → … → sink with a position per hop.
+//
+// The graph is built once per ftvet.Run and shared across analyzers via
+// Pass.Shared (see Of). Everything here is deliberately conservative in
+// the same direction as the analyzers themselves: unresolvable calls
+// (function values, method values, out-of-tree callees) contribute no
+// edges and no effects, so the engine adds findings only along chains
+// it can actually prove, and silence stays the safe default.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/ftvet"
+)
+
+// Node is one declared function or method in the analyzed tree.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *ftvet.Package
+
+	// Out holds this function's resolved call edges in source order.
+	Out []Edge
+
+	// SCC is the index of the node's strongly connected component in
+	// bottom-up order (callees have lower indices than their callers,
+	// except within a cycle).
+	SCC int
+
+	// Sum is the function's fixpoint summary.
+	Sum *Summary
+}
+
+// Edge is one resolved call: Site is the call expression in the
+// caller's body (function literals are attributed to their enclosing
+// declaration), Callee the resolved target. Dynamic marks interface
+// dispatch, where one site fans out to every implementing type. InLit
+// marks a call inside a function literal: the literal usually escapes
+// (a Schedule callback, a stored closure) and runs later, so effects do
+// not propagate across such edges — only lock sets do (a deadlock is a
+// deadlock whenever the closure eventually runs).
+type Edge struct {
+	Site    *ast.CallExpr
+	Callee  *Node
+	Dynamic bool
+	InLit   bool
+}
+
+// Graph is the package-set call graph plus summaries.
+type Graph struct {
+	Fset  *token.FileSet
+	Pkgs  []*ftvet.Package
+	Nodes map[*types.Func]*Node
+
+	// order lists nodes deterministically (package, file, position).
+	order []*Node
+
+	// sccs lists components bottom-up (pure callees first).
+	sccs [][]*Node
+
+	// callees indexes resolution results per call site.
+	callees map[*ast.CallExpr][]*Node
+
+	// callers counts in-tree call sites targeting each node.
+	callers map[*Node]int
+}
+
+// Of returns the run-wide graph for the pass, building it on first use
+// and memoizing it in Pass.Shared so every analyzer of the run shares
+// one instance.
+func Of(pass *ftvet.Pass) *Graph {
+	if pass.Shared == nil {
+		return Build(pass.Fset, pass.All)
+	}
+	return pass.Shared.Get("flow.graph", func() any { return Build(pass.Fset, pass.All) }).(*Graph)
+}
+
+// Build constructs the call graph over the package set and computes all
+// function summaries.
+func Build(fset *token.FileSet, pkgs []*ftvet.Package) *Graph {
+	g := &Graph{
+		Fset:    fset,
+		Pkgs:    pkgs,
+		Nodes:   map[*types.Func]*Node{},
+		callees: map[*ast.CallExpr][]*Node{},
+		callers: map[*Node]int{},
+	}
+	g.collect()
+	g.resolve()
+	g.condense()
+	g.summarize()
+	return g
+}
+
+// NodeOf returns the graph node for fn, or nil when fn is not declared
+// in the analyzed tree.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn]
+}
+
+// CalleesAt returns the resolved callees of a call site: one node for a
+// static call, every implementing method for an interface call, nil for
+// calls the graph cannot resolve (builtins, conversions, function
+// values, out-of-tree targets).
+func (g *Graph) CalleesAt(call *ast.CallExpr) []*Node {
+	return g.callees[call]
+}
+
+// Functions returns every node in deterministic order.
+func (g *Graph) Functions() []*Node { return g.order }
+
+// CallerCount returns the number of static in-tree call sites targeting
+// n (self-recursion and interface dispatch excluded — a consumer using
+// caller counts to shift responsibility can only shift it along edges
+// summaries actually propagate over, which are the static ones).
+func (g *Graph) CallerCount(n *Node) int { return g.callers[n] }
+
+// SCCs returns the strongly connected components in bottom-up order.
+func (g *Graph) SCCs() [][]*Node { return g.sccs }
+
+// collect indexes every function and method declaration in the tree.
+func (g *Graph) collect() {
+	for _, pkg := range g.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	sort.SliceStable(g.order, func(i, j int) bool {
+		pi, pj := g.Fset.Position(g.order[i].Decl.Pos()), g.Fset.Position(g.order[j].Decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+}
+
+// methodIndex maps a concrete named type in the tree to its declared
+// methods, the candidate set for interface dispatch.
+type methodIndex map[*types.TypeName]map[string]*Node
+
+func (g *Graph) buildMethodIndex() methodIndex {
+	idx := methodIndex{}
+	for _, n := range g.order {
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		tn := named.Obj()
+		if idx[tn] == nil {
+			idx[tn] = map[string]*Node{}
+		}
+		idx[tn][n.Fn.Name()] = n
+	}
+	return idx
+}
+
+// errorIface is the universe error interface, excluded from dispatch
+// resolution: every error type in the tree would otherwise become a
+// candidate at every err.Error() site, drowning the graph in edges that
+// carry no FT-invariant signal.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// resolve walks every function body and records call edges.
+func (g *Graph) resolve() {
+	idx := g.buildMethodIndex()
+	// Deterministic candidate enumeration for dispatch: type names
+	// sorted by position.
+	var typeNames []*types.TypeName
+	for tn := range idx {
+		typeNames = append(typeNames, tn)
+	}
+	sort.Slice(typeNames, func(i, j int) bool { return typeNames[i].Pos() < typeNames[j].Pos() })
+
+	for _, n := range g.order {
+		node := n
+		var walk func(root ast.Node, inLit bool)
+		walk = func(root ast.Node, inLit bool) {
+			ast.Inspect(root, func(x ast.Node) bool {
+				if fl, ok := x.(*ast.FuncLit); ok {
+					walk(fl.Body, true)
+					return false
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, c := range g.resolveCall(node.Pkg, call, idx, typeNames) {
+					node.Out = append(node.Out, Edge{Site: call, Callee: c.node, Dynamic: c.dynamic, InLit: inLit})
+					g.callees[call] = append(g.callees[call], c.node)
+					if c.node != node && !c.dynamic {
+						g.callers[c.node]++
+					}
+				}
+				return true
+			})
+		}
+		walk(n.Decl.Body, false)
+	}
+}
+
+type candidate struct {
+	node    *Node
+	dynamic bool
+}
+
+// resolveCall maps one call expression to its possible in-tree targets.
+func (g *Graph) resolveCall(pkg *ftvet.Package, call *ast.CallExpr, idx methodIndex, typeNames []*types.TypeName) []candidate {
+	// Interface dispatch: a method call whose receiver is an interface
+	// resolves to the method of every tree-declared type implementing
+	// it (type-set-bounded resolution — the tree is the closed world).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			recv := s.Recv()
+			if types.IsInterface(recv) {
+				iface, ok := recv.Underlying().(*types.Interface)
+				if !ok || iface.NumMethods() == 0 || types.Identical(iface, errorIface) {
+					return nil
+				}
+				name := sel.Sel.Name
+				var out []candidate
+				for _, tn := range typeNames {
+					m, ok := idx[tn][name]
+					if !ok {
+						continue
+					}
+					t := tn.Type()
+					if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+						out = append(out, candidate{node: m, dynamic: true})
+					}
+				}
+				return out
+			}
+		}
+	}
+	// Static call (package function or concrete method).
+	if fn := pkg.CalleeFunc(call); fn != nil {
+		if n := g.Nodes[fn]; n != nil {
+			return []candidate{{node: n}}
+		}
+	}
+	return nil
+}
+
+// condense runs Tarjan's algorithm; SCCs come out bottom-up (every
+// successor component — callee — is emitted before its callers), which
+// is exactly the order the summary fixpoint wants.
+func (g *Graph) condense() {
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	next := 0
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range v.Out {
+			w := e.Callee
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				w.SCC = len(g.sccs)
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			g.sccs = append(g.sccs, scc)
+		}
+	}
+	for _, v := range g.order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+}

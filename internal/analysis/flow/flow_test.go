@@ -1,0 +1,205 @@
+package flow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/flow"
+	"repro/internal/analysis/ftvet"
+)
+
+// buildFixtureGraph loads the interprocedural fixture packages in
+// fixture mode and builds one graph over them, shared by every test.
+func buildFixtureGraph(t *testing.T) *flow.Graph {
+	t.Helper()
+	td, err := filepath.Abs("../testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := ftvet.NewLoader(td, "")
+	var pkgs []*ftvet.Package
+	for _, p := range []string{
+		"repro/internal/timeutil",
+		"repro/internal/apps/interfix",
+		"repro/internal/lockiface",
+		"repro/internal/spanleak",
+		"repro/internal/dethelper",
+		"repro/internal/wmhelper",
+	} {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return flow.Build(loader.Fset, pkgs)
+}
+
+// node finds a function node by package path suffix and name.
+func node(t *testing.T, g *flow.Graph, pkgSuffix, name string) *flow.Node {
+	t.Helper()
+	for _, n := range g.Functions() {
+		if n.Fn.Name() == name && filepath.Base(n.Pkg.Path) == pkgSuffix {
+			return n
+		}
+	}
+	t.Fatalf("no node %s.%s in graph", pkgSuffix, name)
+	return nil
+}
+
+func TestTaintSummaries(t *testing.T) {
+	g := buildFixtureGraph(t)
+
+	now := node(t, g, "timeutil", "now")
+	if len(now.Sum.ResultTaints) != 1 || now.Sum.ResultTaints[0].Kind != flow.TaintClock {
+		t.Fatalf("timeutil.now taints = %+v, want one direct clock taint", now.Sum.ResultTaints)
+	}
+	if len(now.Sum.ResultTaints[0].Via) != 0 {
+		t.Errorf("direct source should have an empty via chain, got %+v", now.Sum.ResultTaints[0].Via)
+	}
+
+	stamp := node(t, g, "timeutil", "Stamp")
+	if len(stamp.Sum.ResultTaints) != 1 || stamp.Sum.ResultTaints[0].Kind != flow.TaintClock {
+		t.Fatalf("timeutil.Stamp taints = %+v, want one clock taint through now", stamp.Sum.ResultTaints)
+	}
+	if via := stamp.Sum.ResultTaints[0].Via; len(via) != 1 || via[0].Name != "timeutil.now" {
+		t.Errorf("Stamp taint via = %+v, want one hop through timeutil.now", via)
+	}
+
+	keys := node(t, g, "timeutil", "Keys")
+	if len(keys.Sum.ResultTaints) != 1 || keys.Sum.ResultTaints[0].Kind != flow.TaintMapOrder {
+		t.Errorf("timeutil.Keys taints = %+v, want one map-order taint", keys.Sum.ResultTaints)
+	}
+	sorted := node(t, g, "timeutil", "SortedKeys")
+	if len(sorted.Sum.ResultTaints) != 0 {
+		t.Errorf("timeutil.SortedKeys taints = %+v, want none (collect-then-sort)", sorted.Sum.ResultTaints)
+	}
+}
+
+func TestEffectSummariesAndSCC(t *testing.T) {
+	g := buildFixtureGraph(t)
+
+	spawn := node(t, g, "dethelper", "spawnWorker")
+	eff := spawn.Sum.Effect(flow.EffSpawn)
+	if eff == nil {
+		t.Fatal("spawnWorker summary lost the two-hop goroutine spawn")
+	}
+	if len(eff.Via) != 1 || eff.Via[0].Name != "state.kick" {
+		t.Errorf("spawnWorker spawn via = %+v, want one hop through state.kick", eff.Via)
+	}
+	if spawn.Sum.Effect(flow.EffChanOp) != nil {
+		t.Errorf("spawnWorker should not carry a channel effect")
+	}
+
+	forward := node(t, g, "dethelper", "forward")
+	if forward.Sum.Effect(flow.EffShmCall) == nil {
+		t.Error("forward summary lost the direct shm call")
+	}
+	bump := node(t, g, "dethelper", "bump")
+	for _, k := range []flow.EffectKind{flow.EffSpawn, flow.EffChanOp, flow.EffShmCall} {
+		if bump.Sum.Effect(k) != nil {
+			t.Errorf("bump has effect %v, want a clean summary", k)
+		}
+	}
+
+	// Effects inside an escaping function literal stay with the literal.
+	deferred := node(t, g, "dethelper", "deferred")
+	if deferred.Sum.Effect(flow.EffChanOp) != nil {
+		t.Error("deferred's closure-only channel send leaked into its own summary")
+	}
+
+	// Mutual recursion converges with the effect visible on both, and
+	// the two functions share a strongly connected component.
+	ping, pong := node(t, g, "dethelper", "ping"), node(t, g, "dethelper", "pong")
+	if ping.SCC != pong.SCC {
+		t.Errorf("ping (SCC %d) and pong (SCC %d) should share a component", ping.SCC, pong.SCC)
+	}
+	if ping.Sum.Effect(flow.EffChanOp) == nil || pong.Sum.Effect(flow.EffChanOp) == nil {
+		t.Error("recursive fixpoint lost the channel effect in the ping/pong cycle")
+	}
+	// Bottom-up ordering: a pure callee's component precedes its caller's.
+	kick := node(t, g, "dethelper", "kick")
+	if kick.SCC >= spawn.SCC {
+		t.Errorf("callee kick (SCC %d) must be summarized before caller spawnWorker (SCC %d)", kick.SCC, spawn.SCC)
+	}
+}
+
+func TestLockSummariesAndDispatch(t *testing.T) {
+	g := buildFixtureGraph(t)
+
+	forward := node(t, g, "lockiface", "forward")
+	for _, id := range []string{"lockiface.D.a", "lockiface.D.b"} {
+		if _, ok := forward.Sum.Locks[id]; !ok {
+			t.Errorf("forward transitive lock set %v missing %q", forward.Sum.Locks, id)
+		}
+	}
+
+	// reverse only reaches D.a through the interface: the lock set must
+	// cross the dynamic edge, and the edge itself must be marked Dynamic.
+	reverse := node(t, g, "lockiface", "reverse")
+	if _, ok := reverse.Sum.Locks["lockiface.D.a"]; !ok {
+		t.Errorf("reverse lock set %v missing the dispatch-acquired lockiface.D.a", reverse.Sum.Locks)
+	}
+	foundDynamic := false
+	for _, e := range reverse.Out {
+		if e.Dynamic && e.Callee.Fn.Name() == "park" {
+			foundDynamic = true
+			if len(g.CalleesAt(e.Site)) != 1 {
+				t.Errorf("park dispatch resolved to %d candidates, want exactly aParker", len(g.CalleesAt(e.Site)))
+			}
+		}
+	}
+	if !foundDynamic {
+		t.Error("no dynamic edge from reverse to aParker.park: dispatch resolution is broken")
+	}
+}
+
+func TestSpanSummaries(t *testing.T) {
+	g := buildFixtureGraph(t)
+	for _, tc := range []struct {
+		fn   string
+		disp flow.SpanDisp
+	}{
+		{"fill", flow.SpanLeaks},
+		{"commitAll", flow.SpanSettles},
+		{"use", flow.SpanPassThrough},
+	} {
+		n := node(t, g, "spanleak", tc.fn)
+		info, ok := n.Sum.SpanParams[0]
+		if !ok {
+			t.Errorf("%s has no span-parameter summary", tc.fn)
+			continue
+		}
+		if info.Disp != tc.disp {
+			t.Errorf("%s span disposition = %v, want %v", tc.fn, info.Disp, tc.disp)
+		}
+		if tc.disp == flow.SpanLeaks && !info.LeakPos.IsValid() {
+			t.Errorf("%s leaks but has no leak position for the trace", tc.fn)
+		}
+	}
+}
+
+func TestArmSummariesAndCallerCounts(t *testing.T) {
+	g := buildFixtureGraph(t)
+
+	arm := node(t, g, "wmhelper", "arm")
+	if !arm.Sum.ArmsUnflushed() {
+		t.Fatal("wmhelper.arm should summarize as arming without an internal flush")
+	}
+	if got := g.CallerCount(arm); got != 3 {
+		t.Errorf("CallerCount(arm) = %d, want 3 (callerBad, callerGood, deepArm)", got)
+	}
+
+	bad := node(t, g, "wmhelper", "callerBad")
+	if len(bad.Sum.ArmSites) != 1 || bad.Sum.ArmSites[0].Dominated || bad.Sum.ArmSites[0].Callee == nil {
+		t.Errorf("callerBad arm sites = %+v, want one undominated propagated site", bad.Sum.ArmSites)
+	}
+	good := node(t, g, "wmhelper", "callerGood")
+	if len(good.Sum.ArmSites) != 1 || !good.Sum.ArmSites[0].Dominated {
+		t.Errorf("callerGood arm sites = %+v, want one flush-dominated site", good.Sum.ArmSites)
+	}
+	// The dominated caller no longer arms from its own callers' view.
+	if good.Sum.ArmsUnflushed() {
+		t.Error("callerGood flushes before the call; it must not export an unflushed arm")
+	}
+}

@@ -1,0 +1,260 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Span-parameter disposition: how a function treats a *shm.Span it was
+// handed. lockorder's span-leak check needs this to see through helper
+// calls — a reservation passed to a helper is only safe if the helper
+// actually settles (or stores) it, and a helper that commits on the
+// happy path but early-returns around the settle leaks the span in a
+// way neither function shows in isolation.
+
+// IsSpanType reports whether t is shm.Span or a pointer to it.
+func IsSpanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && strings.Contains(obj.Pkg().Path(), "internal/shm")
+}
+
+// spanScan classifies every span parameter of the function.
+func (g *Graph) spanScan(n *Node) map[int]SpanInfo {
+	pkg := n.Pkg
+	var out map[int]SpanInfo
+	idx := 0
+	if n.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range n.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil && IsSpanType(obj.Type()) {
+				if out == nil {
+					out = map[int]SpanInfo{}
+				}
+				out[idx] = g.spanDisp(n, obj)
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return out
+}
+
+// spanDisp computes one span parameter's disposition.
+func (g *Graph) spanDisp(n *Node, obj types.Object) SpanInfo {
+	pkg := n.Pkg
+	uses := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Pass 1: classify every use. settlePos collects the positions of
+	// statements that settle the span (a direct Commit/Abort, or a call
+	// handing it to a callee that settles). escape covers the hand-off
+	// shapes lockorder's intraprocedural check silences on — minus calls
+	// to callees whose summary proves they merely use the span.
+	settlePos := map[token.Pos]bool{}
+	escaped := false
+	var calleeLeak *SpanInfo
+	var calleeLeakVia []Hop
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					switch sel.Sel.Name {
+					case "Commit", "Abort":
+						settlePos[x.Pos()] = true
+						return true
+					}
+				}
+			}
+			for i, a := range x.Args {
+				if !uses(a) {
+					continue
+				}
+				// A span handed to a static in-tree callee is judged by
+				// that callee's summary; anything unresolvable keeps the
+				// conservative hand-off reading (escape → silence).
+				cn := g.staticCallee(pkg, x)
+				if cn == nil || cn.Sum == nil {
+					escaped = true
+					return false
+				}
+				info, ok := cn.Sum.SpanParams[i]
+				if !ok {
+					// The callee does not see this argument as a span
+					// parameter (interface{}, variadic, …): hand-off.
+					escaped = true
+					return false
+				}
+				switch info.Disp {
+				case SpanSettles:
+					settlePos[x.Pos()] = true
+				case SpanLeaks:
+					if calleeLeak == nil {
+						inf := info
+						calleeLeak = &inf
+						calleeLeakVia = prependHop(shortName(cn.Fn), x.Pos(), info.Via)
+					}
+				case SpanPassThrough:
+					// The callee only used the span; responsibility
+					// stays here. Not an escape, not a settle.
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, e := range x.Results {
+				if uses(e) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, e := range x.Rhs {
+				if uses(e) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if uses(x.Value) {
+				escaped = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, e := range x.Elts {
+				if uses(e) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && uses(x.X) {
+				escaped = true
+				return false
+			}
+		}
+		return true
+	})
+
+	if escaped {
+		// Handed off whole: the receiver owns settling it (the recorder
+		// parks its open span in link.span for the flush loop). From the
+		// caller's perspective the span is dealt with.
+		return SpanInfo{Disp: SpanSettles}
+	}
+	if calleeLeak != nil {
+		return SpanInfo{Disp: SpanLeaks, LeakPos: calleeLeak.LeakPos, Via: calleeLeakVia}
+	}
+	if len(settlePos) == 0 {
+		return SpanInfo{Disp: SpanPassThrough}
+	}
+
+	// Pass 2: the function settles on some path — find a path that exits
+	// without settling. Structural walk mirroring the flush-dominance
+	// scan: a statement list settles once a settling statement (or an
+	// if/else or exhaustive switch whose every arm settles) has run; a
+	// return before that point, or falling off the end of the body
+	// unsettled, is the early-return leak.
+	stmtSettles := func(s ast.Stmt) bool {
+		found := false
+		ast.Inspect(s, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok && settlePos[call.Pos()] {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	var leakPos token.Pos
+	var walk func(stmts []ast.Stmt) bool
+	walk = func(stmts []ast.Stmt) bool {
+		settled := false
+		for _, s := range stmts {
+			if settled {
+				break
+			}
+			switch s := s.(type) {
+			case *ast.ReturnStmt:
+				if stmtSettles(s) {
+					settled = true
+				} else if !leakPos.IsValid() {
+					leakPos = s.Pos()
+				}
+			case *ast.BlockStmt:
+				if walk(s.List) {
+					settled = true
+				}
+			case *ast.IfStmt:
+				a := walk(s.Body.List)
+				b := false
+				if s.Else != nil {
+					b = walk([]ast.Stmt{s.Else})
+				}
+				if a && b {
+					settled = true
+				}
+			case *ast.SwitchStmt:
+				all, hasDefault := true, false
+				for _, c := range s.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					if cc.List == nil {
+						hasDefault = true
+					}
+					if !walk(cc.Body) {
+						all = false
+					}
+				}
+				if all && hasDefault {
+					settled = true
+				}
+			default:
+				if stmtSettles(s) {
+					settled = true
+				}
+			}
+		}
+		return settled
+	}
+	if !walk(n.Decl.Body.List) && !leakPos.IsValid() {
+		leakPos = n.Decl.Body.Rbrace
+	}
+	if leakPos.IsValid() {
+		return SpanInfo{Disp: SpanLeaks, LeakPos: leakPos}
+	}
+	return SpanInfo{Disp: SpanSettles}
+}

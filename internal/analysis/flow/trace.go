@@ -1,0 +1,82 @@
+package flow
+
+import (
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/ftvet"
+)
+
+// Trace rendering: every summary entry carries a Via chain (the call
+// hops from the reporting function down to the ultimate site); these
+// helpers turn a chain into ftvet.TraceStep lists (one clickable
+// position per hop, ending at the source/sink) and into the compact
+// "a → b → c" path strings embedded in diagnostic messages.
+
+// traceSteps renders a via-chain plus its terminal site.
+func traceSteps(via []Hop, final token.Pos, note string) []ftvet.TraceStep {
+	out := make([]ftvet.TraceStep, 0, len(via)+1)
+	for _, h := range via {
+		out = append(out, ftvet.TraceStep{Pos: h.Pos, Note: "via call to " + h.Name})
+	}
+	return append(out, ftvet.TraceStep{Pos: final, Note: note})
+}
+
+// Trace renders the taint's call chain ending at the source expression.
+func (t Taint) Trace() []ftvet.TraceStep {
+	return traceSteps(t.Via, t.Source, t.Desc+" — the nondeterminism source")
+}
+
+// Path renders the taint's hop names for embedding in a message:
+// "stamp -> now -> time.Now". Empty for a direct (intra-function)
+// taint.
+func (t Taint) Path() string {
+	if len(t.Via) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(t.Via)+1)
+	for _, h := range t.Via {
+		names = append(names, h.Name)
+	}
+	names = append(names, t.Desc)
+	return strings.Join(names, " -> ")
+}
+
+// Trace renders the effect's call chain ending at the forbidden site.
+func (e *Effect) Trace() []ftvet.TraceStep {
+	if e == nil {
+		return nil
+	}
+	return traceSteps(e.Via, e.Pos, e.Desc)
+}
+
+// Path renders the effect's hop names for embedding in a message.
+func (e *Effect) Path() string {
+	if e == nil || len(e.Via) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(e.Via)+1)
+	for _, h := range e.Via {
+		names = append(names, h.Name)
+	}
+	names = append(names, e.Desc)
+	return strings.Join(names, " -> ")
+}
+
+// Trace renders the arm site's call chain ending at the arming
+// statement inside the ultimate callee.
+func (a ArmSite) Trace() []ftvet.TraceStep {
+	if a.Callee == nil {
+		return nil
+	}
+	return traceSteps(a.Via, a.ArmPos, "output-commit waiter armed here without an internal force-flush")
+}
+
+// LeakTrace renders the span leak's call chain ending at the unsettled
+// exit.
+func (i SpanInfo) LeakTrace() []ftvet.TraceStep {
+	if i.Disp != SpanLeaks {
+		return nil
+	}
+	return traceSteps(i.Via, i.LeakPos, "exits here without committing or aborting the span")
+}

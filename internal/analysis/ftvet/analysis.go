@@ -23,6 +23,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Analyzer describes one invariant checker, mirroring analysis.Analyzer.
@@ -65,7 +66,44 @@ type Pass struct {
 	// All is the full package set of the run (always populated).
 	All []*Package
 
+	// Shared is the run-wide cross-analyzer cache. Whole-program
+	// artifacts that several analyzers consume — the call graph and the
+	// function summaries of internal/analysis/flow — are built once per
+	// Run and memoized here, keyed by name.
+	Shared *Shared
+
 	diags *[]Diagnostic
+}
+
+// Shared memoizes run-wide artifacts across analyzers and packages. One
+// Shared is created per Run and handed to every Pass.
+type Shared struct {
+	mu   sync.Mutex
+	vals map[string]any
+}
+
+// NewShared returns an empty run-wide cache (exported for tests and
+// debug tooling that construct passes by hand).
+func NewShared() *Shared { return &Shared{vals: map[string]any{}} }
+
+// Get returns the cached value under key, building it on first use.
+func (s *Shared) Get(key string, build func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.vals[key]; ok {
+		return v
+	}
+	v := build()
+	s.vals[key] = v
+	return v
+}
+
+// TraceStep is one hop of an interprocedural diagnostic trace: where
+// the tainted value / forbidden effect came from and each call edge it
+// crossed on the way to the report site.
+type TraceStep struct {
+	Pos  token.Pos
+	Note string
 }
 
 // Diagnostic is one finding.
@@ -73,6 +111,12 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+
+	// Trace, when non-empty, is the interprocedural path behind the
+	// finding, source first. Text output folds it into the message; the
+	// SARIF writer emits it as relatedLocations so CI annotations link
+	// every hop.
+	Trace []TraceStep
 }
 
 // Report records a finding at pos.
@@ -83,6 +127,12 @@ func (p *Pass) Report(pos token.Pos, msg string) {
 // Reportf records a formatted finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// ReportTrace records a finding carrying an interprocedural trace
+// (source hop first).
+func (p *Pass) ReportTrace(pos token.Pos, msg string, trace []TraceStep) {
+	*p.diags = append(*p.diags, Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: msg, Trace: trace})
 }
 
 // TypeOf returns the type of e in the pass's package, or nil.

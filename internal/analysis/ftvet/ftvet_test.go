@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/analysis/detsection"
 	"repro/internal/analysis/ftvet"
@@ -22,12 +23,15 @@ var suite = []*ftvet.Analyzer{
 // TestRepoClean is the smoke test from the issue: the full analyzer
 // suite must run clean over the repository itself, so a regression that
 // reintroduces a nondeterminism or ordering violation fails `go test`
-// as well as `make lint`.
+// as well as `make lint`. It doubles as the analyzer runtime budget:
+// load + full interprocedural run must stay under 60s so the fixpoint
+// engine cannot quietly regress CI (per-analyzer timings print with -v).
 func TestRepoClean(t *testing.T) {
 	root, err := filepath.Abs("../../..")
 	if err != nil {
 		t.Fatal(err)
 	}
+	start := time.Now()
 	loader := ftvet.NewLoader(root, "repro")
 	pkgs, err := loader.LoadAll()
 	if err != nil {
@@ -36,9 +40,21 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; loader is missing most of the tree", len(pkgs))
 	}
-	diags, err := ftvet.Run(loader.Fset, pkgs, suite)
+	diags, timings, err := ftvet.RunTimed(loader.Fset, pkgs, suite, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	perAnalyzer := map[string]time.Duration{}
+	for _, tm := range timings {
+		perAnalyzer[tm.Analyzer] += tm.Elapsed
+	}
+	for _, a := range suite {
+		t.Logf("%-12s %v", a.Name, perAnalyzer[a.Name].Round(time.Millisecond))
+	}
+	t.Logf("load + scan of %d packages: %v", len(pkgs), elapsed.Round(time.Millisecond))
+	if elapsed > 60*time.Second {
+		t.Errorf("full-repo scan took %v, over the 60s runtime budget", elapsed)
 	}
 	for _, d := range diags {
 		p := loader.Fset.Position(d.Pos)

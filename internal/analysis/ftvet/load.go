@@ -30,8 +30,9 @@ type Loader struct {
 
 	Fset *token.FileSet
 
-	pkgs map[string]*Package
-	std  types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
 }
 
 // NewLoader creates a loader rooted at dir for the given module path
@@ -39,11 +40,12 @@ type Loader struct {
 func NewLoader(dir, module string) *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		Root:   dir,
-		Module: module,
-		Fset:   fset,
-		pkgs:   map[string]*Package{},
-		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		Root:    dir,
+		Module:  module,
+		Fset:    fset,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 	}
 }
 
@@ -74,6 +76,15 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
+	// An import encountered while the same path is still type-checking
+	// is a cycle; without this guard the loader would recurse through
+	// importFor forever (go/types never sees the repeated path because
+	// memoization only happens after a successful Check).
+	if l.loading[path] {
+		return nil, fmt.Errorf("ftvet: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	dir := l.dirFor(path)
 	if dir == "" {
 		return nil, fmt.Errorf("ftvet: import path %q is outside the analyzed tree", path)

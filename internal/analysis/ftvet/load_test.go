@@ -1,0 +1,109 @@
+package ftvet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a scratch module: keys are root-relative file
+// paths, values file contents.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": "package a\n",
+	})
+	l := NewLoader(root, "repro")
+
+	// A path under the module that maps to no directory.
+	if _, err := l.Load("repro/nothere"); err == nil {
+		t.Error("loading a missing in-module package succeeded, want an error")
+	}
+	// A path outside the module entirely.
+	_, err := l.Load("othermod/pkg")
+	if err == nil || !strings.Contains(err.Error(), "outside the analyzed tree") {
+		t.Errorf("loading an out-of-tree path: err = %v, want \"outside the analyzed tree\"", err)
+	}
+	// A directory with no Go files.
+	if err := os.MkdirAll(filepath.Join(root, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load("repro/empty")
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("loading an empty directory: err = %v, want \"no Go files\"", err)
+	}
+}
+
+func TestLoadSyntaxErrorInDependency(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"repro/b\"\n\nvar _ = b.X\n",
+		"b/b.go": "package b\n\nvar X = {{{\n", // deliberate parse error
+	})
+	l := NewLoader(root, "repro")
+	_, err := l.Load("repro/a")
+	if err == nil {
+		t.Fatal("loading a package with a broken dependency succeeded, want an error")
+	}
+	if !strings.Contains(err.Error(), "b.go") {
+		t.Errorf("dependency parse failure does not name the broken file: %v", err)
+	}
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"c/c.go": "package c\n\nimport \"repro/d\"\n\nvar _ = d.X\nvar X = 1\n",
+		"d/d.go": "package d\n\nimport \"repro/c\"\n\nvar _ = c.X\nvar X = 2\n",
+	})
+	l := NewLoader(root, "repro")
+	_, err := l.Load("repro/c")
+	if err == nil {
+		t.Fatal("loading an import cycle succeeded, want an error")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("cycle error does not say so: %v", err)
+	}
+	// The guard must unwind cleanly: a later load of an unrelated healthy
+	// package through the same loader still works.
+	if err := os.MkdirAll(filepath.Join(root, "ok"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "ok", "ok.go"), []byte("package ok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("repro/ok"); err != nil {
+		t.Errorf("loader unusable after a cycle error: %v", err)
+	}
+}
+
+func TestLoadMemoizes(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": "package a\n\nvar X = 1\n",
+	})
+	l := NewLoader(root, "repro")
+	p1, err := l.Load("repro/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := l.Load("repro/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Load re-parsed an already-loaded package instead of memoizing")
+	}
+}

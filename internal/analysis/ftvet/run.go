@@ -4,7 +4,16 @@ import (
 	"fmt"
 	"go/token"
 	"io"
+	"time"
 )
+
+// Timing records one analyzer execution for the runtime budget: Pkg is
+// empty for Module analyzers (one run over the whole set).
+type Timing struct {
+	Analyzer string
+	Pkg      string
+	Elapsed  time.Duration
+}
 
 // Run executes the analyzers over the package set and returns the
 // surviving diagnostics: per-package analyzers run once per package,
@@ -12,39 +21,67 @@ import (
 // applied afterwards, and malformed allow comments are appended as
 // findings of the pseudo-analyzer "ftvet".
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(fset, pkgs, analyzers, nil)
+	return diags, err
+}
+
+// RunTimed is Run plus per-execution timings (the analyzer runtime
+// budget) and an explicit registry of known analyzer names for
+// //ftvet:allow validation. known lets a subset run (-run nondet) still
+// accept allows naming the other registered analyzers: an allow is only
+// "unknown" (and diagnosed) when its name is in no registry at all —
+// that is how a typo'd allow, which suppresses nothing, is kept from
+// rotting silently. A nil known falls back to the analyzers being run.
+func RunTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, known []string) ([]Diagnostic, []Timing, error) {
 	var diags []Diagnostic
-	known := map[string]bool{}
+	var timings []Timing
+	knownSet := map[string]bool{}
 	for _, a := range analyzers {
-		known[a.Name] = true
+		knownSet[a.Name] = true
 	}
+	for _, name := range known {
+		knownSet[name] = true
+	}
+	shared := NewShared()
 	for _, a := range analyzers {
 		if a.Module {
-			pass := &Pass{Analyzer: a, Fset: fset, All: pkgs, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("ftvet: %s: %w", a.Name, err)
+			pass := &Pass{Analyzer: a, Fset: fset, All: pkgs, Shared: shared, diags: &diags}
+			start := time.Now()
+			err := a.Run(pass)
+			timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
+			if err != nil {
+				return nil, timings, fmt.Errorf("ftvet: %s: %w", a.Name, err)
 			}
 			continue
 		}
 		for _, pkg := range pkgs {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: pkgs, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("ftvet: %s(%s): %w", a.Name, pkg.Path, err)
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, All: pkgs, Shared: shared, diags: &diags}
+			start := time.Now()
+			err := a.Run(pass)
+			timings = append(timings, Timing{Analyzer: a.Name, Pkg: pkg.Path, Elapsed: time.Since(start)})
+			if err != nil {
+				return nil, timings, fmt.Errorf("ftvet: %s(%s): %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
-	marks, malformed := collectAllows(fset, pkgs, known)
+	marks, malformed := collectAllows(fset, pkgs, knownSet)
 	diags = filterAllows(fset, diags, marks)
 	diags = append(diags, malformed...)
 	sortDiags(fset, diags)
-	return diags, nil
+	return diags, timings, nil
 }
 
 // Print writes diagnostics in the canonical file:line:col format used by
-// go vet, returning the number printed.
+// go vet, returning the number printed. Interprocedural traces follow
+// the finding as indented hop lines.
 func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) int {
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", p.Filename, p.Line, p.Column, d.Message, d.Analyzer)
+		for _, h := range d.Trace {
+			hp := fset.Position(h.Pos)
+			fmt.Fprintf(w, "\t%s:%d:%d: %s\n", hp.Filename, hp.Line, hp.Column, h.Note)
+		}
 	}
 	return len(diags)
 }

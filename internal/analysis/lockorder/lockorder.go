@@ -12,20 +12,15 @@
 //
 // The model, deliberately simple and conservative:
 //
-//   - acquisitions: pthread Mutex.Lock / RWLock.RdLock / RWLock.WrLock,
-//     sync.Mutex/RWMutex Lock/RLock, and the pseudo-lock "x.flushing =
-//     true" (released by "= false") that serializes batched flushes;
-//   - transient acquisitions: blocking shm.Ring operations (Send,
-//     SendBatch, Recv, RecvBatch, RecvTimeout, and the zero-copy
-//     Reserve, whose capacity wait is the same backpressure park) —
-//     held only for the call, but ordered after everything currently
-//     held;
-//   - lock identity is the receiver's field path (Type.field) or the
-//     package-level variable; distinct locals of the same type within a
-//     function collapse onto one node (an approximation);
-//   - effects propagate through direct static calls between analyzed
-//     packages to a fixpoint, so holding a lock while calling a function
-//     that (transitively) locks another adds an edge;
+//   - acquisitions and lock identity: see flow.ClassifyLockOp — pthread
+//     and sync mutexes, the "flushing = true" pseudo-lock, and blocking
+//     shm ring operations as transient acquisitions;
+//   - the transitive lock set of every callee comes from the flow
+//     summaries, so holding a lock while calling a function that
+//     (transitively, through any depth of helpers) locks another adds
+//     an edge — including calls through interfaces, where the edge is
+//     added for every tree-declared implementation (a deadlock through
+//     any of them is still a deadlock);
 //   - branches are walked with a copy of the held set, so alternative
 //     if/else acquisitions do not contaminate each other;
 //   - go statements start with an empty held set (the goroutine does
@@ -43,7 +38,12 @@
 // and capacity until Commit or Abort, and reservation order is
 // publication order — so a local span that is never settled and never
 // escapes the function permanently blocks every span reserved after it.
-// That leak is reported at the reservation site.
+// The flow span summaries let the check see through helper calls: a
+// span handed to a helper that provably settles it is safe, a helper
+// that only uses it leaves the responsibility here, and a helper that
+// settles on one path but early-returns around it on another leaks the
+// reservation — reported at the reservation site with the chain to the
+// unsettled exit.
 package lockorder
 
 import (
@@ -55,6 +55,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis/flow"
 	"repro/internal/analysis/ftvet"
 )
 
@@ -75,77 +76,35 @@ var Analyzer = &ftvet.Analyzer{
 }
 
 type acquisition struct {
-	id        string
-	pos       token.Pos
-	held      []string
-	transient bool
-}
-
-type callSite struct {
-	fn   *types.Func
+	id   string
 	pos  token.Pos
 	held []string
 }
 
-type funcSummary struct {
-	acqs  []acquisition
-	calls []callSite
+type callSite struct {
+	call *ast.CallExpr
+	pos  token.Pos
+	held []string
 }
 
 func run(pass *ftvet.Pass) error {
-	sums := map[*types.Func]*funcSummary{}
-	// Pass 1: per-function walk collecting acquisitions and calls.
-	for _, pkg := range pass.All {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				w := &walker{pass: pass, pkg: pkg, fname: obj.FullName(), sum: &funcSummary{}}
-				w.stmts(fd.Body.List)
-				sums[obj] = w.sum
-				checkSpanLeaks(pass, pkg, fd)
-			}
-		}
+	g := flow.Of(pass)
+
+	// Pass 1: per-function held-set walk collecting acquisition sites
+	// and the call sites made while holding locks. The transitive lock
+	// sets behind those calls come from the flow summaries, so no local
+	// fixpoint is needed.
+	var acqs []acquisition
+	var calls []callSite
+	for _, node := range g.Functions() {
+		w := &walker{pass: pass, pkg: node.Pkg, fname: node.Fn.FullName()}
+		w.stmts(node.Decl.Body.List)
+		acqs = append(acqs, w.acqs...)
+		calls = append(calls, w.calls...)
+		checkSpanLeaks(pass, g, node)
 	}
 
-	// Pass 2: fixpoint of the lock set each function may acquire,
-	// propagated through static calls.
-	inside := map[*types.Func]map[string]bool{}
-	for fn := range sums {
-		inside[fn] = map[string]bool{}
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, sum := range sums {
-			set := inside[fn]
-			for _, a := range sum.acqs {
-				if !set[a.id] {
-					set[a.id] = true
-					changed = true
-				}
-			}
-			for _, c := range sum.calls {
-				for id := range inside[c.fn] {
-					if !set[id] {
-						set[id] = true
-						changed = true
-					}
-				}
-			}
-		}
-	}
-
-	// Pass 3: edges held-lock -> acquired-lock.
-	type edge struct {
-		to  string
-		pos token.Pos
-	}
+	// Pass 2: edges held-lock -> acquired-lock.
 	edges := map[string]map[string]token.Pos{}
 	addEdge := func(from, to string, pos token.Pos) {
 		if from == to {
@@ -160,17 +119,20 @@ func run(pass *ftvet.Pass) error {
 			m[to] = pos
 		}
 	}
-	for _, sum := range sums {
-		for _, a := range sum.acqs {
-			for _, h := range a.held {
-				addEdge(h, a.id, a.pos)
-			}
+	for _, a := range acqs {
+		for _, h := range a.held {
+			addEdge(h, a.id, a.pos)
 		}
-		for _, c := range sum.calls {
-			if len(c.held) == 0 {
+	}
+	for _, c := range calls {
+		if len(c.held) == 0 {
+			continue
+		}
+		for _, callee := range g.CalleesAt(c.call) {
+			if callee.Sum == nil {
 				continue
 			}
-			for id := range inside[c.fn] {
+			for id := range callee.Sum.Locks {
 				for _, h := range c.held {
 					addEdge(h, id, c.pos)
 				}
@@ -178,7 +140,7 @@ func run(pass *ftvet.Pass) error {
 		}
 	}
 
-	// Pass 4: cycle detection (deterministic DFS over sorted ids).
+	// Pass 3: cycle detection (deterministic DFS over sorted ids).
 	nodes := make([]string, 0, len(edges))
 	for n := range edges {
 		nodes = append(nodes, n)
@@ -244,20 +206,17 @@ func run(pass *ftvet.Pass) error {
 	return nil
 }
 
-// checkSpanLeaks reports function-local spans claimed from an shm ring
-// (Reserve/TryReserve) that no statement ever settles: no Commit, no
-// Abort, and no escape out of the function (returned, passed to a call,
-// re-assigned, stored into a composite, sent on a channel, or
-// address-taken). Reservation order is publication order, so a leaked
-// open span blocks every span reserved after it from ever publishing —
-// a stall no runtime check catches because nothing is deadlocked, the
-// ring is just silently jammed.
-//
-// The check is intraprocedural and conservative toward silence: any
-// escape hands responsibility to the receiver (the recorder parks its
-// open span in link.span for the flush loop to settle), and only plain
-// identifier locals are tracked.
-func checkSpanLeaks(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
+// checkSpanLeaks reports spans claimed from an shm ring (Reserve/
+// TryReserve) into a local that no path settles: no Commit, no Abort,
+// and no hand-off out of the function. The flow span summaries decide
+// what a call does with a span argument: a callee that settles it (or
+// an unresolvable call — conservative silence) discharges the
+// reservation, a callee that merely uses it does not, and a callee that
+// settles on one path but exits unsettled on another leaks it — that
+// last case is reported with the interprocedural chain to the exit,
+// because neither function shows the bug alone.
+func checkSpanLeaks(pass *ftvet.Pass, g *flow.Graph, node *flow.Node) {
+	pkg, fd := node.Pkg, node.Decl
 	type reservation struct {
 		obj  types.Object
 		pos  token.Pos
@@ -298,6 +257,9 @@ func checkSpanLeaks(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
 			return found
 		}
 		settled, escaped := false, false
+		var leak *flow.SpanInfo
+		var leakCallee *types.Func
+		var leakVia []flow.Hop
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			if settled || escaped {
 				return false
@@ -313,10 +275,39 @@ func checkSpanLeaks(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
 						}
 					}
 				}
-				for _, a := range n.Args {
-					if uses(a) {
+				for i, a := range n.Args {
+					if !uses(a) {
+						continue
+					}
+					// Judge the hand-off by the callee's span summary
+					// when the call resolves statically in-tree;
+					// otherwise keep the conservative escape reading.
+					var info *flow.SpanInfo
+					var calleeFn *types.Func
+					if fn := pkg.CalleeFunc(n); fn != nil {
+						if cn := g.NodeOf(fn); cn != nil && cn.Sum != nil {
+							if si, ok := cn.Sum.SpanParams[i]; ok {
+								info = &si
+								calleeFn = fn
+							}
+						}
+					}
+					if info == nil {
 						escaped = true
 						return false
+					}
+					switch info.Disp {
+					case flow.SpanSettles:
+						settled = true
+						return false
+					case flow.SpanLeaks:
+						if leak == nil {
+							leak = info
+							leakCallee = calleeFn
+							leakVia = append([]flow.Hop{{Name: calleeName(calleeFn), Pos: n.Pos()}}, info.Via...)
+						}
+					case flow.SpanPassThrough:
+						// The callee only used the span; keep scanning.
 					}
 				}
 			case *ast.ReturnStmt:
@@ -356,12 +347,31 @@ func checkSpanLeaks(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
 			}
 			return true
 		})
-		if !settled && !escaped {
+		switch {
+		case settled || escaped:
+		case leak != nil:
+			trace := make([]ftvet.TraceStep, 0, len(leakVia)+1)
+			for _, h := range leakVia {
+				trace = append(trace, ftvet.TraceStep{Pos: h.Pos, Note: "span handed to " + h.Name})
+			}
+			trace = append(trace, ftvet.TraceStep{Pos: leak.LeakPos, Note: "exits here without committing or aborting the span"})
+			pass.ReportTrace(sp.pos, fmt.Sprintf(
+				"span %q is reserved here and handed to %s, which can return without committing or aborting it: reservation order is publication order, so the unsettled span blocks every later span on this ring; settle it on every path in the callee or settle it here",
+				sp.name, leakCallee.Name()), trace)
+		default:
 			pass.Reportf(sp.pos,
 				"span %q is reserved but never committed or aborted: reservation order is publication order, so a leaked open span blocks every later span on this ring from publishing; Commit it, Abort it on early-exit paths, or hand it off",
 				sp.name)
 		}
 	}
+}
+
+// calleeName renders a function for the leak trace.
+func calleeName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	return fn.Name()
 }
 
 // isReserveCall reports whether a call claims a span from an shm ring.
@@ -396,7 +406,8 @@ type walker struct {
 	pass  *ftvet.Pass
 	pkg   *ftvet.Package
 	fname string
-	sum   *funcSummary
+	acqs  []acquisition
+	calls []callSite
 	held  []string
 }
 
@@ -503,7 +514,7 @@ func (w *walker) stmt(s ast.Stmt) {
 		// held (in the model as in reality) until the function returns.
 		// Deferred acquires/calls are walked with the current held set,
 		// the state they will most likely see at exit.
-		if kind, _ := w.classify(s.Call); kind != opRelease {
+		if kind, _ := flow.ClassifyLockOp(w.pkg, s.Call, w.fname); kind != flow.LockRelease {
 			w.call(s.Call)
 		}
 	}
@@ -535,151 +546,47 @@ func (w *walker) expr(e ast.Expr) {
 	})
 }
 
-type opKind int
-
-const (
-	opNone opKind = iota
-	opAcquire
-	opRelease
-	opTransient
-)
-
 // call classifies and records one call expression.
 func (w *walker) call(call *ast.CallExpr) {
-	kind, id := w.classify(call)
+	kind, id := flow.ClassifyLockOp(w.pkg, call, w.fname)
 	switch kind {
-	case opAcquire:
+	case flow.LockAcquire:
 		for _, h := range w.held {
 			if h == id {
 				w.pass.Reportf(call.Pos(), "lock %q acquired while already held (pthread mutexes are not reentrant): this self-deadlocks at runtime", id)
 				return
 			}
 		}
-		w.sum.acqs = append(w.sum.acqs, acquisition{id: id, pos: call.Pos(), held: w.snapshot()})
+		w.acqs = append(w.acqs, acquisition{id: id, pos: call.Pos(), held: w.snapshot()})
 		w.held = append(w.held, id)
-	case opRelease:
+	case flow.LockRelease:
 		for i := len(w.held) - 1; i >= 0; i-- {
 			if w.held[i] == id {
 				w.held = append(w.held[:i], w.held[i+1:]...)
 				break
 			}
 		}
-	case opTransient:
-		w.sum.acqs = append(w.sum.acqs, acquisition{id: id, pos: call.Pos(), held: w.snapshot(), transient: true})
-	case opNone:
-		if fn := w.pkg.CalleeFunc(call); fn != nil {
-			w.sum.calls = append(w.sum.calls, callSite{fn: fn, pos: call.Pos(), held: w.snapshot()})
-		}
+	case flow.LockTransient:
+		w.acqs = append(w.acqs, acquisition{id: id, pos: call.Pos(), held: w.snapshot()})
+	case flow.LockNone:
+		w.calls = append(w.calls, callSite{call: call, pos: call.Pos(), held: w.snapshot()})
 	}
-}
-
-// classify maps a call to a lock operation.
-func (w *walker) classify(call *ast.CallExpr) (opKind, string) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return opNone, ""
-	}
-	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return opNone, ""
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return opNone, ""
-	}
-	path := fn.Pkg().Path()
-	name := fn.Name()
-	switch {
-	case strings.Contains(path, "internal/pthread"):
-		switch name {
-		case "Lock", "RdLock", "WrLock":
-			return opAcquire, w.lockID(sel.X)
-		case "Unlock", "RdUnlock", "WrUnlock":
-			return opRelease, w.lockID(sel.X)
-		}
-	case path == "sync":
-		switch name {
-		case "Lock", "RLock":
-			return opAcquire, w.lockID(sel.X)
-		case "Unlock", "RUnlock":
-			return opRelease, w.lockID(sel.X)
-		}
-	case strings.Contains(path, "internal/shm"):
-		switch name {
-		case "Send", "SendBatch", "Recv", "RecvBatch", "RecvTimeout", "Reserve":
-			// Reserve blocks for ring capacity exactly like the wrapper
-			// sends did (the claim is FIFO behind earlier reservations), so
-			// it is ordered after everything currently held. Commit/Abort
-			// never block and TryReserve fails instead of waiting — none of
-			// them participate in the lock graph.
-			return opTransient, w.lockID(sel.X) + "(ring)"
-		}
-	}
-	return opNone, ""
 }
 
 // checkFlushFlag models "x.flushing = true/false" as a lock the flush
 // path holds across its blocking ring send (the PR 1 flush lock).
 func (w *walker) checkFlushFlag(s *ast.AssignStmt) {
-	if s.Tok != token.ASSIGN || len(s.Lhs) != len(s.Rhs) {
-		return
-	}
-	for i, lhs := range s.Lhs {
-		sel, ok := lhs.(*ast.SelectorExpr)
-		if !ok || !strings.Contains(strings.ToLower(sel.Sel.Name), "flushing") {
-			continue
-		}
-		val, ok := ast.Unparen(s.Rhs[i]).(*ast.Ident)
-		if !ok {
-			continue
-		}
-		id := w.lockID(lhs)
-		switch val.Name {
-		case "true":
-			w.sum.acqs = append(w.sum.acqs, acquisition{id: id, pos: s.Pos(), held: w.snapshot()})
-			w.held = append(w.held, id)
-		case "false":
+	for _, op := range flow.FlushFlagOps(w.pkg, s, w.fname) {
+		if op.Acquire {
+			w.acqs = append(w.acqs, acquisition{id: op.ID, pos: op.Pos, held: w.snapshot()})
+			w.held = append(w.held, op.ID)
+		} else {
 			for j := len(w.held) - 1; j >= 0; j-- {
-				if w.held[j] == id {
+				if w.held[j] == op.ID {
 					w.held = append(w.held[:j], w.held[j+1:]...)
 					break
 				}
 			}
 		}
-	}
-}
-
-// lockID names the lock object behind a receiver expression: a field
-// selector becomes Type.field, a package-level var becomes pkg.var, and
-// a local collapses onto a per-function node.
-func (w *walker) lockID(e ast.Expr) string {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.SelectorExpr:
-		if t := w.pkg.TypeOf(e.X); t != nil {
-			if p, ok := t.(*types.Pointer); ok {
-				t = p.Elem()
-			}
-			if named, ok := t.(*types.Named); ok {
-				obj := named.Obj()
-				prefix := obj.Name()
-				if obj.Pkg() != nil {
-					prefix = obj.Pkg().Name() + "." + obj.Name()
-				}
-				return prefix + "." + e.Sel.Name
-			}
-		}
-		return "?." + e.Sel.Name
-	case *ast.Ident:
-		if obj := w.pkg.ObjectOf(e); obj != nil {
-			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
-				return obj.Pkg().Name() + "." + obj.Name()
-			}
-		}
-		return w.fname + " local " + e.Name
-	default:
-		if t := w.pkg.TypeOf(e); t != nil {
-			return types.TypeString(t, nil)
-		}
-		return fmt.Sprintf("anon@%d", int(e.Pos()))
 	}
 }

@@ -40,12 +40,14 @@
 package nondet
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
 
+	"repro/internal/analysis/flow"
 	"repro/internal/analysis/ftvet"
 )
 
@@ -131,9 +133,103 @@ func run(pass *ftvet.Pass) error {
 				}
 				return true
 			})
+			checkCallChains(pass, pkg, fd)
 		}
 	}
 	return nil
+}
+
+// checkCallChains is the interprocedural layer: nondeterminism that
+// enters a replicated function through a helper defined elsewhere. Two
+// shapes, both invisible to the syntactic checks above:
+//
+//   - a call to a function (outside the replicated packages, where the
+//     source itself is legal) whose results carry a wall-clock, pid, or
+//     rand taint — observing the value is the divergence, so the call
+//     site is reported with the full chain to the source;
+//   - a value carrying map-order taint from a helper's map range,
+//     escaping into an ordered sink here (channel send, string
+//     concatenation, or a send/write/emit-like call) — the intra rule
+//     only sees ranges in the same function.
+//
+// Sources inside replicated packages are not re-reported through calls:
+// checkQualified already flags them where they occur.
+func checkCallChains(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
+	g := flow.Of(pass)
+	node := g.NodeOf(funcObj(pkg, fd))
+	if node == nil {
+		return
+	}
+	env := g.FuncEnv(node)
+
+	reportTaint := func(pos token.Pos, t flow.Taint, what string) {
+		var msg string
+		switch t.Kind {
+		case flow.TaintClock:
+			msg = fmt.Sprintf("%s carries a wall-clock value (%s) into replicated code and diverges across replicas; use the replicated gettimeofday (*replication.Thread).Now or the kernel clock (*kernel.Kernel).Now (§3.3)", what, t.Path())
+		case flow.TaintPid:
+			msg = fmt.Sprintf("%s carries the raw process id (%s) into replicated code; use the replicated thread identity (*replication.Thread).FTPid", what, t.Path())
+		case flow.TaintRand:
+			msg = fmt.Sprintf("%s carries a package-level math/rand draw (%s) into replicated code, seeded per process; use the simulation's deterministic source (sim.Simulation.Rand)", what, t.Path())
+		default:
+			return
+		}
+		pass.ReportTrace(pos, msg, t.Trace())
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := pkg.CalleeFunc(n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Direct observation of a tainted result. Callees in
+			// replicated packages are skipped: checkQualified already
+			// flags the source where it occurs.
+			if !Replicated(fn.Pkg().Path()) {
+				for _, t := range env.CallTaints(n) {
+					if t.Kind != flow.TaintMapOrder {
+						reportTaint(n.Pos(), t, "call to "+fn.Name())
+					}
+				}
+			}
+			// Map-order taint reaching an ordered sink as an argument.
+			name := calleeName(n)
+			if name == "" || name == "append" || !orderedSink.MatchString(name) {
+				return true
+			}
+			if fn.Pkg().Path() == obsPath {
+				return true
+			}
+			for _, a := range n.Args {
+				for _, t := range env.ExprTaints(a) {
+					if t.Kind == flow.TaintMapOrder && len(t.Via) > 0 {
+						pass.ReportTrace(n.Pos(),
+							fmt.Sprintf("map iteration order from a helper (%s) escapes into replicated output via %s and diverges across replicas (Go randomizes map order per process); sort before emitting", t.Path(), name),
+							t.Trace())
+						return true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			for _, t := range env.ExprTaints(n.Value) {
+				if t.Kind == flow.TaintMapOrder && len(t.Via) > 0 {
+					pass.ReportTrace(n.Pos(),
+						fmt.Sprintf("map iteration order from a helper (%s) escapes into replicated output via a channel send and diverges across replicas (Go randomizes map order per process); sort before emitting", t.Path()),
+						t.Trace())
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// funcObj returns the types.Func for a declaration.
+func funcObj(pkg *ftvet.Package, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
 }
 
 // checkObsAttrs diagnoses wall-clock values smuggled into the arguments

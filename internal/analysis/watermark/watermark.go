@@ -11,230 +11,103 @@
 // path that arms a watermark waiter must first force-flush the buffers
 // (Recorder.flushForCommit, Primary.flushForCommit/flushSync).
 //
-// watermark enforces that invariant statically: in any function that
-// appends to a slice of watermark-carrying structs (a struct with a
-// field named "watermark", the shape of replication.stableWaiter and
-// tcprep.syncWaiter), the append must be dominated by a call to a
-// flush-family function (a callee whose name contains "flush", case-
-// insensitive). Dominance is approximated structurally: the flush call
-// must appear earlier in the same or an enclosing statement block, so a
-// flush inside one if-arm does not satisfy an arm-site on another path.
-// Early returns before the flush are fine — those paths never arm.
+// watermark enforces that invariant statically over the whole module,
+// consuming the flow arm-site summaries: an arm site is an append to a
+// slice of watermark-carrying structs (a struct with a field named
+// "watermark", the shape of replication.stableWaiter and
+// tcprep.syncWaiter) or — the per-object sequencing idiom of DESIGN.md
+// §13 — a map-index store of one into a grant table. Dominance is
+// structural: a force-flush earlier in the same or an enclosing block.
+// The summaries add two interprocedural halves the old per-package pass
+// could not see:
 //
-// Per-object sequencing (DESIGN.md §13) added a second arming idiom the
-// slice rule cannot see: a grant table keyed by object id, where the
-// waiter is armed by map-index assignment (`table[obj] = waiter{...}`)
-// against that object's Seq_obj cursor instead of being appended to one
-// global queue. The waiter struct shape is the same — a watermark field
-// names the release cursor — so the analyzer treats a map-index store of
-// a watermark-carrying struct (or pointer to one) exactly like an
-// append: it must be dominated by a force-flush, or tuples of that
-// object's shard could sit buffered while the waiter sleeps.
+//   - a flush inside a called helper counts: a statement calling a
+//     function whose summary (transitively) flushes dominates what
+//     follows it;
+//   - an arm inside a called helper counts: a function whose summary
+//     arms without an internal dominating flush turns every call to it
+//     into an arm site, checked for dominance at the caller — and
+//     reported there with the call chain to the arming statement. A
+//     function with in-tree callers is judged at those call sites, not
+//     at its own body: the helper itself is fine precisely when every
+//     caller flushes first.
 package watermark
 
 import (
-	"go/ast"
-	"go/types"
+	"fmt"
 	"strings"
 
+	"repro/internal/analysis/flow"
 	"repro/internal/analysis/ftvet"
 )
 
-// Analyzer is the watermark pass.
+// Analyzer is the watermark pass. Module: arm-site responsibility moves
+// across package boundaries (a tcprep path arming through a replication
+// helper).
 var Analyzer = &ftvet.Analyzer{
 	Name: "watermark",
 	Doc: "require a dominating force-flush before arming an output-commit watermark " +
 		"waiter, so batched log tuples can never stall output release (§3.5; the " +
 		"flush-before-watermark invariant established in PR 1)",
-	Run: run,
+	Module: true,
+	Run:    run,
 }
 
 func run(pass *ftvet.Pass) error {
-	pkg := pass.Pkg
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+	g := flow.Of(pass)
+	for _, node := range g.Functions() {
+		if node.Sum == nil {
+			continue
+		}
+		for _, a := range node.Sum.ArmSites {
+			if a.Dominated {
 				continue
 			}
-			scanBlock(pass, pkg, fd.Body.List, false)
+			switch {
+			case a.Callee != nil:
+				// Propagated: this call reaches an arm in a helper that
+				// does not flush internally, and nothing flushed before
+				// the call here.
+				pass.ReportTrace(a.Pos, fmt.Sprintf(
+					"call to %s arms an output-commit waiter (%s) without a dominating force-flush here or inside it: tuples buffered by batching could stall (or deadlock) output release; call the force-flush (flushForCommit/flushSync) before this call (§3.5)",
+					a.Callee.Name(), armPath(a)), a.Trace())
+			case a.InLit:
+				// Inside a function literal: it runs later, when no
+				// caller's flush helps — always the literal's problem.
+				report(pass, a)
+			case g.CallerCount(node) == 0:
+				// Direct arm in a function nobody in the tree calls (an
+				// entry point, or dispatch-only): judged on its own body.
+				report(pass, a)
+			default:
+				// Direct undominated arm in a function with in-tree
+				// callers: the callers are judged instead (the
+				// propagated case above fires wherever one fails to
+				// flush first).
+			}
 		}
 	}
 	return nil
 }
 
-// scanBlock walks one statement list in order. flushSeen reports whether
-// a flush-family call dominates the current point (it was seen earlier
-// in this block or an enclosing one). Nested control-flow arms inherit
-// the current value but do not export theirs: a flush inside an if-arm
-// only dominates statements within that arm.
-func scanBlock(pass *ftvet.Pass, pkg *ftvet.Package, stmts []ast.Stmt, flushSeen bool) {
-	for _, s := range stmts {
-		// A flush call directly in this statement establishes dominance
-		// for everything after it — but a flush buried in a nested
-		// control-flow arm of s does not, so look only at calls outside
-		// nested blocks.
-		checkArm(pass, pkg, s, flushSeen)
-		if stmtCallsFlush(pkg, s) {
-			flushSeen = true
-		}
-		switch s := s.(type) {
-		case *ast.BlockStmt:
-			scanBlock(pass, pkg, s.List, flushSeen)
-		case *ast.IfStmt:
-			scanBlock(pass, pkg, s.Body.List, flushSeen)
-			if s.Else != nil {
-				scanBlock(pass, pkg, []ast.Stmt{s.Else}, flushSeen)
-			}
-		case *ast.ForStmt:
-			scanBlock(pass, pkg, s.Body.List, flushSeen)
-		case *ast.RangeStmt:
-			scanBlock(pass, pkg, s.Body.List, flushSeen)
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					scanBlock(pass, pkg, cc.Body, flushSeen)
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					scanBlock(pass, pkg, cc.Body, flushSeen)
-				}
-			}
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok {
-					scanBlock(pass, pkg, cc.Body, flushSeen)
-				}
-			}
-		case *ast.LabeledStmt:
-			scanBlock(pass, pkg, []ast.Stmt{s.Stmt}, flushSeen)
-		}
+// report emits the classic intraprocedural messages (shared with the
+// fixture expectations of the per-package era).
+func report(pass *ftvet.Pass, a flow.ArmSite) {
+	if a.Table {
+		pass.Report(a.Pos,
+			"per-object output-commit waiter armed without a dominating force-flush: a grant-table entry gated on Seq_obj can sleep across buffered tuples of its shard; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5, DESIGN.md §13)")
+		return
 	}
+	pass.Report(a.Pos,
+		"output-commit waiter armed without a dominating force-flush: tuples buffered by batching could stall (or deadlock) output release; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5)")
 }
 
-// checkArm reports watermark-arming appends in the non-nested part of s
-// when no flush dominates them. Function literals open a fresh scope
-// (they run later, when the dominating flush no longer helps).
-func checkArm(pass *ftvet.Pass, pkg *ftvet.Package, s ast.Stmt, flushSeen bool) {
-	ast.Inspect(s, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.BlockStmt:
-			return false // nested arms handled by scanBlock
-		case *ast.FuncLit:
-			scanBlock(pass, pkg, n.Body.List, false)
-			return false
-		case *ast.CallExpr:
-			if !flushSeen && armsWatermark(pkg, n) {
-				pass.Report(n.Pos(),
-					"output-commit waiter armed without a dominating force-flush: tuples buffered by batching could stall (or deadlock) output release; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5)")
-			}
-		case *ast.AssignStmt:
-			if flushSeen {
-				return true
-			}
-			for _, lhs := range n.Lhs {
-				if armsWatermarkTable(pkg, lhs) {
-					pass.Report(lhs.Pos(),
-						"per-object output-commit waiter armed without a dominating force-flush: a grant-table entry gated on Seq_obj can sleep across buffered tuples of its shard; call the force-flush (flushForCommit/flushSync) first so the watermark covers only in-flight data (§3.5, DESIGN.md §13)")
-				}
-			}
-		}
-		return true
-	})
-}
-
-// stmtCallsFlush reports whether s directly (outside nested blocks and
-// function literals) calls a flush-family function.
-func stmtCallsFlush(pkg *ftvet.Package, s ast.Stmt) bool {
-	found := false
-	ast.Inspect(s, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.BlockStmt, *ast.FuncLit:
-			return false
-		case *ast.CallExpr:
-			name := ""
-			switch fun := ast.Unparen(n.Fun).(type) {
-			case *ast.Ident:
-				name = fun.Name
-			case *ast.SelectorExpr:
-				name = fun.Sel.Name
-			}
-			if strings.Contains(strings.ToLower(name), "flush") {
-				found = true
-				return false
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// armsWatermark reports whether the call is append(q, w...) where the
-// slice's element type is a struct carrying a watermark field.
-func armsWatermark(pkg *ftvet.Package, call *ast.CallExpr) bool {
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok || id.Name != "append" {
-		return false
+// armPath renders the call chain of a propagated arm site.
+func armPath(a flow.ArmSite) string {
+	names := make([]string, 0, len(a.Via)+1)
+	for _, h := range a.Via {
+		names = append(names, h.Name)
 	}
-	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
-		return false
-	}
-	if len(call.Args) == 0 {
-		return false
-	}
-	t := pkg.TypeOf(call.Args[0])
-	if t == nil {
-		return false
-	}
-	sl, ok := t.Underlying().(*types.Slice)
-	if !ok {
-		return false
-	}
-	return watermarkStruct(sl.Elem())
-}
-
-// armsWatermarkTable reports whether lhs is a map-index store whose value
-// type is a watermark-carrying struct — the per-object grant-table idiom
-// (`table[obj] = waiter{watermark: seqObj, ...}`).
-func armsWatermarkTable(pkg *ftvet.Package, lhs ast.Expr) bool {
-	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
-	if !ok {
-		return false
-	}
-	t := pkg.TypeOf(idx.X)
-	if t == nil {
-		return false
-	}
-	mp, ok := t.Underlying().(*types.Map)
-	if !ok {
-		return false
-	}
-	return watermarkStruct(mp.Elem())
-}
-
-// watermarkStruct reports whether elem (a pointer indirection is looked
-// through) is a struct carrying a watermark field — the output-commit
-// waiter shape shared by the global queue and the per-object grant table.
-func watermarkStruct(elem types.Type) bool {
-	if elem == nil {
-		return false
-	}
-	if p, ok := elem.Underlying().(*types.Pointer); ok {
-		elem = p.Elem()
-	}
-	st, ok := elem.Underlying().(*types.Struct)
-	if !ok {
-		return false
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		if strings.EqualFold(st.Field(i).Name(), "watermark") {
-			return true
-		}
-	}
-	return false
+	names = append(names, "arm site")
+	return strings.Join(names, " -> ")
 }
