@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-detshard bench-fabric check trace chaos
+.PHONY: all build vet lint test race bench bench-detshard bench-fabric bench-critpath check trace chaos diag
 
 all: check
 
@@ -30,14 +30,23 @@ bench:
 # Per-object sequencing sweep (DESIGN.md §13): thread counts x {shared,
 # independent} locks x det shards {1, 4}, regenerating the checked-in
 # BENCH_detshard.json with commit-wait and replay-lag distributions.
+# -gate fails the run if a headline ratio regresses past the tolerance
+# pinned in goldens/bench-baselines.json.
 bench-detshard:
-	$(GO) run ./cmd/ftbench -exp detshard -json BENCH_detshard.json
+	$(GO) run ./cmd/ftbench -exp detshard -gate goldens/bench-baselines.json -json BENCH_detshard.json
 
 # Shared-memory fabric sweep (DESIGN.md §14): locked-copy vs lock-free
 # reservation vs adaptive batching across producer counts and workload
 # regimes, regenerating the checked-in BENCH_fabric.json.
 bench-fabric:
-	$(GO) run ./cmd/ftbench -exp fabric -json BENCH_fabric.json
+	$(GO) run ./cmd/ftbench -exp fabric -gate goldens/bench-baselines.json -json BENCH_fabric.json
+
+# Critical-path attribution sweep (DESIGN.md §16): traced detshard and
+# fabric cells attributed per committed output, regenerating the
+# checked-in BENCH_critpath.json with per-stage stall distributions —
+# the numeric form of "sharding moves the bottleneck off commit-wait".
+bench-critpath:
+	$(GO) run ./cmd/ftbench -exp critpath -json BENCH_critpath.json
 
 check: vet lint build race bench
 
@@ -54,3 +63,15 @@ chaos:
 	$(GO) run ./cmd/ftsim -size 134217728 -chaos kill-rejoin-kill -flight flight-krk.txt
 	$(GO) run ./cmd/ftsim -size 134217728 -chaos hb-storm -flight flight-hbs.txt
 	$(GO) run ./cmd/ftsim -size 134217728 -chaos dup-delay -flight flight-dd.txt
+
+# Divergence diagnosis demo (DESIGN.md §16): run the same deployment
+# twice — once clean, once with the primary killed mid-stream — and let
+# ftdiag name the first det tuple the failed run never records, with its
+# minimal causal slice. The diff exiting 1 is the expected outcome (a
+# divergence was found); exiting 0 means the kill diverged nothing and
+# the target fails.
+diag:
+	$(GO) run ./cmd/ftsim -size 8388608 -events diag-clean.jsonl
+	$(GO) run ./cmd/ftsim -size 8388608 -fail 40ms -events diag-failed.jsonl
+	$(GO) run ./cmd/ftdiag diff diag-clean.jsonl diag-failed.jsonl; test $$? -eq 1
+	$(GO) run ./cmd/ftdiag attribute diag-failed.jsonl

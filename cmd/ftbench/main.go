@@ -34,10 +34,11 @@ var (
 	jsonOut     = flag.String("json", "", "also write the selected sweep (batching, detshard) as JSON to this file")
 	shardCount  = flag.String("shards", "4", "DetShards setting compared against 1 for -exp detshard")
 	threadSweep = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts for -exp detshard")
+	gatePath    = flag.String("gate", "", "baseline file (goldens/bench-baselines.json); fail when a detshard/fabric headline ratio regresses past its tolerance")
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard, fabric")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard, fabric, critpath")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced sweeps / scaled-down inputs")
 	flag.Parse()
@@ -67,6 +68,7 @@ func run(exp string, seed int64, quick bool) error {
 		{"batching", batching},
 		{"detshard", detshard},
 		{"fabric", fabric},
+		{"critpath", critpath},
 	} {
 		if !all && exp != e.name {
 			continue
@@ -378,6 +380,66 @@ func detshard(seed int64, quick bool) error {
 		report.MeasuredAt, report.CommitWaitSpeedup, report.ReplayLagSpeedup, report.Shards)
 	fmt.Println("the shared-lock rows are the control: one sequencing object, so sharding")
 	fmt.Println("must not change sections or sim time")
+	if *gatePath != "" {
+		b, err := bench.LoadBaselines(*gatePath)
+		if err != nil {
+			return err
+		}
+		if v := b.GateDetShard(report); len(v) != 0 {
+			return gateFailure("detshard", v)
+		}
+		fmt.Println("gate: detshard ratios within tolerance of", *gatePath)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	fmt.Println()
+	return nil
+}
+
+func gateFailure(sweep string, violations []string) error {
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "gate:", v)
+	}
+	return fmt.Errorf("%s: %d headline ratio(s) regressed past the pinned baseline", sweep, len(violations))
+}
+
+func critpath(seed int64, quick bool) error {
+	fmt.Println("== Critical-path attribution: where committed-output time goes, per stage ==")
+	opts := bench.DefaultCritPathOpts()
+	opts.Seed = seed
+	report, err := bench.CritPath(opts)
+	if err != nil {
+		return err
+	}
+	for _, p := range report.Points {
+		fmt.Printf("-- %s: %d threads, %d shards (%d outputs, %d events; dominant: %s)\n",
+			p.Workload, p.Threads, p.Shards, p.Outputs, p.Events, p.DominantStage)
+		var table [][]string
+		for _, st := range p.Stages {
+			table = append(table, []string{
+				st.Stage,
+				fmt.Sprintf("%d", st.Count),
+				fmt.Sprintf("%d", st.P50),
+				fmt.Sprintf("%d", st.P90),
+				fmt.Sprintf("%d", st.P99),
+				fmt.Sprintf("%d", st.MaxNs),
+				fmt.Sprintf("%d", st.TotalNs),
+			})
+		}
+		bench.Table(os.Stdout,
+			[]string{"stage", "nonzero", "p50 ns", "p90 ns", "p99 ns", "max ns", "total ns"},
+			table)
+	}
+	fmt.Println("sharding should move the bottleneck off replay-grant; the sustained fabric")
+	fmt.Println("workload should be commit-wait dominated (bounded-ring backlog)")
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -452,6 +514,16 @@ func fabric(seed int64, quick bool) error {
 		report.MeasuredAt, report.SenderWaitReductionRaw, report.SenderWaitReductionSustained)
 	fmt.Printf("adaptive vs best static batch: %.2fx completion (sustained), %.2fx transfers (burst), %.1fx fewer transfers than its starting batch\n",
 		report.AdaptiveVsBestStaticSustained, report.AdaptiveVsBestStaticBurst, report.AdaptiveMsgSavingsBurst)
+	if *gatePath != "" {
+		b, err := bench.LoadBaselines(*gatePath)
+		if err != nil {
+			return err
+		}
+		if v := b.GateFabric(report); len(v) != 0 {
+			return gateFailure("fabric", v)
+		}
+		fmt.Println("gate: fabric ratios within tolerance of", *gatePath)
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -46,6 +46,7 @@ type options struct {
 	relaxed     bool
 	seed        int64
 	trace       string
+	events      string
 	chaosSpec   string
 	chaosSeed   int64
 	rejoinDelay time.Duration
@@ -62,6 +63,7 @@ func main() {
 	flag.BoolVar(&o.relaxed, "relaxed", false, "use relaxed output commit (§3.5)")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	flag.StringVar(&o.trace, "trace", "", "write a Chrome/Perfetto trace of the run to this file")
+	flag.StringVar(&o.events, "events", "", "write the raw event stream as JSONL to this file (ftdiag input)")
 	flag.StringVar(&o.chaosSpec, "chaos", "", "chaos schedule (preset name or spec); enables backup rejoin")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 42, "seed for the chaos injector's RNG stream")
 	flag.DurationVar(&o.rejoinDelay, "rejoin-delay", 10*time.Second, "partition repair time before a backup rejoins")
@@ -122,7 +124,7 @@ func run(o options) error {
 		fmt.Printf("chaos schedule: %s\n", sched)
 		opts = append(opts, core.WithChaos(sched, o.chaosSeed))
 	}
-	if o.trace != "" {
+	if o.trace != "" || o.events != "" {
 		opts = append(opts, core.WithTrace())
 	}
 	sys, err := core.New(opts...)
@@ -210,6 +212,21 @@ func run(o options) error {
 		}
 		fmt.Printf("wrote %s (%d events); open it at https://ui.perfetto.dev\n",
 			o.trace, len(sys.Obs.Events()))
+	}
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			return err
+		}
+		if err := sys.Obs.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events); diagnose it with ftdiag\n",
+			o.events, len(sys.Obs.Events()))
 	}
 	if !dl.Complete || dl.Corrupted {
 		return fmt.Errorf("client-visible stream was damaged")

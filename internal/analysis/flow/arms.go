@@ -61,13 +61,19 @@ func WatermarkTableStore(pkg *ftvet.Package, lhs ast.Expr) bool {
 // WatermarkStruct reports whether elem (a pointer indirection is looked
 // through) is a struct carrying a watermark field — the output-commit
 // waiter shape shared by the global queue and the per-object grant
-// table.
+// table. Structs defined in the observability layer are exempt: the
+// causal analyzer records receipt watermarks as plain data in its
+// critical-path values (causal.OutputPath), which nothing ever waits
+// on, so appending them cannot stall output release.
 func WatermarkStruct(elem types.Type) bool {
 	if elem == nil {
 		return false
 	}
 	if p, ok := elem.Underlying().(*types.Pointer); ok {
 		elem = p.Elem()
+	}
+	if obsLayerType(elem) {
+		return false
 	}
 	st, ok := elem.Underlying().(*types.Struct)
 	if !ok {
@@ -79,6 +85,23 @@ func WatermarkStruct(elem types.Type) bool {
 		}
 	}
 	return false
+}
+
+// obsLayerType reports whether the named type is defined in the
+// sanctioned observability layer (repro/internal/obs and its
+// subpackages): trace-analysis value types there carry watermark
+// fields as recorded data, not as armable waiters.
+func obsLayerType(elem types.Type) bool {
+	n, ok := elem.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "repro/internal/obs" || strings.HasPrefix(path, "repro/internal/obs/")
 }
 
 // scanArms walks the function body with the watermark analyzer's

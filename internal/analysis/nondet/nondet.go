@@ -69,8 +69,20 @@ var orderedSink = regexp.MustCompile(`(?i)^(send|write|emit|record|print|printf|
 // obsPath is the observability package. Its calls are a sanctioned sink
 // (events are local, not replicated state), but their arguments must be
 // deterministic — they travel into traces compared byte-for-byte across
-// same-seed runs.
-const obsPath = "repro/internal/obs"
+// same-seed runs. causalPath is the causality/diagnosis layer built on
+// top of it: same sanction, same argument rule (diagnosis annotations
+// land in golden-pinned reports).
+const (
+	obsPath    = "repro/internal/obs"
+	causalPath = "repro/internal/obs/causal"
+)
+
+// sanctionedObs reports whether a package path is one of the
+// observability sinks whose calls are exempt from the ordered-sink rule
+// but whose arguments checkObsAttrs still vets.
+func sanctionedObs(path string) bool {
+	return path == obsPath || path == causalPath
+}
 
 // Analyzer is the nondet pass.
 var Analyzer = &ftvet.Analyzer{
@@ -99,8 +111,8 @@ func Replicated(path string) bool {
 func run(pass *ftvet.Pass) error {
 	pkg := pass.Pkg
 	replicated := Replicated(pkg.Path)
-	if pkg.Path == obsPath {
-		return nil // the sink itself; its determinism is covered by its tests
+	if sanctionedObs(pkg.Path) {
+		return nil // the sinks themselves; their determinism is covered by their tests
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -199,7 +211,7 @@ func checkCallChains(pass *ftvet.Pass, pkg *ftvet.Package, fd *ast.FuncDecl) {
 			if name == "" || name == "append" || !orderedSink.MatchString(name) {
 				return true
 			}
-			if fn.Pkg().Path() == obsPath {
+			if sanctionedObs(fn.Pkg().Path()) {
 				return true
 			}
 			for _, a := range n.Args {
@@ -238,7 +250,7 @@ func funcObj(pkg *ftvet.Package, fd *ast.FuncDecl) *types.Func {
 // packages (inside them, checkQualified flags the same calls anywhere).
 func checkObsAttrs(pass *ftvet.Pass, pkg *ftvet.Package, call *ast.CallExpr) {
 	fn := pkg.CalleeFunc(call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+	if fn == nil || fn.Pkg() == nil || !sanctionedObs(fn.Pkg().Path()) {
 		return
 	}
 	for _, a := range call.Args {
@@ -380,7 +392,7 @@ func checkMapRange(pass *ftvet.Pass, pkg *ftvet.Package, rs *ast.RangeStmt, body
 				report("append")
 				flagged = true
 			} else if fn := pkg.CalleeFunc(n); fn != nil && orderedSink.MatchString(name) {
-				if fn.Pkg() != nil && fn.Pkg().Path() == obsPath {
+				if fn.Pkg() != nil && sanctionedObs(fn.Pkg().Path()) {
 					return true // sanctioned sink: obs events are not replicated state
 				}
 				report(name)

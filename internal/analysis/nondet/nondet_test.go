@@ -17,6 +17,7 @@ func TestNondet(t *testing.T) {
 		"repro/internal/apps/nondetfix", // positive: replicated package
 		"repro/internal/notrep",         // negative: outside the replicated set
 		"repro/internal/obstrace",       // positive: wall clock smuggled into obs attributes
+		"repro/internal/causalfix",      // positive: wall clock smuggled into a causal diagnosis
 		"repro/internal/timeutil",       // helper package: sources legal here, summaries feed interfix
 		"repro/internal/apps/interfix",  // positive: interprocedural taint through timeutil helpers
 	)

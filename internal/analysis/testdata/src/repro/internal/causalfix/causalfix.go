@@ -1,0 +1,30 @@
+// Package causalfix is the fixture for the causal-diagnosis side of the
+// nondet analyzer: the causal package is a sanctioned sink like obs, but
+// its annotation arguments become diagnosis text compared byte-for-byte
+// across same-seed runs — a wall-clock value smuggled into a report is
+// exactly the nondeterminism the layer exists to rule out.
+package causalfix
+
+import (
+	"time"
+
+	"repro/internal/obs/causal"
+)
+
+var bootAt time.Time
+
+// deterministicAnnotation: fine — the note value comes from program
+// state (a virtual-clock instant threaded in by the caller).
+func deterministicAnnotation(d *causal.Divergence, failedAtNs int64) {
+	causal.Annotate(d, "failed_at_ns", failedAtNs)
+}
+
+// smuggledNow leaks the host clock into a diagnosis report.
+func smuggledNow(d *causal.Divergence) {
+	causal.Annotate(d, "diagnosed_at_ns", time.Now().UnixNano()) // want "time.Now in an obs trace attribute"
+}
+
+// smuggledSince hides the clock read inside a conversion.
+func smuggledSince(d *causal.Divergence) {
+	causal.Annotate(d, "uptime_ms", int64(time.Since(bootAt)/time.Millisecond)) // want "time.Since in an obs trace attribute"
+}

@@ -1,0 +1,30 @@
+// Package causal is a fixture stub mirroring the shape of the real
+// repro/internal/obs/causal for analyzer golden tests: the diagnosis
+// call surface the nondet analyzer treats as a sanctioned sink whose
+// arguments must still be deterministic (they land in golden-pinned
+// reports).
+package causal
+
+// Divergence mirrors the real first-divergence diagnosis.
+type Divergence struct {
+	Notes []string
+}
+
+// Annotate mirrors the real deterministic key=value annotation.
+func Annotate(d *Divergence, key string, v int64) {}
+
+// OutputPath mirrors the real per-committed-output critical path: it
+// carries the receipt watermark as recorded data, so the watermark
+// analyzer must not treat slices of it as output-commit waiter queues.
+type OutputPath struct {
+	Watermark int64
+	TotalNs   int64
+}
+
+// Attribution mirrors the real critical-path analysis.
+type Attribution struct {
+	Outputs []OutputPath
+}
+
+// WriteText mirrors the real fixed-format report renderer.
+func (a *Attribution) WriteText(w interface{ Write([]byte) (int, error) }) {}

@@ -1,0 +1,17 @@
+package wmfix
+
+import "repro/internal/obs/causal"
+
+// collectPaths appends causal critical-path records without any flush:
+// legal, because causal.OutputPath's Watermark field is recorded trace
+// data, not an armable output-commit waiter — the observability layer
+// is exempt from the watermark-struct shape.
+func collectPaths(a *causal.Attribution, p causal.OutputPath) {
+	a.Outputs = append(a.Outputs, p)
+}
+
+// indexPaths stores one into a map the same way the grant-table idiom
+// would: still legal for observability-layer value types.
+func indexPaths(byWatermark map[int64]causal.OutputPath, p causal.OutputPath) {
+	byWatermark[p.Watermark] = p
+}

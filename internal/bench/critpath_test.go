@@ -1,0 +1,57 @@
+package bench
+
+import "testing"
+
+// TestCritPathShardingMovesBottleneck runs the detshard attribution cells
+// and asserts the tentpole's claim end to end: at one shard the pipeline
+// stalls behind serial replay dispatch (replay-grant and commit-wait
+// carry real time); at four shards those stall totals collapse.
+func TestCritPathShardingMovesBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced sweep in -short mode")
+	}
+	opts := DefaultCritPathOpts()
+	report, err := CritPath(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(report.Points))
+	}
+	var narrow, wide *CritPathPoint
+	for i := range report.Points {
+		p := &report.Points[i]
+		if p.Workload != "detshard" {
+			continue
+		}
+		if p.Shards == 1 {
+			narrow = p
+		} else {
+			wide = p
+		}
+	}
+	if narrow == nil || wide == nil {
+		t.Fatal("missing detshard cells")
+	}
+	if narrow.Outputs == 0 || wide.Outputs == 0 {
+		t.Fatalf("no committed outputs attributed: narrow=%d wide=%d", narrow.Outputs, wide.Outputs)
+	}
+	total := func(p *CritPathPoint, stage string) int64 {
+		for _, st := range p.Stages {
+			if st.Stage == stage {
+				return st.TotalNs
+			}
+		}
+		t.Fatalf("stage %q missing from %s/%d", stage, p.Workload, p.Shards)
+		return 0
+	}
+	for _, stage := range []string{"replay-grant", "commit-wait"} {
+		n, w := total(narrow, stage), total(wide, stage)
+		if w*4 >= n {
+			t.Errorf("%s total: 1 shard %dns vs %d shards %dns; sharding did not collapse the stall", stage, n, wide.Shards, w)
+		}
+	}
+	if narrow.DominantStage == "transfer" || narrow.DominantStage == "batch-residency" {
+		t.Errorf("1-shard dominant stage = %s; expected a sequencing/commit stall", narrow.DominantStage)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baselines is the checked-in bench-trajectory snapshot
+// (goldens/bench-baselines.json): the headline ratios of the detshard and
+// fabric sweeps at the time they were last pinned, plus the allowed
+// fractional regression. The CI gate re-runs the quick sweeps and fails
+// when a ratio falls below baseline*(1-Tolerance) — so a PR that quietly
+// erodes the speedups the repo's tentpoles bought is caught at review
+// time, not three PRs later.
+type Baselines struct {
+	// Tolerance is the allowed fractional slip per ratio (0.25 = a ratio
+	// may come in 25% under its pinned value before the gate fails).
+	// Ratios are simulation-deterministic, so the headroom absorbs
+	// intentional re-tuning of workload constants, not host noise.
+	Tolerance float64 `json:"tolerance"`
+
+	DetShard struct {
+		CommitWaitSpeedup float64 `json:"commit_wait_p50_speedup"`
+		ReplayLagSpeedup  float64 `json:"replay_lag_p50_speedup"`
+	} `json:"detshard"`
+
+	Fabric struct {
+		SenderWaitReductionRaw        float64 `json:"sender_wait_reduction_raw"`
+		SenderWaitReductionSustained  float64 `json:"sender_wait_reduction_sustained"`
+		AdaptiveVsBestStaticSustained float64 `json:"adaptive_vs_best_static_sustained"`
+		AdaptiveVsBestStaticBurst     float64 `json:"adaptive_vs_best_static_burst"`
+		AdaptiveMsgSavingsBurst       float64 `json:"adaptive_msg_savings_burst"`
+	} `json:"fabric"`
+}
+
+// LoadBaselines reads a pinned baseline file.
+func LoadBaselines(path string) (Baselines, error) {
+	var b Baselines
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Tolerance <= 0 || b.Tolerance >= 1 {
+		return b, fmt.Errorf("%s: tolerance %v out of (0,1)", path, b.Tolerance)
+	}
+	return b, nil
+}
+
+// floor is the lowest acceptable value for a pinned ratio.
+func (b *Baselines) floor(pinned float64) float64 {
+	return pinned * (1 - b.Tolerance)
+}
+
+// check appends a violation when got has slipped below the pinned
+// ratio's floor. A zero pinned value means "not pinned": skipped, so
+// baselines can be introduced one ratio at a time.
+func (b *Baselines) check(violations []string, name string, got, pinned float64) []string {
+	if pinned == 0 {
+		return violations
+	}
+	if floor := b.floor(pinned); got < floor {
+		violations = append(violations,
+			fmt.Sprintf("%s = %.3f, below floor %.3f (pinned %.3f, tolerance %.0f%%)",
+				name, got, floor, pinned, 100*b.Tolerance))
+	}
+	return violations
+}
+
+// GateDetShard checks a detshard report against the pinned baselines and
+// returns the violations (empty = pass).
+func (b *Baselines) GateDetShard(r DetShardReport) []string {
+	var v []string
+	v = b.check(v, "detshard.commit_wait_p50_speedup", r.CommitWaitSpeedup, b.DetShard.CommitWaitSpeedup)
+	v = b.check(v, "detshard.replay_lag_p50_speedup", r.ReplayLagSpeedup, b.DetShard.ReplayLagSpeedup)
+	return v
+}
+
+// GateFabric checks a fabric report against the pinned baselines.
+func (b *Baselines) GateFabric(r FabricReport) []string {
+	var v []string
+	v = b.check(v, "fabric.sender_wait_reduction_raw", r.SenderWaitReductionRaw, b.Fabric.SenderWaitReductionRaw)
+	v = b.check(v, "fabric.sender_wait_reduction_sustained", r.SenderWaitReductionSustained, b.Fabric.SenderWaitReductionSustained)
+	v = b.check(v, "fabric.adaptive_vs_best_static_sustained", r.AdaptiveVsBestStaticSustained, b.Fabric.AdaptiveVsBestStaticSustained)
+	v = b.check(v, "fabric.adaptive_vs_best_static_burst", r.AdaptiveVsBestStaticBurst, b.Fabric.AdaptiveVsBestStaticBurst)
+	v = b.check(v, "fabric.adaptive_msg_savings_burst", r.AdaptiveMsgSavingsBurst, b.Fabric.AdaptiveMsgSavingsBurst)
+	return v
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/obs/causal"
 	"repro/internal/replication"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -460,6 +461,21 @@ func (sys *System) failoverTo(surv, dead *Replica) {
 	// last acked tuple, in-flight batches, detector transitions, and the
 	// replay.lag gauge at the moment of failure.
 	sys.Flight = sys.Obs.FlightDump()
+	if sys.Flight != nil {
+		// Pre-triage the dump: the first tuple the dead primary recorded
+		// that the survivor was never granted is the replay frontier —
+		// exactly the work promotion is about to discard. Prefer the full
+		// trace when one is retained (the flight rings are bounded and may
+		// have evicted the tuple's ancestry).
+		events := sys.Obs.Events()
+		if len(events) == 0 {
+			events = sys.Flight.Events
+		}
+		if d := causal.ReplayDiff(events); d != nil {
+			causal.Annotate(d, "failed_at_ns", int64(sys.FailedAt))
+			sys.Flight.Diagnosis = d.Report()
+		}
+	}
 	sys.active, sys.passive = surv, nil
 	sys.rejoining = false
 	sys.lastDead = dead

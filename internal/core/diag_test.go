@@ -1,0 +1,224 @@
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/obs/causal"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcprep"
+)
+
+// tracedRun boots a traced deployment running both det-section traffic
+// (lockApp) and a client-visible echo service — so the trace carries
+// recorded tuples AND output-commit stalls — and optionally kills the
+// primary kernel at killAt (0 = never), returning the finished system.
+func tracedRun(t *testing.T, seed int64, killAt time.Duration) *core.System {
+	t.Helper()
+	cfg := quietConfig(seed)
+	cfg.Obs.Trace = true
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AttachNetwork(simnet.GigabitEthernet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One root app per replica: the root serves the echo port while a
+	// spawned sibling generates det-section traffic — tuples AND
+	// output-commit stalls in one trace. (A namespace has exactly one
+	// root thread; Start twice would collide on ft_pid 1.)
+	var pDone, sDone int
+	sys.Run(core.App{Name: "workload", Main: func(th *replication.Thread, socks *tcprep.Sockets) {
+		done := &pDone
+		if th.NS().Role() == replication.RoleSecondary {
+			done = &sDone
+		}
+		th.NS().SpawnThread(th, "locker", lockApp(200))
+		echoApp(80, 10, done)(th, socks)
+	}})
+	client.Kernel.Spawn("client", func(tk *kernel.Task) {
+		for i := 0; i < 10; i++ {
+			c, err := client.Stack.Connect(tk, client.ServerAddr(80))
+			if err != nil {
+				return // the kill can land mid-connect; the trace is the product
+			}
+			if _, err := c.Send(tk, []byte{byte('a' + i)}); err != nil {
+				return
+			}
+			if _, err := c.Recv(tk, 4096); err != nil {
+				return
+			}
+			_ = c.Close(tk)
+			tk.Sleep(20 * time.Millisecond)
+		}
+	})
+	if killAt > 0 {
+		sys.Sim.Schedule(killAt, func() {
+			sys.Primary.Kernel.Panic("test kill", nil)
+		})
+	}
+	if err := sys.Sim.RunUntil(sim.Time(20 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestDiffSameSeedKillIdentifiesFirstDivergentTuple is the acceptance
+// scenario: a never-failed run vs. a same-seed killed run must diverge at
+// exactly the first det tuple the killed run never recorded, with a
+// non-empty causal slice explaining it.
+func TestDiffSameSeedKillIdentifiesFirstDivergentTuple(t *testing.T) {
+	clean := tracedRun(t, 11, 0)
+	killed := tracedRun(t, 11, 150*time.Millisecond)
+
+	d := causal.DiffTraces(clean.Obs.Events(), killed.Obs.Events())
+	if d == nil {
+		t.Fatal("no divergence between a clean and a killed run")
+	}
+	if d.Class != causal.ClassMissingSuffix {
+		t.Fatalf("class = %q, want %q", d.Class, causal.ClassMissingSuffix)
+	}
+	// The divergent tuple is the first one the killed run never recorded:
+	// its index equals the killed run's recorded-tuple count.
+	nKilled := 0
+	for _, e := range killed.Obs.Events() {
+		if e.Kind == obs.TupleEmit {
+			nKilled++
+		}
+	}
+	if d.Index != nKilled {
+		t.Errorf("divergence index = %d, want the killed run's tuple count %d", d.Index, nKilled)
+	}
+	if d.A == nil || (d.A.Obj == 0 && d.A.OSeq == 0) {
+		t.Fatalf("divergent event carries no <obj, Seq_obj> identity: %+v", d.A)
+	}
+	if len(d.Slice) == 0 {
+		t.Fatal("empty causal slice")
+	}
+	// The killed run must agree with the clean run's prefix: the named
+	// tuple exists in the clean trace with the same identity.
+	found := false
+	for _, e := range clean.Obs.Events() {
+		if e.Kind == obs.TupleEmit && e.Obj == d.A.Obj && e.OSeq == d.A.OSeq && e.Seq == d.A.Seq {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("divergent tuple obj=%d oseq=%d gseq=%d not in the clean trace", d.A.Obj, d.A.OSeq, d.A.Seq)
+	}
+	if !strings.Contains(d.Summary(), "never records") {
+		t.Errorf("summary does not describe the missing suffix: %s", d.Summary())
+	}
+}
+
+// TestDiffSameSeedRunsAgree: two same-seed runs with identical fault
+// schedules have no divergence — the diagnosis only fires on real
+// behavioral differences.
+func TestDiffSameSeedRunsAgree(t *testing.T) {
+	a := tracedRun(t, 13, 150*time.Millisecond)
+	b := tracedRun(t, 13, 150*time.Millisecond)
+	if d := causal.DiffTraces(a.Obs.Events(), b.Obs.Events()); d != nil {
+		t.Fatalf("same-seed same-schedule runs diverged: %s", d.Summary())
+	}
+}
+
+// TestFailoverDumpCarriesDiagnosis: when the kill leaves recorded tuples
+// the backup was never granted, the flight dump arrives pre-triaged with
+// the replay-frontier diagnosis, and the text dump renders it.
+func TestFailoverDumpCarriesDiagnosis(t *testing.T) {
+	// 150.7ms lands between a tuple's recording and its replay grant at
+	// this seed, so the dump has a frontier to diagnose (deterministic:
+	// the virtual clock makes the window exactly reproducible).
+	sys := tracedRun(t, 11, 150*time.Millisecond+700*time.Microsecond)
+	if sys.Flight == nil {
+		t.Fatal("no flight dump on failover")
+	}
+	// Whether a frontier exists at the kill instant is seed/schedule
+	// dependent but deterministic: assert consistency with the trace.
+	frontier := causal.ReplayDiff(sys.Obs.Events())
+	if frontier == nil {
+		if sys.Flight.Diagnosis != "" {
+			t.Fatalf("diagnosis present but trace shows no frontier:\n%s", sys.Flight.Diagnosis)
+		}
+		t.Skip("kill landed on a fully-replayed boundary; no frontier to diagnose at this seed")
+	}
+	if sys.Flight.Diagnosis == "" {
+		t.Fatal("trace shows a replay frontier but the dump carries no diagnosis")
+	}
+	if !strings.Contains(sys.Flight.Diagnosis, "replay frontier") {
+		t.Errorf("diagnosis does not name the replay frontier:\n%s", sys.Flight.Diagnosis)
+	}
+	if !strings.Contains(sys.Flight.Diagnosis, "failed_at_ns=") {
+		t.Errorf("diagnosis missing the failover-instant note:\n%s", sys.Flight.Diagnosis)
+	}
+	var buf bytes.Buffer
+	sys.Flight.WriteText(&buf)
+	if !strings.Contains(buf.String(), "-- divergence diagnosis --") {
+		t.Error("text dump does not render the diagnosis section")
+	}
+}
+
+const attributeGolden = "../../goldens/ftdiag-attribute.txt"
+
+// TestAttributeDeterministicAndGolden: same-seed attribution reports are
+// byte-identical, and the exact bytes are pinned by a repo golden.
+// UPDATE_GOLDENS=1 rewrites the golden.
+func TestAttributeDeterministicAndGolden(t *testing.T) {
+	var runs [2][]byte
+	for i := range runs {
+		sys := tracedRun(t, 11, 150*time.Millisecond)
+		a := causal.Attribute(causal.Build(sys.Obs.Events()))
+		var buf bytes.Buffer
+		a.WriteText(&buf)
+		runs[i] = buf.Bytes()
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatal("two same-seed runs produced different attribution bytes")
+	}
+	if len(runs[0]) == 0 {
+		t.Fatal("empty attribution report")
+	}
+	if os.Getenv("UPDATE_GOLDENS") != "" {
+		if err := os.WriteFile(attributeGolden, runs[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", attributeGolden)
+		return
+	}
+	want, err := os.ReadFile(attributeGolden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDENS=1 to create it)", err)
+	}
+	if !bytes.Equal(runs[0], want) {
+		t.Errorf("attribution drifted from %s (UPDATE_GOLDENS=1 to re-pin):\ngot:\n%s\nwant:\n%s",
+			attributeGolden, runs[0], want)
+	}
+}
+
+// TestAttributeCritPathTrackValid: the Perfetto critical-path track is
+// well-formed JSON with one metadata record per emitting scope.
+func TestAttributeCritPathTrackValid(t *testing.T) {
+	sys := tracedRun(t, 11, 150*time.Millisecond)
+	a := causal.Attribute(causal.Build(sys.Obs.Events()))
+	if len(a.Outputs) == 0 {
+		t.Skip("no committed outputs at this seed")
+	}
+	var buf bytes.Buffer
+	if err := a.WriteCritPath(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"critpath:`)) {
+		t.Error("track missing the critpath process metadata")
+	}
+}

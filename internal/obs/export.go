@@ -53,7 +53,9 @@ func writeChromeEvent(w io.Writer, pid int, e Event) {
 	ts := chromeTS(int64(e.At))
 	switch e.Kind {
 	case DetEnter:
-		fmt.Fprintf(w, `{"name":"det","ph":"B","pid":%d,"tid":%d,"ts":%s,"args":{"seq":%d}}`, pid, e.TID, ts, e.Seq)
+		fmt.Fprintf(w, `{"name":"det","ph":"B","pid":%d,"tid":%d,"ts":%s,"args":{"seq":%d`, pid, e.TID, ts, e.Seq)
+		writeChromeDetArgs(w, e)
+		fmt.Fprint(w, "}}")
 	case DetExit:
 		fmt.Fprintf(w, `{"name":"det","ph":"E","pid":%d,"tid":%d,"ts":%s}`, pid, e.TID, ts)
 	case RingDepth:
@@ -61,10 +63,19 @@ func writeChromeEvent(w io.Writer, pid int, e Event) {
 	default:
 		fmt.Fprintf(w, `{"name":%q,"ph":"i","s":"p","pid":%d,"tid":%d,"ts":%s,"args":{"seq":%d,"arg":%d`,
 			e.Kind.String(), pid, e.TID, ts, e.Seq, e.Arg)
+		writeChromeDetArgs(w, e)
 		if e.Note != "" {
 			fmt.Fprintf(w, ",\"note\":%q", e.Note)
 		}
 		fmt.Fprint(w, "}}")
+	}
+}
+
+// writeChromeDetArgs appends the per-object sequencing identity when the
+// event carries one, keeping events without it byte-compatible.
+func writeChromeDetArgs(w io.Writer, e Event) {
+	if e.Obj != 0 || e.OSeq != 0 {
+		fmt.Fprintf(w, `,"obj":%d,"oseq":%d`, e.Obj, e.OSeq)
 	}
 }
 
@@ -81,4 +92,31 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ReadJSONL parses an event stream written by WriteJSONL. It is the
+// ingestion side of ftdiag: a trace dumped by one process can be
+// re-loaded, graphed, and diffed by another. Blank lines are skipped;
+// a malformed line aborts with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+	}
+	return events, nil
 }

@@ -18,6 +18,11 @@ type FlightDump struct {
 	At      sim.Time `json:"at"` // virtual time of the dump, ns
 	Events  []Event  `json:"events"`
 	Metrics Snapshot `json:"metrics"`
+	// Diagnosis is an optional pre-triage report appended by the causal
+	// layer at failover: the first recorded-but-unreplayed tuple and its
+	// causal slice, so a chaos-test failure arrives already pointed at
+	// the divergence (filled by core via causal.ReplayDiff).
+	Diagnosis string `json:"diagnosis,omitempty"`
 }
 
 // FlightDump merges the flight rings of every scope, ordered by global
@@ -95,5 +100,9 @@ func (d *FlightDump) WriteText(w io.Writer) {
 	for _, h := range d.Metrics.Histograms {
 		fmt.Fprintf(w, "  %-34s n=%d p50=%d p99=%d max=%d %s\n",
 			h.Name, h.Count, h.P50, h.P99, h.Max, h.Unit)
+	}
+	if d.Diagnosis != "" {
+		fmt.Fprintln(w, "  -- divergence diagnosis --")
+		fmt.Fprint(w, d.Diagnosis)
 	}
 }

@@ -29,6 +29,10 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+
 	"repro/internal/sim"
 )
 
@@ -112,6 +116,15 @@ const (
 	ResyncDone
 	// ChaosInject is one fault-injection event firing (Note = event spec).
 	ChaosInject
+	// SpanReserve is a sender admitted into a ring reservation after
+	// blocking (Seq = ticket, Arg = reservation wait in ns). Fast-path
+	// reservations that never block are not traced: the event exists to
+	// attribute ring back-pressure, not to count spans.
+	SpanReserve
+	// SpanCommit is a reserved span published into ring visibility
+	// (Seq = cumulative payloads sent after the commit, Arg = payloads
+	// in the span).
+	SpanCommit
 )
 
 var kindNames = [...]string{
@@ -143,6 +156,26 @@ var kindNames = [...]string{
 	CatchupDone:    "catchup-done",
 	ResyncDone:     "resync-done",
 	ChaosInject:    "chaos",
+	SpanReserve:    "span-reserve",
+	SpanCommit:     "span-commit",
+}
+
+// kindByName is the inverse of kindNames, built once for ParseKind.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		if name != "" {
+			m[name] = Kind(k)
+		}
+	}
+	return m
+}()
+
+// ParseKind resolves an event-kind name (as rendered by Kind.String and
+// MarshalJSON) back to its enum value.
+func ParseKind(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
 }
 
 func (k Kind) String() string {
@@ -158,9 +191,30 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.String() + `"`), nil
 }
 
+// UnmarshalJSON parses the name form written by MarshalJSON, so JSONL
+// traces round-trip through encoding/json (ftdiag reads them back).
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return &json.UnmarshalTypeError{Value: string(b), Type: reflect.TypeOf(Kind(0))}
+	}
+	kk, ok := ParseKind(string(b[1 : len(b)-1]))
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %s", b)
+	}
+	*k = kk
+	return nil
+}
+
 // Event is one traced occurrence. Seq and Arg are kind-specific numeric
 // attributes (documented per Kind); Note is an optional preformatted
 // detail string that must itself be deterministic.
+//
+// Obj/OSeq carry the per-object sequencing identity <obj_id, Seq_obj>
+// on deterministic-section events (DetEnter/DetExit/TupleEmit/Replay):
+// the causal layer (internal/obs/causal) keys its happens-before edges
+// and its cross-replica trace alignment on this tuple, so the pair must
+// match between the recording event and the replay grant of the same
+// section.
 type Event struct {
 	Order uint64   `json:"order"` // global emission order, merge key
 	At    sim.Time `json:"at"`    // virtual time, ns
@@ -169,6 +223,8 @@ type Event struct {
 	TID   int32    `json:"tid,omitempty"` // thread lane (ft_pid) within the scope
 	Seq   int64    `json:"seq,omitempty"`
 	Arg   int64    `json:"arg,omitempty"`
+	Obj   uint64   `json:"obj,omitempty"`  // det object key (op<<48|obj for non-lock ops)
+	OSeq  int64    `json:"oseq,omitempty"` // per-object sequence number Seq_obj
 	Note  string   `json:"note,omitempty"`
 }
 
@@ -273,13 +329,25 @@ func (sc *Scope) Name() string {
 
 // Emit records an event with kind-specific numeric attributes.
 func (sc *Scope) Emit(k Kind, tid int, seq, arg int64) {
-	sc.EmitNote(k, tid, seq, arg, "")
+	sc.emit(k, tid, seq, arg, 0, 0, "")
+}
+
+// EmitDet records a deterministic-section event carrying the per-object
+// sequencing identity <obj, oseq> alongside the usual attributes. The
+// recorder and replayer emit their DetEnter/DetExit/TupleEmit/Replay
+// events through this so the causal layer can align the two sides.
+func (sc *Scope) EmitDet(k Kind, tid int, seq, arg int64, obj uint64, oseq int64) {
+	sc.emit(k, tid, seq, arg, obj, oseq, "")
 }
 
 // EmitNote is Emit with a preformatted detail string. The note must be
 // deterministic (derived from simulation state only): it travels into
 // traces that are compared byte-for-byte across runs.
 func (sc *Scope) EmitNote(k Kind, tid int, seq, arg int64, note string) {
+	sc.emit(k, tid, seq, arg, 0, 0, note)
+}
+
+func (sc *Scope) emit(k Kind, tid int, seq, arg int64, obj uint64, oseq int64, note string) {
 	if sc == nil {
 		return
 	}
@@ -293,6 +361,8 @@ func (sc *Scope) EmitNote(k Kind, tid int, seq, arg int64, note string) {
 		TID:   int32(tid),
 		Seq:   seq,
 		Arg:   arg,
+		Obj:   obj,
+		OSeq:  oseq,
 		Note:  note,
 	}
 	sc.flight[sc.fpos] = e

@@ -510,16 +510,18 @@ func (r *Recorder) flushForCommit() {
 }
 
 // lockShard acquires the det-section lock owning the sequencing object and
-// returns it with its shard index. The wait is sampled into the
-// shard-contention histogram (the global-mutex contention when DetShards
-// is 1).
-func (r *Recorder) lockShard(t *kernel.Task, key uint64) (*pthread.Mutex, int) {
+// returns it with its shard index and the nanoseconds spent waiting. The
+// wait is sampled into the shard-contention histogram (the global-mutex
+// contention when DetShards is 1) and travels on the DetEnter event as the
+// sequencer-wait stage of the causal critical path.
+func (r *Recorder) lockShard(t *kernel.Task, key uint64) (*pthread.Mutex, int, int64) {
 	shard := pthread.ShardOf(key, len(r.mus))
 	mu := r.mus[shard]
 	start := t.Now()
 	mu.Lock(t)
-	r.hShardWait.Observe(int64(t.Now().Sub(start)))
-	return mu, shard
+	wait := int64(t.Now().Sub(start))
+	r.hShardWait.Observe(wait)
+	return mu, shard, wait
 }
 
 // commitSeqs assigns one section's tuple cursors and advances every
@@ -542,28 +544,30 @@ func (r *Recorder) section(th *Thread, op pthread.Op, obj uint64, fn func()) {
 	}
 	t := th.task
 	key := objKey(op, obj)
-	mu, shard := r.lockShard(t, key)
-	r.sc.Emit(obs.DetEnter, th.ftpid, int64(r.seqGlobal), 0)
+	mu, shard, wait := r.lockShard(t, key)
+	r.sc.EmitDet(obs.DetEnter, th.ftpid, int64(r.seqGlobal), wait, key, int64(r.objSeq[key]))
 	t.Busy(r.cfg.SectionCost)
 	fn()
 	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, ObjSeq: r.objSeq[key], FTPid: th.ftpid, Op: op, Obj: obj}
 	if len(r.mus) > 1 {
 		r.commitSeqs(th, key)
 		r.emit(t, msgTuple, tu, tu.size(), shard)
-		r.noteTuple(th, tu)
+		r.noteTuple(th, tu, key)
 	} else {
 		r.emit(t, msgTuple, tu, tu.size(), shard)
-		r.noteTuple(th, tu)
+		r.noteTuple(th, tu, key)
 		r.commitSeqs(th, key)
 	}
 	r.cShardSec(shard).Inc()
-	r.sc.Emit(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0)
+	r.sc.EmitDet(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0, key, int64(tu.ObjSeq))
 	mu.Unlock(t)
 }
 
-// noteTuple records one emitted tuple's lifecycle event and count.
-func (r *Recorder) noteTuple(th *Thread, tu Tuple) {
-	r.sc.Emit(obs.TupleEmit, th.ftpid, int64(tu.GlobalSeq), int64(tu.size()))
+// noteTuple records one emitted tuple's lifecycle event and count. The
+// event carries the full alignment identity <obj, Seq_obj> so the causal
+// layer can pair it with the backup's Replay grant of the same section.
+func (r *Recorder) noteTuple(th *Thread, tu Tuple, key uint64) {
+	r.sc.EmitDet(obs.TupleEmit, th.ftpid, int64(tu.GlobalSeq), int64(tu.size()), key, int64(tu.ObjSeq))
 	r.cTuples.Inc()
 }
 
@@ -579,22 +583,22 @@ func (r *Recorder) resolve(th *Thread, op pthread.Op, obj uint64, block func(), 
 	block()
 	t := th.task
 	key := objKey(op, obj)
-	mu, shard := r.lockShard(t, key)
-	r.sc.Emit(obs.DetEnter, th.ftpid, int64(r.seqGlobal), 0)
+	mu, shard, wait := r.lockShard(t, key)
+	r.sc.EmitDet(obs.DetEnter, th.ftpid, int64(r.seqGlobal), wait, key, int64(r.objSeq[key]))
 	t.Busy(r.cfg.SectionCost)
 	out, data := settle()
 	tu := Tuple{ThreadSeq: th.seq, GlobalSeq: r.seqGlobal, ObjSeq: r.objSeq[key], FTPid: th.ftpid, Op: op, Obj: obj, Outcome: out, Data: data}
 	if len(r.mus) > 1 {
 		r.commitSeqs(th, key)
 		r.emit(t, msgTuple, tu, tu.size(), shard)
-		r.noteTuple(th, tu)
+		r.noteTuple(th, tu, key)
 	} else {
 		r.emit(t, msgTuple, tu, tu.size(), shard)
-		r.noteTuple(th, tu)
+		r.noteTuple(th, tu, key)
 		r.commitSeqs(th, key)
 	}
 	r.cShardSec(shard).Inc()
-	r.sc.Emit(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0)
+	r.sc.EmitDet(obs.DetExit, th.ftpid, int64(tu.GlobalSeq), 0, key, int64(tu.ObjSeq))
 	mu.Unlock(t)
 	return out, data
 }

@@ -27,7 +27,8 @@ type headSub struct {
 type replWaiter struct {
 	th        *Thread
 	key       uint64
-	obj       uint64 // sequencing-object key the thread parked on
+	obj       uint64   // sequencing-object key the thread parked on
+	parkedAt  sim.Time // when the thread parked, for grant-wait attribution
 	granted   bool
 	liveFlush bool // granted by promotion to live execution, no tuple
 	tuple     Tuple
@@ -376,8 +377,17 @@ func (r *Replayer) tryGrant() {
 	r.headGranted = true
 	w.tuple = tu
 	w.granted = true
-	r.sc.Emit(obs.Replay, tu.FTPid, int64(tu.GlobalSeq), 0)
+	r.noteGrant(w, tu)
 	r.kern.FutexWakeRaw(w.key, 1)
+}
+
+// noteGrant records a replay grant with the tuple's alignment identity
+// <obj, Seq_obj> (matching the primary's TupleEmit of the same section)
+// and the time the shadow thread spent parked before the grant — the
+// replay-grant-wait stage of the causal critical path.
+func (r *Replayer) noteGrant(w *replWaiter, tu Tuple) {
+	wait := int64(r.kern.Sim().Now().Sub(w.parkedAt))
+	r.sc.EmitDet(obs.Replay, tu.FTPid, int64(tu.GlobalSeq), wait, objKey(tu.Op, tu.Obj), int64(tu.ObjSeq))
 }
 
 // grantBarrier is the earliest armed head watermark: while the rejoin
@@ -423,7 +433,7 @@ func (r *Replayer) tryGrantObj(key uint64) {
 	r.objGranted[key] = true
 	w.tuple = tu
 	w.granted = true
-	r.sc.Emit(obs.Replay, tu.FTPid, int64(tu.GlobalSeq), 0)
+	r.noteGrant(w, tu)
 	r.kern.FutexWakeRaw(w.key, 1)
 }
 
@@ -452,10 +462,10 @@ func (r *Replayer) park(th *Thread, key uint64) *replWaiter {
 	if _, dup := r.waiting[th.ftpid]; dup {
 		panic(fmt.Sprintf("replication: ft_pid %d parked twice", th.ftpid))
 	}
-	w := &replWaiter{th: th, key: r.kern.NewFutexKey(), obj: key}
+	start := th.task.Now()
+	w := &replWaiter{th: th, key: r.kern.NewFutexKey(), obj: key, parkedAt: start}
 	r.waiting[th.ftpid] = w
 	r.waitOrder = append(r.waitOrder, th.ftpid)
-	start := th.task.Now()
 	if r.sharded() {
 		r.tryGrantAll()
 	} else {

@@ -520,6 +520,10 @@ func (r *Ring) SetChaosHook(fn func(msgs []Message) ChaosVerdict) { r.chaos = fn
 // surviving under Drop — a doomed copy still propagates and vanishes)
 // is enqueued as a single transfer.
 func (r *Ring) publish(sp *Span) {
+	// One publication event per committed span, regardless of chaos
+	// copies: Seq is the sent-payload watermark after this span, which
+	// the causal layer pairs with the RingDeliver watermark downstream.
+	r.sc.Emit(obs.SpanCommit, 0, r.stats.Payloads+int64(len(sp.msgs)), int64(len(sp.msgs)))
 	var v ChaosVerdict
 	if r.chaos != nil {
 		v = r.chaos(sp.msgs)

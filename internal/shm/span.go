@@ -74,6 +74,10 @@ func (r *Ring) Reserve(p *sim.Proc, n int, payloadBytes int64) *Span {
 		} else {
 			waited := int64(r.sim.Now().Sub(start))
 			r.stats.SendWaitNs += waited
+			// Only blocked reservations are traced: the event exists to
+			// attribute ring back-pressure on the critical path, and the
+			// fast path would flood the trace with zero-wait claims.
+			r.sc.Emit(obs.SpanReserve, 0, r.stats.ReserveWaits, waited)
 		}
 	}()
 	for tk.span == nil {
