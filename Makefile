@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-detshard bench-fabric bench-critpath check trace chaos diag
+.PHONY: all build vet lint test race bench bench-detshard bench-fabric bench-critpath bench-nway check trace chaos diag
 
 all: check
 
@@ -47,6 +47,14 @@ bench-fabric:
 # the numeric form of "sharding moves the bottleneck off commit-wait".
 bench-critpath:
 	$(GO) run ./cmd/ftbench -exp critpath -json BENCH_critpath.json
+
+# Replica-set sweep (DESIGN.md §17): N=2..5 deployments committing under
+# the majority quorum vs the all-replicas rule with one backup's log link
+# lagged, regenerating the checked-in BENCH_nway.json. The headline ratio
+# (all-rule commit wait over majority-rule at N=3) is gated like the
+# detshard and fabric ratios.
+bench-nway:
+	$(GO) run ./cmd/ftbench -exp nway -gate goldens/bench-baselines.json -json BENCH_nway.json
 
 check: vet lint build race bench
 

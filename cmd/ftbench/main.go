@@ -15,6 +15,7 @@
 //	ftbench -exp batching       # log batching sweep (-batches 1,8,32 -json out.json)
 //	ftbench -exp detshard       # per-object sequencing sweep (-shards 4 -threads 1,2,4,8,16)
 //	ftbench -exp fabric         # shm sender models + adaptive batching (-threads 1,2,4,8 -batches 1,4,16,32)
+//	ftbench -exp nway           # replica-set sweep: commit wait vs quorum rule (-json BENCH_nway.json)
 package main
 
 import (
@@ -34,11 +35,11 @@ var (
 	jsonOut     = flag.String("json", "", "also write the selected sweep (batching, detshard) as JSON to this file")
 	shardCount  = flag.String("shards", "4", "DetShards setting compared against 1 for -exp detshard")
 	threadSweep = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts for -exp detshard")
-	gatePath    = flag.String("gate", "", "baseline file (goldens/bench-baselines.json); fail when a detshard/fabric headline ratio regresses past its tolerance")
+	gatePath    = flag.String("gate", "", "baseline file (goldens/bench-baselines.json); fail when a detshard/fabric/nway headline ratio regresses past its tolerance")
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard, fabric, critpath")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard, fabric, critpath, nway")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced sweeps / scaled-down inputs")
 	flag.Parse()
@@ -69,6 +70,7 @@ func run(exp string, seed int64, quick bool) error {
 		{"detshard", detshard},
 		{"fabric", fabric},
 		{"critpath", critpath},
+		{"nway", nway},
 	} {
 		if !all && exp != e.name {
 			continue
@@ -389,6 +391,63 @@ func detshard(seed int64, quick bool) error {
 			return gateFailure("detshard", v)
 		}
 		fmt.Println("gate: detshard ratios within tolerance of", *gatePath)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	fmt.Println()
+	return nil
+}
+
+func nway(seed int64, quick bool) error {
+	fmt.Println("== Replica sets: output-commit wait vs quorum rule over a lagged backup link ==")
+	opts := bench.DefaultNWayOpts()
+	opts.Seed = seed
+	if quick {
+		// Trim the sweep to the sizes the gate ratio reads; keep the
+		// per-point workload so the commit-wait distributions stay
+		// comparable to the pinned full-sweep baselines.
+		opts.Replicas = []int{2, 3}
+	}
+	report, err := bench.NWay(opts)
+	if err != nil {
+		return err
+	}
+	var table [][]string
+	for _, p := range report.Points {
+		table = append(table, []string{
+			fmt.Sprintf("%d", p.Replicas),
+			fmt.Sprintf("%d (%s)", p.Quorum, p.Rule),
+			fmt.Sprintf("%d", p.Sections),
+			fmt.Sprintf("%d", p.Commits),
+			fmt.Sprintf("%dus", p.CommitWaitMean/1000),
+			fmt.Sprintf("%dus", p.CommitWaitP50/1000),
+			fmt.Sprintf("%dus", p.CommitWaitP90/1000),
+			bench.F1(p.SimMS),
+			fmt.Sprintf("%d", p.Divergences),
+		})
+	}
+	bench.Table(os.Stdout,
+		[]string{"replicas", "quorum", "sections", "commits", "wait mean", "wait p50", "wait p90", "sim ms", "div"},
+		table)
+	fmt.Printf("one backup link lagged %dus per transfer; at N=3, the all-replicas rule pays %.1fx the majority quorum's mean commit wait\n",
+		report.LagUS, report.CommitWaitSpeedupN3)
+	if *gatePath != "" {
+		b, err := bench.LoadBaselines(*gatePath)
+		if err != nil {
+			return err
+		}
+		if v := b.GateNWay(report); len(v) != 0 {
+			return gateFailure("nway", v)
+		}
+		fmt.Println("gate: nway ratios within tolerance of", *gatePath)
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

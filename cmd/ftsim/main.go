@@ -53,6 +53,8 @@ type options struct {
 	flight      string
 	shards      int
 	adaptive    bool
+	replicas    int
+	quorum      int
 }
 
 func main() {
@@ -70,6 +72,8 @@ func main() {
 	flag.StringVar(&o.flight, "flight", "", "write the failover flight-recorder dump to this file")
 	flag.IntVar(&o.shards, "shards", 1, "det-section sequencer shards (1 = the global-mutex total order)")
 	flag.BoolVar(&o.adaptive, "adaptive", false, "adaptive det-log batching (AIMD controller instead of the static batch size)")
+	flag.IntVar(&o.replicas, "replicas", 2, "replica-set size: one primary plus n-1 backups on balanced fault domains")
+	flag.IntVar(&o.quorum, "quorum", 0, "output-commit quorum counting the primary (0 = majority of the set)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ftsim:", err)
@@ -111,6 +115,12 @@ func run(o options) error {
 	}
 	if o.adaptive {
 		opts = append(opts, core.WithAdaptiveBatching(0))
+	}
+	if o.replicas != 2 {
+		opts = append(opts, core.WithReplicaSet(o.replicas))
+	}
+	if o.quorum != 0 {
+		opts = append(opts, core.WithQuorum(o.quorum))
 	}
 	if o.chaosSpec != "" {
 		spec := o.chaosSpec

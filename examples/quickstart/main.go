@@ -26,8 +26,13 @@ func main() {
 func run() error {
 	// Boot the paper's standard deployment: one 64-core machine split into
 	// two 32-core partitions, one kernel each, shared-memory mailboxes,
-	// heart-beat failure detection.
-	sys, err := core.NewSystem(core.DefaultConfig(1))
+	// heart-beat failure detection. WithReplicaSet(2) is that two-replica
+	// system; larger sets add more backups on balanced fault domains.
+	sys, err := core.New(
+		core.WithSeed(1),
+		core.WithReplicaSet(2),
+		core.WithRejoin(false), // single-failure demo: stay degraded after the kill
+	)
 	if err != nil {
 		return err
 	}

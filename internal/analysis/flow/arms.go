@@ -59,12 +59,22 @@ func WatermarkTableStore(pkg *ftvet.Package, lhs ast.Expr) bool {
 }
 
 // WatermarkStruct reports whether elem (a pointer indirection is looked
-// through) is a struct carrying a watermark field — the output-commit
-// waiter shape shared by the global queue and the per-object grant
-// table. Structs defined in the observability layer are exempt: the
-// causal analyzer records receipt watermarks as plain data in its
-// critical-path values (causal.OutputPath), which nothing ever waits
-// on, so appending them cannot stall output release.
+// through) is an armable output-commit waiter: a struct carrying both a
+// watermark field and a callback (func-typed) field — the shape shared
+// by the global queue (replication.stableWaiter, tcprep.syncWaiter) and
+// the per-object grant table. Two exemptions keep plain watermark DATA
+// lintable without flushes:
+//
+//   - the observability layer: the causal analyzer records receipt
+//     watermarks in its critical-path values (causal.OutputPath), which
+//     nothing ever waits on;
+//   - the watermark-vector idiom of the N-way recorder: a per-replica
+//     map (or slice) of watermark-carrying structs with no callback
+//     field (replication.ReplicaWatermark) is a receipt-state snapshot
+//     — there is no fn to fire, so storing one can neither stall nor
+//     deadlock output release. The callback field is the discriminator:
+//     a waiter without one cannot be released at all, so no real waiter
+//     shape loses coverage.
 func WatermarkStruct(elem types.Type) bool {
 	if elem == nil {
 		return false
@@ -79,12 +89,17 @@ func WatermarkStruct(elem types.Type) bool {
 	if !ok {
 		return false
 	}
+	marked, armable := false, false
 	for i := 0; i < st.NumFields(); i++ {
-		if strings.EqualFold(st.Field(i).Name(), "watermark") {
-			return true
+		f := st.Field(i)
+		if strings.EqualFold(f.Name(), "watermark") {
+			marked = true
+		}
+		if _, isFn := f.Type().Underlying().(*types.Signature); isFn {
+			armable = true
 		}
 	}
-	return false
+	return marked && armable
 }
 
 // obsLayerType reports whether the named type is defined in the

@@ -1,0 +1,83 @@
+// Package nwayrec is the golden fixture for the watermark analyzer's
+// data-vector exemption (the N-way quorum recorder idiom): a per-replica
+// map of watermark-carrying structs WITHOUT a callback field is a
+// receipt-state snapshot — nothing waits on it, so storing or appending
+// one needs no dominating force-flush. The discriminator is the
+// func-typed field: a struct carrying both a watermark and a callback is
+// still the armable waiter shape and keeps the flush obligation.
+package nwayrec
+
+// mark is the per-replica receipt watermark entry: pure data, no
+// callback. The shape of replication.ReplicaWatermark.
+type mark struct {
+	index     int
+	watermark uint64
+	dead      bool
+}
+
+// waiter is the armable output-commit waiter shape: watermark plus the
+// release callback.
+type waiter struct {
+	watermark uint64
+	fn        func()
+}
+
+type Rec struct {
+	marks   map[int]mark
+	vector  []mark
+	stableQ []waiter
+	sent    uint64
+	buffed  int
+}
+
+func (r *Rec) flushForCommit() { r.buffed = 0 }
+
+// noteMark refreshes one replica's receipt entry: a map store of a
+// watermark-carrying DATA struct, legal with no flush in sight.
+func (r *Rec) noteMark(i int, acked uint64, dead bool) {
+	r.marks[i] = mark{index: i, watermark: acked, dead: dead}
+}
+
+// watermarks builds the vector view: appending data structs is equally
+// exempt.
+func (r *Rec) watermarks(n int) []mark {
+	out := make([]mark, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.marks[i])
+	}
+	return out
+}
+
+// snapshot mixes both exempt shapes in one helper; calls to it must not
+// become propagated arm sites.
+func (r *Rec) snapshot(i int) {
+	r.noteMark(i, r.sent, false)
+	r.vector = append(r.vector, r.marks[i])
+}
+
+// Election ranks replicas off the vector — calling through the exempt
+// helpers stays clean.
+func (r *Rec) Election(n int) int {
+	r.snapshot(0)
+	best, bestMark := -1, uint64(0)
+	for _, m := range r.watermarks(n) {
+		if !m.dead && m.watermark >= bestMark {
+			best, bestMark = m.index, m.watermark
+		}
+	}
+	return best
+}
+
+// bad arms a REAL waiter (callback field present) with no flush: the
+// exemption must not swallow the armable shape.
+func (r *Rec) bad(fn func()) {
+	r.stableQ = append(r.stableQ, waiter{watermark: r.sent, fn: fn}) // want "without a dominating force-flush"
+}
+
+// good flushes first, then arms and snapshots: the data-vector store
+// after the arm needs no second flush.
+func (r *Rec) good(fn func()) {
+	r.flushForCommit()
+	r.stableQ = append(r.stableQ, waiter{watermark: r.sent, fn: fn})
+	r.noteMark(0, r.sent, false)
+}

@@ -13,11 +13,15 @@
 //
 // watermark enforces that invariant statically over the whole module,
 // consuming the flow arm-site summaries: an arm site is an append to a
-// slice of watermark-carrying structs (a struct with a field named
-// "watermark", the shape of replication.stableWaiter and
-// tcprep.syncWaiter) or — the per-object sequencing idiom of DESIGN.md
-// §13 — a map-index store of one into a grant table. Dominance is
-// structural: a force-flush earlier in the same or an enclosing block.
+// slice of armable waiter structs (a struct with a field named
+// "watermark" AND a func-typed release callback, the shape of
+// replication.stableWaiter and tcprep.syncWaiter) or — the per-object
+// sequencing idiom of DESIGN.md §13 — a map-index store of one into a
+// grant table. Watermark-carrying structs WITHOUT a callback are plain
+// receipt data — the N-way recorder's per-replica watermark vector
+// (replication.ReplicaWatermark) — and are exempt, as is the
+// observability layer. Dominance is structural: a force-flush earlier
+// in the same or an enclosing block.
 // The summaries add two interprocedural halves the old per-package pass
 // could not see:
 //

@@ -17,5 +17,6 @@ func TestWatermark(t *testing.T) {
 		"repro/internal/wmfix",    // intraprocedural dominance shapes
 		"repro/internal/shardrec", // grant-table idiom
 		"repro/internal/wmhelper", // arm hidden behind a helper, judged at call sites
+		"repro/internal/nwayrec",  // watermark-vector data exemption (N-way recorder)
 	)
 }

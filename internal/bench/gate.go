@@ -32,6 +32,10 @@ type Baselines struct {
 		AdaptiveVsBestStaticBurst     float64 `json:"adaptive_vs_best_static_burst"`
 		AdaptiveMsgSavingsBurst       float64 `json:"adaptive_msg_savings_burst"`
 	} `json:"fabric"`
+
+	NWay struct {
+		CommitWaitSpeedupN3 float64 `json:"commit_wait_speedup_n3"`
+	} `json:"nway"`
 }
 
 // LoadBaselines reads a pinned baseline file.
@@ -87,5 +91,14 @@ func (b *Baselines) GateFabric(r FabricReport) []string {
 	v = b.check(v, "fabric.adaptive_vs_best_static_sustained", r.AdaptiveVsBestStaticSustained, b.Fabric.AdaptiveVsBestStaticSustained)
 	v = b.check(v, "fabric.adaptive_vs_best_static_burst", r.AdaptiveVsBestStaticBurst, b.Fabric.AdaptiveVsBestStaticBurst)
 	v = b.check(v, "fabric.adaptive_msg_savings_burst", r.AdaptiveMsgSavingsBurst, b.Fabric.AdaptiveMsgSavingsBurst)
+	return v
+}
+
+// GateNWay checks a replica-set sweep report against the pinned baselines:
+// the all-replicas commit rule at N=3 must still pay measurably more than
+// the majority quorum over the same lagged link.
+func (b *Baselines) GateNWay(r NWayReport) []string {
+	var v []string
+	v = b.check(v, "nway.commit_wait_speedup_n3", r.CommitWaitSpeedupN3, b.NWay.CommitWaitSpeedupN3)
 	return v
 }

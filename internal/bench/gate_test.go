@@ -14,7 +14,19 @@ func testBaselines() Baselines {
 	b.DetShard.ReplayLagSpeedup = 5
 	b.Fabric.SenderWaitReductionRaw = 1000
 	b.Fabric.AdaptiveMsgSavingsBurst = 1.5
+	b.NWay.CommitWaitSpeedupN3 = 100
 	return b
+}
+
+func TestGateNWay(t *testing.T) {
+	b := testBaselines()
+	if v := b.GateNWay(NWayReport{CommitWaitSpeedupN3: 85}); len(v) != 0 {
+		t.Fatalf("gate failed within tolerance: %v", v)
+	}
+	v := b.GateNWay(NWayReport{CommitWaitSpeedupN3: 79})
+	if len(v) != 1 || !strings.Contains(v[0], "nway.commit_wait_speedup_n3") {
+		t.Fatalf("violations = %v, want exactly the named commit-wait slip", v)
+	}
 }
 
 func TestGateDetShardPassesWithinTolerance(t *testing.T) {
@@ -88,6 +100,7 @@ func TestRepoBaselinesLoad(t *testing.T) {
 		"fabric.adaptive_sustained":  b.Fabric.AdaptiveVsBestStaticSustained,
 		"fabric.adaptive_burst":      b.Fabric.AdaptiveVsBestStaticBurst,
 		"fabric.adaptive_msg_saving": b.Fabric.AdaptiveMsgSavingsBurst,
+		"nway.commit_wait":           b.NWay.CommitWaitSpeedupN3,
 	} {
 		if v <= 0 {
 			t.Errorf("%s not pinned", name)

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNWaySweep runs a trimmed replica-set sweep and pins its invariants:
+// the workload is identical across quorum settings (same section count,
+// zero divergences), the all-replicas rule pays the laggard's delivery lag
+// on every commit, and the majority quorum at N=3 keeps the laggard off
+// the commit path entirely.
+func TestNWaySweep(t *testing.T) {
+	opts := NWayOpts{
+		Seed:        1,
+		Replicas:    []int{2, 3},
+		Threads:     2,
+		Iters:       100,
+		CommitEvery: 4,
+		Lag:         300 * time.Microsecond,
+	}
+	report, err := NWay(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 3 { // (2,2) + (3,2) + (3,3)
+		t.Fatalf("point count = %d, want 3", len(report.Points))
+	}
+	sections := report.Points[0].Sections
+	for _, p := range report.Points {
+		if p.Sections != sections {
+			t.Errorf("n=%d q=%d: sections = %d, want %d (workload must not vary)",
+				p.Replicas, p.Quorum, p.Sections, sections)
+		}
+		if p.Divergences != 0 {
+			t.Errorf("n=%d q=%d: %d divergences", p.Replicas, p.Quorum, p.Divergences)
+		}
+		if p.LiveBackups != p.Replicas-1 {
+			t.Errorf("n=%d: %d live backups", p.Replicas, p.LiveBackups)
+		}
+		lagNS := opts.Lag.Nanoseconds()
+		if p.Rule == "all" && p.CommitWaitMean < lagNS {
+			t.Errorf("n=%d all-replicas rule: mean commit wait %dns below the %dns lag",
+				p.Replicas, p.CommitWaitMean, lagNS)
+		}
+		if p.Replicas == 3 && p.Rule == "majority" && p.CommitWaitMean >= lagNS {
+			t.Errorf("n=3 majority quorum: mean commit wait %dns still pays the laggard's %dns lag",
+				p.CommitWaitMean, lagNS)
+		}
+	}
+	if report.CommitWaitSpeedupN3 <= 1 {
+		t.Errorf("commit-wait speedup at N=3 = %.2f, want > 1", report.CommitWaitSpeedupN3)
+	}
+}

@@ -45,13 +45,31 @@ type Target int
 const (
 	// TargetPrimary is the currently recording side.
 	TargetPrimary Target = iota + 1
-	// TargetBackup is the currently replaying (or resyncing) side.
+	// TargetBackup is any currently replaying (or resyncing) side — the
+	// first live backup in slot order.
 	TargetBackup
 )
+
+// TargetBackupSlot addresses the backup on a specific replica-set slot
+// (k >= 1); the kill is skipped when no live backup holds that slot.
+// Spelled `backup<k>` in schedule specs.
+func TargetBackupSlot(k int) Target { return TargetBackup + Target(k) }
+
+// BackupSlot decomposes a backup target: any=true for the plain
+// TargetBackup (first live backup wins), otherwise the wanted slot.
+func (t Target) BackupSlot() (slot int, any bool) {
+	if t == TargetBackup {
+		return 0, true
+	}
+	return int(t - TargetBackup), false
+}
 
 func (t Target) String() string {
 	if t == TargetPrimary {
 		return "primary"
+	}
+	if slot, any := t.BackupSlot(); !any {
+		return fmt.Sprintf("backup%d", slot)
 	}
 	return "backup"
 }
@@ -180,14 +198,20 @@ var killKinds = map[string]hw.FaultKind{
 
 func (s *Schedule) parseKill(ev string, f []string) error {
 	if len(f) < 2 || len(f) > 3 {
-		return fmt.Errorf("chaos: %q: want `kill <primary|backup> @<time> [kind]`", ev)
+		return fmt.Errorf("chaos: %q: want `kill <primary|backup|backup<k>> @<time> [kind]`", ev)
 	}
 	k := Kill{Fault: hw.CoreFailStop}
-	switch f[0] {
-	case "primary":
+	switch {
+	case f[0] == "primary":
 		k.Target = TargetPrimary
-	case "backup":
+	case f[0] == "backup":
 		k.Target = TargetBackup
+	case strings.HasPrefix(f[0], "backup"):
+		slot, err := strconv.Atoi(f[0][len("backup"):])
+		if err != nil || slot < 1 {
+			return fmt.Errorf("chaos: %q: bad backup slot in %q (want backup<k>, k >= 1)", ev, f[0])
+		}
+		k.Target = TargetBackupSlot(slot)
 	default:
 		return fmt.Errorf("chaos: %q: unknown kill target %q", ev, f[0])
 	}

@@ -253,3 +253,35 @@ func TestInjectorKillSkipsDeadVictim(t *testing.T) {
 		t.Errorf("machine saw %d faults, want 1", faults)
 	}
 }
+
+// TestParseBackupSlotKills pins the slot-addressed kill targets the
+// N-way replica set adds: `backup<k>` kills the backup holding slot k.
+func TestParseBackupSlotKills(t *testing.T) {
+	s, err := chaos.Parse("kill backup2 @1s; kill backup1 @2s mem")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Kills) != 2 {
+		t.Fatalf("parsed %d kills, want 2", len(s.Kills))
+	}
+	if k := s.Kills[0]; k.Target != chaos.TargetBackupSlot(2) || k.At != time.Second {
+		t.Errorf("kill[0] = %+v, want backup2 @1s", k)
+	}
+	if k := s.Kills[1]; k.Target != chaos.TargetBackupSlot(1) || k.Fault != hw.MemUncorrected {
+		t.Errorf("kill[1] = %+v, want backup1 @2s mem", k)
+	}
+	if slot, any := chaos.TargetBackup.BackupSlot(); !any || slot != 0 {
+		t.Errorf("TargetBackup.BackupSlot() = %d,%v, want any", slot, any)
+	}
+	if slot, any := chaos.TargetBackupSlot(3).BackupSlot(); any || slot != 3 {
+		t.Errorf("TargetBackupSlot(3).BackupSlot() = %d,%v, want slot 3", slot, any)
+	}
+	if got := chaos.TargetBackupSlot(2).String(); got != "backup2" {
+		t.Errorf("String = %q, want backup2", got)
+	}
+	for _, bad := range []string{"kill backup0 @1s", "kill backupx @1s", "kill backup-1 @1s"} {
+		if _, err := chaos.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}

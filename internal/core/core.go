@@ -49,8 +49,27 @@ type Config struct {
 	Seed int64
 	// Profile is the machine model (default: the paper's 4x Opteron 6376).
 	Profile hw.Profile
+	// Replicas is the replica-set size: one recording primary plus
+	// Replicas-1 replaying backups, each on its own NUMA fault domain
+	// (0 selects the legacy two-replica deployment described by
+	// PrimaryNodes/SecondaryNodes).
+	Replicas int
+	// Quorum is the output-commit quorum, counted over the whole replica
+	// set including the primary: output is released once Quorum replicas
+	// hold the log describing it, so Quorum-1 backup receipt watermarks
+	// gate release (0 selects the majority default ceil((Replicas+1)/2);
+	// Quorum == Replicas reproduces the paper's all-replicas rule).
+	Quorum int
+	// Placement pins each replica slot to a NUMA node set, one entry per
+	// replica with slot 0 the primary (empty derives balanced fault
+	// domains from the profile, hw.Profile.FaultDomains).
+	Placement [][]int
 	// PrimaryNodes/SecondaryNodes are the NUMA nodes per partition
 	// (default: symmetric 4+4, the paper's standard configuration).
+	//
+	// Deprecated: the pair describes the two-replica deployment; Replicas/
+	// Placement generalize it. validate keeps them mirroring Placement's
+	// first two slots.
 	PrimaryNodes, SecondaryNodes []int
 	// PrimaryCores/SecondaryCores restrict usable cores (0 = all in the
 	// partition); §4.3 uses a single-core secondary.
@@ -119,20 +138,37 @@ type Replica struct {
 	TCPSync  *tcprep.Secondary // backup role (also retained after promotion)
 	TCPPrim  *tcprep.Primary   // recording role: sync batching/flush counters
 
-	// partIdx is the hardware partition slot (0 = the boot-time primary
-	// partition, 1 = secondary); it keys fabric source indices and the
-	// per-slot core restriction across rejoin generations.
+	// partIdx is the replica-set slot (0 = the boot-time primary
+	// partition, 1..n-1 the backups); it keys fabric source indices and
+	// the per-slot core restriction across rejoin generations.
 	partIdx int
+	// linkIdx is this backup's link index in the active recorder and TCP
+	// primary (recorder construction/AddReplica order, which tcprep
+	// mirrors); -1 on the recording side.
+	linkIdx int
+	// scope is the replica's ftns trace scope, used to restrict the
+	// failover replay-frontier diagnosis to the elected backup.
+	scope string
+	// retired marks a backup removed from the set (election loser or
+	// rolling replacement); its detector notifications are stale.
+	retired bool
 }
+
+// Slot returns the replica's partition slot in the replica set (0 is the
+// boot-time primary's partition).
+func (r *Replica) Slot() int { return r.partIdx }
 
 // System is a running FT-Linux deployment.
 type System struct {
-	Cfg       Config
-	Sim       *sim.Simulation
-	Machine   *hw.Machine
-	Fabric    *shm.Fabric
-	Primary   *Replica
-	Secondary *Replica
+	Cfg     Config
+	Sim     *sim.Simulation
+	Machine *hw.Machine
+	Fabric  *shm.Fabric
+	// Primary/Secondary name the boot-time replicas on slots 0 and 1;
+	// ReplicaSet holds every boot-time replica in slot order.
+	Primary    *Replica
+	Secondary  *Replica
+	ReplicaSet []*Replica
 
 	nic       *kernel.Device
 	serverNIC *simnet.NIC
@@ -150,24 +186,52 @@ type System struct {
 	LiveAt   sim.Time
 
 	// Lifecycle tracking (see lifecycle.go). active is the replica
-	// currently recording or serving live; passive the current backup
-	// (nil while degraded). Across rejoin generations these walk away
-	// from the boot-time Primary/Secondary pair.
-	active, passive *Replica
-	state           LifecycleState
-	scLife          *obs.Scope
+	// currently recording or serving live; passives the current backups
+	// in join order (empty while degraded). Across rejoin generations
+	// these walk away from the boot-time replica set.
+	active   *Replica
+	passives []*Replica
+	state    LifecycleState
+	scLife   *obs.Scope
 
 	// Rejoin machinery: recorded app launches are replayed onto each
 	// rejoined backup kernel; generation counts re-integration cycles.
+	// resync is the backup currently being re-integrated (nil when none);
+	// rejoinQ holds repaired dead replicas whose freed partitions await a
+	// serialized re-integration slot.
 	launches      []appLaunch
 	generation    int
-	rejoining     bool
+	resync        *Replica
+	rejoinQ       []*Replica
 	resyncStartAt sim.Time
 	rejoinErr     error
 	lastDead      *Replica
 
 	injector *chaos.Injector
-	parts    [2]*hw.Partition
+	parts    []*hw.Partition
+}
+
+// slotName returns a replica slot's role name: the boot-time pair keeps
+// the paper's primary/secondary naming, further backups are backup<slot>.
+func slotName(i int) string {
+	switch i {
+	case 0:
+		return "primary"
+	case 1:
+		return "secondary"
+	}
+	return fmt.Sprintf("backup%d", i)
+}
+
+// ringSuffix returns the per-backup ring/gauge name suffix: slot 1 keeps
+// the unsuffixed legacy names, higher slots get ".r<slot>". The chaos
+// channel classes match by prefix, so suffixed rings inherit their
+// class's fault rules.
+func ringSuffix(i int) string {
+	if i == 1 {
+		return ""
+	}
+	return fmt.Sprintf(".r%d", i)
 }
 
 // NewSystem boots a replicated deployment from a Config.
@@ -187,27 +251,38 @@ func build(cfg Config) (*System, error) {
 		return nil, err
 	}
 
+	n := cfg.Replicas
 	s := sim.New(cfg.Seed)
 	tr := obs.New(s, cfg.Obs)
 	m := hw.New(s, cfg.Profile)
-	pPart, err := m.NewPartition("primary", cfg.PrimaryNodes...)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	parts := make([]*hw.Partition, n)
+	for i := 0; i < n; i++ {
+		parts[i], err = m.NewPartition(slotName(i), cfg.Placement[i]...)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
-	sPart, err := m.NewPartition("secondary", cfg.SecondaryNodes...)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	pk, err := kernel.Boot(pPart, kernel.Config{Name: "primary", Params: cfg.Kernel, Cores: cfg.PrimaryCores})
-	if err != nil {
-		return nil, fmt.Errorf("core: boot primary: %w", err)
-	}
-	sk, err := kernel.Boot(sPart, kernel.Config{Name: "secondary", Params: cfg.Kernel, Cores: cfg.SecondaryCores})
-	if err != nil {
-		return nil, fmt.Errorf("core: boot secondary: %w", err)
+	kerns := make([]*kernel.Kernel, n)
+	for i := 0; i < n; i++ {
+		kerns[i], err = kernel.Boot(parts[i], kernel.Config{
+			Name: slotName(i), Params: cfg.Kernel, Cores: cfg.coresFor(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: boot %s: %w", slotName(i), err)
+		}
 	}
 
-	fabric := shm.NewFabric(s, pPart.CrossLatency(sPart))
+	// One fabric for the whole set, clocked at the worst cross-partition
+	// latency of any replica pair.
+	lat := parts[0].CrossLatency(parts[1])
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l := parts[i].CrossLatency(parts[j]); l > lat {
+				lat = l
+			}
+		}
+	}
+	fabric := shm.NewFabric(s, lat)
 	// Coherency-disrupting faults lose the failing partition's in-flight
 	// messages (§3.5). Registered before the kernels' handlers so the drop
 	// happens even as the kernel dies.
@@ -215,104 +290,154 @@ func build(cfg Config) (*System, error) {
 		if f.Kind != hw.CoherencyLoss {
 			return
 		}
-		switch {
-		case pPart.Owns(f.Node):
-			fabric.DropInflight(0)
-		case sPart.Owns(f.Node):
-			fabric.DropInflight(1)
+		for i, p := range parts {
+			if p.Owns(f.Node) {
+				fabric.DropInflight(i)
+				return
+			}
 		}
 	})
-	m.OnFault(func(f hw.Fault) { pk.HandleFault(f) })
-	m.OnFault(func(f hw.Fault) { sk.HandleFault(f) })
+	for i := range kerns {
+		k := kerns[i]
+		m.OnFault(func(f hw.Fault) { k.HandleFault(f) })
+	}
 
-	log := fabric.NewRing("ftns.log", 0, cfg.Replication.LogRingBytes)
-	acks := fabric.NewRing("ftns.acks", 1, 256<<10)
-	tcpSync := fabric.NewRing("tcprep.sync", 0, 8<<20)
-	hbPS := fabric.NewRing("hb.p2s", 0, 16<<10)
-	hbSP := fabric.NewRing("hb.s2p", 1, 16<<10)
+	// Per-backup ring set in slot order, fabric source = slot. Slot 1
+	// keeps the exact legacy ring names so a two-replica deployment is
+	// byte-identical to the old engine.
+	logs := make([]*shm.Ring, n-1)
+	acks := make([]*shm.Ring, n-1)
+	syncs := make([]*shm.Ring, n-1)
+	hbOut := make([]*shm.Ring, n-1)
+	hbIn := make([]*shm.Ring, n-1)
+	for i := 1; i < n; i++ {
+		sfx := ringSuffix(i)
+		logs[i-1] = fabric.NewRing("ftns.log"+sfx, 0, cfg.Replication.LogRingBytes)
+		acks[i-1] = fabric.NewRing("ftns.acks"+sfx, i, 256<<10)
+		syncs[i-1] = fabric.NewRing("tcprep.sync"+sfx, 0, 8<<20)
+		hbOut[i-1] = fabric.NewRing("hb.p2s"+sfx, 0, 16<<10)
+		hbIn[i-1] = fabric.NewRing("hb.s2p"+sfx, i, 16<<10)
+	}
 
-	pns := replication.NewPrimary("ftns", pk, cfg.Replication, log, acks)
-	sns := replication.NewSecondary("ftns", sk, cfg.Replication, log, acks)
+	pns := replication.NewPrimaryN("ftns", kerns[0], cfg.Replication, logs, acks)
+	snss := make([]*replication.Namespace, n-1)
+	for i := 1; i < n; i++ {
+		// Slot 1 keeps the bare name (and so the legacy metric prefixes);
+		// higher slots suffix it so each backup's replay metrics register
+		// under their own names.
+		snss[i-1] = replication.NewSecondary("ftns"+ringSuffix(i), kerns[i], cfg.Replication, logs[i-1], acks[i-1])
+	}
 
 	// Observability wiring: one scope per component, all timestamps on the
 	// virtual clock. The flight rings and metrics are always live; the
 	// full stream is retained only under cfg.Obs.Trace.
-	pk.Instrument(tr.Scope("primary/kernel"))
-	sk.Instrument(tr.Scope("secondary/kernel"))
+	for i, k := range kerns {
+		k.Instrument(tr.Scope(slotName(i) + "/kernel"))
+	}
 	for _, r := range fabric.Rings() {
 		r.Instrument(tr.Scope("shm/" + r.Name()))
 	}
 	pns.Instrument(tr.Scope("primary/ftns"), tr.Registry())
-	sns.Instrument(tr.Scope("secondary/ftns"), tr.Registry())
-	// Replay lag: sections the primary has recorded but the secondary has
-	// not yet replayed — the window of work a failover must redo or drop.
-	tr.Registry().Gauge("replay.lag", func() int64 {
-		return int64(pns.SeqGlobal()) - int64(sns.ReplayHead())
-	})
+	for i := 1; i < n; i++ {
+		snss[i-1].Instrument(tr.Scope(slotName(i)+"/ftns"), tr.Registry())
+	}
+	// Replay lag per backup: sections the primary has recorded but that
+	// backup has not yet replayed — the window a failover must redo or
+	// drop, and what the election ranks.
+	for i := 1; i < n; i++ {
+		sns := snss[i-1]
+		tr.Registry().Gauge("replay.lag"+ringSuffix(i), func() int64 {
+			return int64(pns.SeqGlobal()) - int64(sns.ReplayHead())
+		})
+	}
 
-	pStack := tcpstack.New(pk, "server", cfg.TCP)
-	prim := tcprep.NewPrimaryFull(pns, pStack, tcpSync, tcprep.DefaultGateConfig(), cfg.TCPSync)
+	pStack := tcpstack.New(kerns[0], "server", cfg.TCP)
+	prim := tcprep.NewPrimaryMulti(pns, pStack, syncs, tcprep.DefaultGateConfig(), cfg.TCPSync)
 	prim.Instrument(tr.Scope("primary/tcprep"), tr.Registry())
-	var sec *tcprep.Secondary
 	if cfg.Rejoin {
 		// Retention on both sides: the primary keeps the full logical TCP
-		// history for checkpointing, the secondary keeps its synced input
+		// history for checkpointing, the backups keep their synced input
 		// streams so a later promotion can checkpoint in turn.
 		prim.EnableRetention()
-		sec = tcprep.NewSecondaryOpts(sk, tcpSync, tcprep.SecondaryConfig{
-			Cost:   tcprep.DefaultSecondaryCost,
-			Retain: true,
-		})
-	} else {
-		sec = tcprep.NewSecondary(sk, tcpSync)
+	}
+	secs := make([]*tcprep.Secondary, n-1)
+	for i := 1; i < n; i++ {
+		if cfg.Rejoin {
+			secs[i-1] = tcprep.NewSecondaryOpts(kerns[i], syncs[i-1], tcprep.SecondaryConfig{
+				Cost:   tcprep.DefaultSecondaryCost,
+				Retain: true,
+			})
+		} else {
+			secs[i-1] = tcprep.NewSecondary(kerns[i], syncs[i-1])
+		}
+	}
+
+	reps := make([]*Replica, n)
+	reps[0] = &Replica{
+		Kernel:  kerns[0],
+		NS:      pns,
+		Sockets: tcprep.NewSockets(pns, pStack, prim, nil),
+		Stack:   pStack,
+		TCPPrim: prim,
+		partIdx: 0,
+		linkIdx: -1,
+		scope:   "primary/ftns",
+	}
+	for i := 1; i < n; i++ {
+		reps[i] = &Replica{
+			Kernel:  kerns[i],
+			NS:      snss[i-1],
+			Sockets: tcprep.NewSockets(snss[i-1], nil, nil, secs[i-1]),
+			TCPSync: secs[i-1],
+			partIdx: i,
+			linkIdx: i - 1,
+			scope:   slotName(i) + "/ftns",
+		}
 	}
 
 	sys := &System{
-		Cfg:     cfg,
-		Sim:     s,
-		Machine: m,
-		Fabric:  fabric,
-		Obs:     tr,
-		Primary: &Replica{
-			Kernel:  pk,
-			NS:      pns,
-			Sockets: tcprep.NewSockets(pns, pStack, prim, nil),
-			Stack:   pStack,
-			TCPPrim: prim,
-			partIdx: 0,
-		},
-		Secondary: &Replica{
-			Kernel:  sk,
-			NS:      sns,
-			Sockets: tcprep.NewSockets(sns, nil, nil, sec),
-			TCPSync: sec,
-			partIdx: 1,
-		},
-		nic:    kernel.NewDevice("eth0", cfg.NICDriverLoadTime),
-		scLife: tr.Scope("lifecycle"),
-		parts:  [2]*hw.Partition{pPart, sPart},
+		Cfg:        cfg,
+		Sim:        s,
+		Machine:    m,
+		Fabric:     fabric,
+		Obs:        tr,
+		Primary:    reps[0],
+		Secondary:  reps[1],
+		ReplicaSet: reps,
+		nic:        kernel.NewDevice("eth0", cfg.NICDriverLoadTime),
+		scLife:     tr.Scope("lifecycle"),
+		parts:      parts,
 	}
-	sys.active, sys.passive = sys.Primary, sys.Secondary
+	sys.active = reps[0]
+	sys.passives = append(sys.passives, reps[1:]...)
 	sys.setState(StateReplicated)
 
-	// Failure detection, both directions. peerFailed resolves what the
-	// death means from the current roles: recording side dead = failover,
-	// backup dead = degrade (and, with rejoin, schedule re-integration).
-	pd := failure.New(pk, sk, hbPS, hbSP, cfg.Failure)
-	sd := failure.New(sk, pk, hbSP, hbPS, cfg.Failure)
-	pd.Instrument(tr.Scope("primary/detector"))
-	sd.Instrument(tr.Scope("secondary/detector"))
-	sys.Primary.Detector = pd
-	sys.Secondary.Detector = sd
-	pd.OnFail(func() { sys.peerFailed(sys.Primary, sys.Secondary) })
-	sd.OnFail(func() { sys.peerFailed(sys.Secondary, sys.Primary) })
-	pd.Start()
-	sd.Start()
+	// Failure detection, a detector pair per primary<->backup link (star
+	// topology: backups do not watch each other). peerFailed resolves what
+	// a death means from the current roles: recording side dead = election
+	// and failover, backup dead = drop its links (and, with rejoin,
+	// schedule re-integration).
+	for i := 1; i < n; i++ {
+		rep := reps[i]
+		pd := failure.New(kerns[0], rep.Kernel, hbOut[i-1], hbIn[i-1], cfg.Failure)
+		sd := failure.New(rep.Kernel, kerns[0], hbIn[i-1], hbOut[i-1], cfg.Failure)
+		pd.Instrument(tr.Scope("primary/detector" + ringSuffix(i)))
+		sd.Instrument(tr.Scope(slotName(i) + "/detector"))
+		if i == 1 {
+			sys.Primary.Detector = pd
+		}
+		rep.Detector = sd
+		pd.OnFail(func() { sys.peerFailed(sys.ReplicaSet[0], rep) })
+		sd.OnFail(func() { sys.peerFailed(rep, sys.ReplicaSet[0]) })
+		pd.Start()
+		sd.Start()
+	}
 
 	// The NIC goes down the instant its owning kernel dies (its DMA rings
 	// and interrupt routing die with the kernel).
-	sys.hookNIC(pk)
-	sys.hookNIC(sk)
+	for _, k := range kerns {
+		sys.hookNIC(k)
+	}
 
 	// Fault injection: arm every boot-time ring (rejoin-generation rings
 	// are armed at creation) and schedule the kills.
@@ -341,11 +466,21 @@ func (sys *System) hookNIC(k *kernel.Kernel) {
 	})
 }
 
-// victim resolves a chaos kill target to a NUMA node by current role.
+// victim resolves a chaos kill target to a NUMA node by current role: the
+// recording side, the first live backup, or the backup holding a specific
+// replica-set slot.
 func (sys *System) victim(t chaos.Target) (int, bool) {
-	rep := sys.active
-	if t == chaos.TargetBackup {
-		rep = sys.passive
+	var rep *Replica
+	if t == chaos.TargetPrimary {
+		rep = sys.active
+	} else {
+		slot, any := t.BackupSlot()
+		for _, p := range sys.passives {
+			if p.Kernel.Alive() && (any || p.partIdx == slot) {
+				rep = p
+				break
+			}
+		}
 	}
 	if rep == nil || !rep.Kernel.Alive() {
 		return 0, false
@@ -391,8 +526,8 @@ func (sys *System) Run(app App) {
 	l := appLaunch{name: app.Name, env: app.Env, run: app.Main}
 	sys.launches = append(sys.launches, l)
 	sys.startOn(sys.active, l)
-	if sys.passive != nil {
-		sys.startOn(sys.passive, l)
+	for _, p := range sys.passives {
+		sys.startOn(p, l)
 	}
 }
 
@@ -419,42 +554,81 @@ func (sys *System) LaunchApp(name string, env map[string]string, app func(*repli
 // peerFailed is the one detector callback: surv's detector declared peer
 // dead (and IPI-halted it). What that means depends on peer's current
 // role; a stale notification from a replica that is no longer paired
-// (an earlier generation's detector firing late) is ignored.
+// (an earlier generation's detector firing late, or a retired backup's)
+// is ignored.
 func (sys *System) peerFailed(surv, dead *Replica) {
 	if !surv.Kernel.Alive() {
 		return
 	}
 	switch {
-	case dead == sys.passive:
+	case sys.isPassive(dead):
 		sys.backupDied(surv, dead)
-	case dead == sys.active && surv == sys.passive:
-		sys.failoverTo(surv, dead)
+	case dead == sys.active && sys.isPassive(surv):
+		sys.failover(surv, dead)
 	}
 }
 
-// backupDied degrades the recording side after its backup's death: with
-// rejoin the namespace keeps recording into the retained history with
-// vacuous output stability, without it the system goes fully live. Either
-// way the TCP sync stream stops and parked output is released.
+// backupDied handles one backup's death on the recording side. Losing the
+// last backup degrades exactly as the two-replica engine did: the
+// namespace goes live (or, with rejoin, keeps recording into the retained
+// history with vacuous output stability), the TCP sync stream stops, and
+// parked output is released. With other backups still live only the dead
+// slot's links are dropped; falling below the commit quorum is surfaced
+// (QuorumLost event, Healthy returning ErrQuorumLost) while the recorder
+// degrades to its all-of-the-living release rule.
 func (sys *System) backupDied(surv, dead *Replica) {
-	sys.passive = nil
-	sys.rejoining = false
-	sys.lastDead = dead
-	surv.NS.GoLive()
-	if surv.TCPPrim != nil {
-		surv.TCPPrim.GoLive()
+	if !sys.removePassive(dead) {
+		return
 	}
-	sys.setState(StateDegraded)
+	if sys.resync == dead {
+		sys.resync = nil
+	}
+	sys.lastDead = dead
+	live := sys.livePassives()
+	if len(live) == 0 {
+		surv.NS.GoLive()
+		if surv.TCPPrim != nil {
+			surv.TCPPrim.GoLive()
+		}
+		sys.setState(StateDegraded)
+	} else {
+		surv.NS.DropReplica(dead.linkIdx)
+		if surv.TCPPrim != nil {
+			surv.TCPPrim.DropRing(dead.linkIdx)
+		}
+		if len(live) < sys.Cfg.Quorum-1 {
+			sys.scLife.EmitNote(obs.QuorumLost, 0, int64(len(live)), int64(sys.Cfg.Quorum),
+				fmt.Sprintf("%d live backups below commit quorum %d", len(live), sys.Cfg.Quorum))
+		}
+		if sys.resync == nil {
+			sys.setState(StateDegraded)
+		}
+	}
 	sys.scheduleRejoin(surv, dead)
 }
 
-// failoverTo is the §3.7 sequence, run on the backup once the recording
-// side is declared failed: promote the replay engine to the stable point,
-// re-load the NIC driver (the dominant cost, §4.4), bring up a fresh TCP
-// stack, and promote the logical TCP states into it. With rejoin enabled
-// the promoted side then becomes a detached recording primary and the
-// freed partition is scheduled for re-integration.
-func (sys *System) failoverTo(surv, dead *Replica) {
+// failover runs the active side's death on the first surviving backup
+// detector to notice: elect the most-caught-up live backup, retire the
+// losers (their replay cursors belong to the dead primary's log and
+// cannot re-attach to the winner's fresh recorder mid-stream), and
+// promote the winner. Later notifications from the other backups find
+// the active already changed and are ignored by peerFailed.
+func (sys *System) failover(first, dead *Replica) {
+	winner, losers := sys.elect()
+	if winner == nil {
+		return
+	}
+	sys.failoverTo(winner, dead, losers)
+}
+
+// failoverTo is the §3.7 sequence, run once the recording side is
+// declared failed and the election picked surv: promote the replay engine
+// to the stable point, re-load the NIC driver (the dominant cost, §4.4),
+// bring up a fresh TCP stack, and promote the logical TCP states into it.
+// With rejoin enabled the promoted side then becomes a detached recording
+// primary and every freed partition — the dead primary's and each retired
+// loser's — is scheduled for re-integration.
+func (sys *System) failoverTo(surv, dead *Replica, losers []*Replica) {
 	sys.FailedAt = sys.Sim.Now()
 	// Snapshot the flight recorder before promotion mutates the replay
 	// state: the dump shows the system exactly as the failure found it —
@@ -463,23 +637,57 @@ func (sys *System) failoverTo(surv, dead *Replica) {
 	sys.Flight = sys.Obs.FlightDump()
 	if sys.Flight != nil {
 		// Pre-triage the dump: the first tuple the dead primary recorded
-		// that the survivor was never granted is the replay frontier —
-		// exactly the work promotion is about to discard. Prefer the full
-		// trace when one is retained (the flight rings are bounded and may
-		// have evicted the tuple's ancestry).
+		// that the ELECTED survivor was never granted is the replay
+		// frontier — exactly the work promotion is about to discard (a
+		// loser's deeper coverage dies with it). Prefer the full trace
+		// when one is retained (the flight rings are bounded and may have
+		// evicted the tuple's ancestry).
 		events := sys.Obs.Events()
 		if len(events) == 0 {
 			events = sys.Flight.Events
 		}
-		if d := causal.ReplayDiff(events); d != nil {
+		if d := causal.ReplayDiffScoped(events, surv.scope); d != nil {
 			causal.Annotate(d, "failed_at_ns", int64(sys.FailedAt))
 			sys.Flight.Diagnosis = d.Report()
 		}
+		if len(losers) > 0 {
+			// A contested election: record who won and what each loser
+			// held, so the dump explains any discarded coverage.
+			lines := fmt.Sprintf("election: slot %d promoted at receipt watermark %d",
+				surv.partIdx, surv.NS.Processed())
+			for _, l := range losers {
+				lines += fmt.Sprintf("\nelection: slot %d retired at receipt watermark %d",
+					l.partIdx, l.NS.Processed())
+			}
+			if sys.Flight.Diagnosis != "" {
+				sys.Flight.Diagnosis += "\n"
+			}
+			sys.Flight.Diagnosis += lines
+		}
 	}
-	sys.active, sys.passive = surv, nil
-	sys.rejoining = false
+	if len(losers) > 0 {
+		note := fmt.Sprintf("slot %d wins", surv.partIdx)
+		for _, l := range losers {
+			note += fmt.Sprintf("; slot %d at %d retired", l.partIdx, l.NS.Processed())
+		}
+		sys.scLife.EmitNote(obs.Election, 0, int64(surv.partIdx), int64(surv.NS.Processed()), note)
+	}
+	sys.active = surv
+	sys.passives = nil
+	sys.resync = nil
 	sys.lastDead = dead
 	sys.setState(StateDegraded)
+	// Retire the election losers off the scheduler path (their detectors
+	// may be mid-callback); each freed partition re-integrates from a
+	// checkpoint like the dead primary's does.
+	for _, l := range losers {
+		l.retired = true
+		sys.scLife.EmitNote(obs.ReplicaRetire, 0, int64(l.partIdx), int64(l.NS.Processed()),
+			"lost failover election")
+		lk := l.Kernel
+		sys.Sim.Schedule(0, func() { lk.Panic("retired: lost failover election", nil) })
+		sys.scheduleRejoin(surv, l)
+	}
 	surv.NS.Replayer().Promote()
 	k := surv.Kernel
 	k.Spawn("failover", func(t *kernel.Task) {

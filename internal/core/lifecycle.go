@@ -47,8 +47,18 @@ func (s LifecycleState) String() string {
 // Typed lifecycle errors. Callers branch with errors.Is instead of
 // comparing strings or reading component internals.
 var (
-	// ErrDegraded reports the system is serving without a backup.
-	ErrDegraded = errors.New("core: system degraded (no live backup)")
+	// ErrDegraded reports the system is serving below full replica-set
+	// strength.
+	ErrDegraded = errors.New("core: system degraded (replica set below full strength)")
+	// ErrQuorumLost reports live backups have fallen below the configured
+	// output-commit quorum: the recorder releases output on all-of-the-
+	// living receipts instead. It wraps ErrDegraded, so errors.Is checks
+	// against either sentinel match.
+	ErrQuorumLost = fmt.Errorf("core: output-commit quorum lost (%w)", ErrDegraded)
+	// ErrReplicaRetired reports an operation on a backup already removed
+	// from the replica set (an election loser or a completed rolling
+	// replacement).
+	ErrReplicaRetired = errors.New("core: replica retired")
 	// ErrResyncInProgress reports a backup re-integration is already
 	// running.
 	ErrResyncInProgress = errors.New("core: resync already in progress")
@@ -62,15 +72,16 @@ var (
 // replica is left at all.
 func (sys *System) State() LifecycleState {
 	activeDead := sys.active == nil || !sys.active.Kernel.Alive()
-	passiveDead := sys.passive == nil || !sys.passive.Kernel.Alive()
-	if activeDead && passiveDead {
+	if activeDead && len(sys.livePassives()) == 0 {
 		return StateFailed
 	}
 	return sys.state
 }
 
-// Healthy returns nil when fully replicated, or the typed error for the
-// current lifecycle state.
+// Healthy returns nil when the replica set is at full strength, or the
+// typed error for the current lifecycle state. Below the commit quorum
+// (but with backups still live) the more specific ErrQuorumLost is
+// returned; it wraps ErrDegraded.
 func (sys *System) Healthy() error {
 	switch sys.State() {
 	case StateReplicated:
@@ -80,6 +91,9 @@ func (sys *System) Healthy() error {
 	case StateFailed:
 		return ErrFailed
 	default:
+		if live := len(sys.livePassives()); live > 0 && live < sys.Cfg.Quorum-1 {
+			return ErrQuorumLost
+		}
 		return ErrDegraded
 	}
 }
@@ -89,9 +103,15 @@ func (sys *System) Healthy() error {
 // replica; sys.Primary/sys.Secondary keep naming the boot-time sides.
 func (sys *System) Active() *Replica { return sys.active }
 
-// Standby returns the current backup replica — replaying or resyncing —
-// or nil while degraded.
-func (sys *System) Standby() *Replica { return sys.passive }
+// Standby returns the first current backup replica — replaying or
+// resyncing — or nil while degraded. With a larger replica set, Backups
+// returns all of them.
+func (sys *System) Standby() *Replica {
+	if len(sys.passives) == 0 {
+		return nil
+	}
+	return sys.passives[0]
+}
 
 // Generation counts completed-or-started rejoin cycles (0 = the
 // boot-time pairing).

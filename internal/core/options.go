@@ -26,12 +26,46 @@ func WithProfile(p hw.Profile) Option {
 	return func(c *Config) { c.Profile = p }
 }
 
+// WithReplicaSet sets the replica-set size: one recording primary plus
+// n-1 replaying backups, each on its own NUMA fault domain. n must be at
+// least 2; the output-commit quorum defaults to a majority of the set
+// (WithQuorum overrides it) and the node placement to balanced fault
+// domains carved from the machine profile (WithPlacement overrides it).
+// WithReplicaSet(2) is exactly the paper's primary/secondary deployment.
+func WithReplicaSet(n int) Option {
+	return func(c *Config) { c.Replicas = n }
+}
+
+// WithQuorum sets the output-commit quorum q, counted over the whole
+// replica set including the primary: network output is released once q
+// replicas hold the log describing it (the primary plus q-1 backup
+// receipts). q must satisfy 2 <= q <= Replicas; q == Replicas reproduces
+// the paper's wait-for-every-backup rule, smaller q trades commit-wait
+// latency against how many simultaneous failures output stability
+// survives.
+func WithQuorum(q int) Option {
+	return func(c *Config) { c.Quorum = q }
+}
+
+// WithPlacement pins each replica slot to an explicit NUMA node set, one
+// entry per replica with slot 0 the primary. It implies the replica-set
+// size when WithReplicaSet is not given; when both are given the lengths
+// must agree.
+func WithPlacement(domains [][]int) Option {
+	return func(c *Config) { c.Placement = domains }
+}
+
 // WithPartitions assigns the NUMA nodes of each side.
+//
+// Deprecated: WithPartitions describes the two-replica deployment; use
+// WithPlacement, which generalizes it to any replica-set size. It remains
+// as a shim desugaring to a two-slot placement.
 func WithPartitions(primary, secondary []int) Option {
 	return func(c *Config) { c.PrimaryNodes, c.SecondaryNodes = primary, secondary }
 }
 
-// WithCores restricts each side's usable cores (0 = all in the partition).
+// WithCores restricts each side's usable cores (0 = all in the partition);
+// every backup slot shares the secondary restriction.
 func WithCores(primary, secondary int) Option {
 	return func(c *Config) { c.PrimaryCores, c.SecondaryCores = primary, secondary }
 }
@@ -163,11 +197,48 @@ func (cfg Config) validate() (Config, error) {
 	if cfg.Profile.Sockets == 0 {
 		cfg.Profile = hw.Opteron6376x4()
 	}
-	if len(cfg.PrimaryNodes) == 0 {
-		cfg.PrimaryNodes = []int{0, 1, 2, 3}
+	// Replica-set topology: size, quorum, placement. The deprecated
+	// PrimaryNodes/SecondaryNodes pair desugars to a two-slot placement and
+	// keeps mirroring the first two slots afterwards, so existing callers
+	// reading either view stay coherent.
+	n := cfg.Replicas
+	if n == 0 && len(cfg.Placement) > 0 {
+		n = len(cfg.Placement)
 	}
-	if len(cfg.SecondaryNodes) == 0 {
-		cfg.SecondaryNodes = []int{4, 5, 6, 7}
+	if n == 0 {
+		n = 2
+	}
+	if n < 2 {
+		return cfg, fmt.Errorf("core: replica set needs at least 2 replicas, got %d", n)
+	}
+	if len(cfg.Placement) == 0 {
+		if n == 2 {
+			if len(cfg.PrimaryNodes) == 0 {
+				cfg.PrimaryNodes = []int{0, 1, 2, 3}
+			}
+			if len(cfg.SecondaryNodes) == 0 {
+				cfg.SecondaryNodes = []int{4, 5, 6, 7}
+			}
+			cfg.Placement = [][]int{cfg.PrimaryNodes, cfg.SecondaryNodes}
+		} else {
+			doms, err := cfg.Profile.FaultDomains(n)
+			if err != nil {
+				return cfg, fmt.Errorf("core: %w", err)
+			}
+			cfg.Placement = doms
+		}
+	}
+	if len(cfg.Placement) != n {
+		return cfg, fmt.Errorf("core: placement has %d domains for %d replicas",
+			len(cfg.Placement), n)
+	}
+	cfg.Replicas = n
+	cfg.PrimaryNodes, cfg.SecondaryNodes = cfg.Placement[0], cfg.Placement[1]
+	if cfg.Quorum == 0 {
+		cfg.Quorum = (n + 2) / 2 // majority of the set, primary included
+	}
+	if cfg.Quorum < 2 || cfg.Quorum > n {
+		return cfg, fmt.Errorf("core: quorum %d out of range [2,%d]", cfg.Quorum, n)
 	}
 	if cfg.Kernel == (kernel.Params{}) {
 		cfg.Kernel = kernel.DefaultParams()
@@ -227,5 +298,18 @@ func (cfg Config) validate() (Config, error) {
 	// Rejoin needs the full log history retained from the first section:
 	// the flag is derived here, never set directly on the engine config.
 	cfg.Replication.Rejoinable = cfg.Rejoin
+	// The recorder counts backup receipts, so its quorum excludes the
+	// primary's own copy. Derived after the Replication defaulting above —
+	// the zero-value reset would wipe it.
+	cfg.Replication.CommitQuorum = cfg.Quorum - 1
 	return cfg, nil
+}
+
+// coresFor returns a replica slot's core restriction: the primary keeps
+// its own knob, every backup shares the secondary one.
+func (cfg Config) coresFor(slot int) int {
+	if slot == 0 {
+		return cfg.PrimaryCores
+	}
+	return cfg.SecondaryCores
 }

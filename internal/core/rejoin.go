@@ -14,22 +14,46 @@ import (
 )
 
 // scheduleRejoin books a re-integration attempt on dead's partition after
-// the repair delay, provided the roles are still what they are now when
-// the timer fires (another failure may have intervened).
+// the repair delay: the repaired partition joins the rejoin queue, and
+// the pump starts it when no other resync is running. Stale bookings —
+// another failover changed the recording side, or the slot was already
+// refilled — are dropped, matching the old pair logic.
 func (sys *System) scheduleRejoin(surv, dead *Replica) {
 	if !sys.Cfg.Rejoin || len(sys.launches) == 0 {
 		return
 	}
-	gen := sys.generation
 	sys.Sim.Schedule(sys.Cfg.RejoinDelay, func() {
-		if sys.generation != gen || sys.rejoining || sys.passive != nil {
-			return
-		}
 		if sys.active != surv || !surv.Kernel.Alive() {
 			return
 		}
-		sys.startRejoin(surv, dead)
+		if sys.slotFilled(dead.partIdx) {
+			return
+		}
+		sys.rejoinQ = append(sys.rejoinQ, dead)
+		sys.pumpRejoin()
 	})
+}
+
+// pumpRejoin starts the next queued re-integration. Resyncs are
+// serialized — one checkpoint transfer and catch-up replay at a time —
+// so a multi-slot outage (a contested election retires several backups
+// at once) refills the set one replica per cycle.
+func (sys *System) pumpRejoin() {
+	if sys.resync != nil {
+		return
+	}
+	if sys.active == nil || !sys.active.Kernel.Alive() {
+		return
+	}
+	for len(sys.rejoinQ) > 0 {
+		dead := sys.rejoinQ[0]
+		sys.rejoinQ = sys.rejoinQ[1:]
+		if sys.slotFilled(dead.partIdx) {
+			continue
+		}
+		sys.startRejoin(sys.active, dead)
+		return
+	}
 }
 
 // Rejoin triggers backup re-integration immediately instead of waiting
@@ -48,19 +72,23 @@ func (sys *System) Rejoin() error {
 	if !sys.Cfg.Rejoin {
 		return fmt.Errorf("%w: rejoin disabled by configuration", ErrDegraded)
 	}
-	if len(sys.launches) == 0 || sys.lastDead == nil {
+	if len(sys.launches) == 0 {
 		return fmt.Errorf("%w: nothing recorded to re-integrate", ErrDegraded)
 	}
-	sys.startRejoin(sys.active, sys.lastDead)
-	return nil
-}
-
-// coresFor returns the per-slot core restriction.
-func (sys *System) coresFor(partIdx int) int {
-	if partIdx == 0 {
-		return sys.Cfg.PrimaryCores
+	for len(sys.rejoinQ) > 0 {
+		dead := sys.rejoinQ[0]
+		sys.rejoinQ = sys.rejoinQ[1:]
+		if sys.slotFilled(dead.partIdx) {
+			continue
+		}
+		sys.startRejoin(sys.active, dead)
+		return nil
 	}
-	return sys.Cfg.SecondaryCores
+	if sys.lastDead != nil && !sys.slotFilled(sys.lastDead.partIdx) {
+		sys.startRejoin(sys.active, sys.lastDead)
+		return nil
+	}
+	return fmt.Errorf("%w: nothing recorded to re-integrate", ErrDegraded)
 }
 
 // startRejoin re-integrates a fresh backup on the dead replica's freed
@@ -74,7 +102,6 @@ func (sys *System) coresFor(partIdx int) int {
 // mode when the backup has caught up. Runs in scheduler context; every
 // step here is non-blocking, so the cut is one atomic instant.
 func (sys *System) startRejoin(surv, dead *Replica) {
-	sys.rejoining = true
 	sys.generation++
 	gen := sys.generation
 	sys.resyncStartAt = sys.Sim.Now()
@@ -83,10 +110,9 @@ func (sys *System) startRejoin(surv, dead *Replica) {
 	bk, err := kernel.Boot(freed, kernel.Config{
 		Name:   fmt.Sprintf("backup.g%d", gen),
 		Params: sys.Cfg.Kernel,
-		Cores:  sys.coresFor(dead.partIdx),
+		Cores:  sys.Cfg.coresFor(dead.partIdx),
 	})
 	if err != nil {
-		sys.rejoining = false
 		sys.rejoinErr = fmt.Errorf("core: rejoin generation %d: %w", gen, err)
 		sys.scLife.EmitNote(obs.ResyncStart, 0, int64(gen), 0, "boot failed: "+err.Error())
 		return
@@ -130,8 +156,11 @@ func (sys *System) startRejoin(surv, dead *Replica) {
 		Sockets: tcprep.NewSockets(bns, nil, nil, bsec),
 		TCPSync: bsec,
 		partIdx: dead.partIdx,
+		scope:   fmt.Sprintf("gen%d/ftns", gen),
+		linkIdx: -1,
 	}
-	sys.passive = rep
+	sys.resync = rep
+	sys.passives = append(sys.passives, rep)
 
 	// --- the atomic cut -------------------------------------------------
 	// Checkpoint, delta-ring attach, and catch-up link creation happen in
@@ -141,7 +170,7 @@ func (sys *System) startRejoin(surv, dead *Replica) {
 	if surv.TCPPrim != nil {
 		surv.TCPPrim.AttachRing(tcpSync)
 	}
-	surv.NS.AddReplica(log, acks, func() { sys.resyncComplete(gen, rep) })
+	rep.linkIdx = surv.NS.AddReplica(log, acks, func() { sys.resyncComplete(gen, rep) })
 	// --------------------------------------------------------------------
 	sys.scLife.EmitNote(obs.CheckpointCut, 0, int64(cp.SeqGlobal), int64(cp.Bytes()),
 		fmt.Sprintf("g%d: %d conns, %d threads", gen, len(cp.TCP.Conns), len(cp.Threads)))
@@ -205,13 +234,18 @@ func (sys *System) abortRejoin(gen int, bk *kernel.Kernel, err error) {
 // recorder's catch-up loop the moment the backup's link drains, which is
 // the quiesced det-section boundary the flip is defined at.
 func (sys *System) resyncComplete(gen int, rep *Replica) {
-	if gen != sys.generation || sys.passive != rep {
+	if gen != sys.generation || sys.resync != rep {
 		return
 	}
-	sys.rejoining = false
+	sys.resync = nil
 	sys.scLife.EmitNote(obs.CatchupDone, 0, int64(gen), int64(sys.active.NS.SeqGlobal()),
 		fmt.Sprintf("g%d caught up", gen))
-	sys.setState(StateReplicated)
+	if len(sys.livePassives()) >= sys.Cfg.Replicas-1 {
+		sys.setState(StateReplicated)
+	} else {
+		sys.setState(StateDegraded)
+	}
 	sys.scLife.EmitNote(obs.ResyncDone, 0, int64(gen),
 		int64(sys.Sim.Now().Sub(sys.resyncStartAt)), fmt.Sprintf("g%d replicated", gen))
+	sys.pumpRejoin()
 }

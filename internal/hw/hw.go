@@ -69,6 +69,39 @@ func (p Profile) TotalNodes() int { return p.Sockets * p.NodesPerSock }
 // TotalMem reports the total bytes of RAM the profile describes.
 func (p Profile) TotalMem() int64 { return int64(p.TotalNodes()) * p.MemPerNode }
 
+// FaultDomains partitions the profile's NUMA nodes into n balanced,
+// contiguous fault domains — the default replica placement for an n-way
+// replica set (Quest-V-style sandboxing: each replica's full software
+// stack is confined to its own nodes, so one domain's failure cannot
+// corrupt another's memory). Nodes are assigned in ID order, so sockets
+// are split as little as the arithmetic allows; when the node count does
+// not divide evenly the first TotalNodes mod n domains get the extra
+// node. With n = 2 on the 8-node Opteron profile this yields exactly the
+// historical primary/secondary split ({0..3}, {4..7}).
+func (p Profile) FaultDomains(n int) ([][]int, error) {
+	total := p.TotalNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("hw: %d fault domains: a replica set needs at least 2", n)
+	}
+	if n > total {
+		return nil, fmt.Errorf("hw: %d fault domains exceed the profile's %d NUMA nodes", n, total)
+	}
+	domains := make([][]int, n)
+	base, extra := total/n, total%n
+	id := 0
+	for i := range domains {
+		size := base
+		if i < extra {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			domains[i] = append(domains[i], id)
+			id++
+		}
+	}
+	return domains, nil
+}
+
 // Core is one CPU core.
 type Core struct {
 	ID   int

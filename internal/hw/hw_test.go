@@ -172,3 +172,45 @@ func TestFaultKindString(t *testing.T) {
 		t.Error("unknown kind printed empty")
 	}
 }
+
+// TestFaultDomains pins the balanced contiguous split the replica-set
+// placement defaults to.
+func TestFaultDomains(t *testing.T) {
+	p := Opteron6376x4()
+	cases := map[int][][]int{
+		2: {{0, 1, 2, 3}, {4, 5, 6, 7}},
+		3: {{0, 1, 2}, {3, 4, 5}, {6, 7}},
+		4: {{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+		8: {{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}},
+	}
+	for n, want := range cases {
+		got, err := p.FaultDomains(n)
+		if err != nil {
+			t.Fatalf("FaultDomains(%d): %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("FaultDomains(%d) = %v, want %v", n, got, want)
+		}
+		seen := map[int]bool{}
+		for i := range got {
+			if len(got[i]) != len(want[i]) {
+				t.Errorf("FaultDomains(%d)[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Errorf("FaultDomains(%d)[%d] = %v, want %v", n, i, got[i], want[i])
+				}
+				if seen[got[i][j]] {
+					t.Errorf("FaultDomains(%d): node %d in two domains", n, got[i][j])
+				}
+				seen[got[i][j]] = true
+			}
+		}
+	}
+	if _, err := p.FaultDomains(1); err == nil {
+		t.Error("FaultDomains(1) accepted, want error")
+	}
+	if _, err := p.FaultDomains(9); err == nil {
+		t.Error("FaultDomains(9) exceeds the profile's nodes, want error")
+	}
+}

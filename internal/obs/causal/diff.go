@@ -211,13 +211,24 @@ func DiffTraces(a, b []obs.Event) *Divergence {
 // this names exactly the work the dead primary completed that the
 // promoted survivor discarded (§3.5: output past the stable point).
 func ReplayDiff(events []obs.Event) *Divergence {
+	return ReplayDiffScoped(events, "")
+}
+
+// ReplayDiffScoped is ReplayDiff restricted to one backup's replay
+// grants, selected by trace scope (""  considers every replaying scope).
+// With an N-way replica set each backup replays at its own pace; scoping
+// to the elected survivor's namespace scope makes the frontier name the
+// work that failover actually discards, rather than whatever the
+// laggiest backup happened to miss.
+func ReplayDiffScoped(events []obs.Event, scope string) *Divergence {
 	if len(events) == 0 {
 		return nil
 	}
 	replayed := make(map[TupleRef]bool)
 	anyReplay := false
 	for _, e := range events {
-		if e.Kind == obs.Replay && (e.Obj != 0 || e.OSeq != 0) {
+		if e.Kind == obs.Replay && (e.Obj != 0 || e.OSeq != 0) &&
+			(scope == "" || e.Scope == scope) {
 			replayed[TupleRef{TID: e.TID, Seq: e.Seq, Obj: e.Obj, OSeq: e.OSeq}] = true
 			anyReplay = true
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -104,5 +105,8 @@ func (d *FlightDump) WriteText(w io.Writer) {
 	if d.Diagnosis != "" {
 		fmt.Fprintln(w, "  -- divergence diagnosis --")
 		fmt.Fprint(w, d.Diagnosis)
+		if !strings.HasSuffix(d.Diagnosis, "\n") {
+			fmt.Fprintln(w)
+		}
 	}
 }

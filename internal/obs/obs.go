@@ -125,6 +125,18 @@ const (
 	// (Seq = cumulative payloads sent after the commit, Arg = payloads
 	// in the span).
 	SpanCommit
+	// Election is a failover election decided among surviving backups
+	// (Seq = winning replica slot, Arg = the winner's receipt watermark;
+	// Note = per-loser watermark summary).
+	Election
+	// ReplicaRetire is one replica removed from the set — an election
+	// loser, or a rolling replacement draining an old backup (Seq =
+	// replica slot, Arg = its receipt watermark at retirement).
+	ReplicaRetire
+	// QuorumLost marks the commit rule degrading below its configured
+	// quorum: fewer live backups remain than CommitQuorum (Seq = live
+	// backups, Arg = configured quorum).
+	QuorumLost
 )
 
 var kindNames = [...]string{
@@ -158,6 +170,9 @@ var kindNames = [...]string{
 	ChaosInject:    "chaos",
 	SpanReserve:    "span-reserve",
 	SpanCommit:     "span-commit",
+	Election:       "election",
+	ReplicaRetire:  "replica-retire",
+	QuorumLost:     "quorum-lost",
 }
 
 // kindByName is the inverse of kindNames, built once for ParseKind.

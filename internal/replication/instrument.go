@@ -45,6 +45,12 @@ func (r *Recorder) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
 	if r.ctrl != nil {
 		r.ctrl.instrument(name, reg)
 	}
+	// Quorum-commit signals: how many caught-up backups are in the
+	// output-commit set and how many receipts the rule currently
+	// requires, so a dashboard shows quorum erosion before it becomes
+	// quorum loss.
+	reg.Gauge(name+".quorum.live", func() int64 { return int64(r.liveBackups()) })
+	reg.Gauge(name+".quorum.need", func() int64 { return int64(r.quorumNeed()) })
 	// Fabric-side sending signals, sampled off the first log ring (the
 	// links are symmetric): how many reservations are open but unpublished
 	// and how often senders had to park for capacity.

@@ -173,6 +173,47 @@ func (ns *Namespace) ReplayHead() uint64 {
 	return 0
 }
 
+// Processed returns the number of log messages this side has ingested off
+// its log ring (acknowledged at receipt, §3.5); zero on non-replaying
+// roles. It is the receipt watermark failover election ranks surviving
+// backups by: everything processed is in this replica's memory and will
+// survive promotion, even if its replay head still lags.
+func (ns *Namespace) Processed() uint64 {
+	if ns.rep != nil {
+		return ns.rep.processed
+	}
+	return 0
+}
+
+// Watermarks returns the recording side's per-replica receipt watermark
+// vector in link order (nil on non-recording roles). See
+// Recorder.Watermarks.
+func (ns *Namespace) Watermarks() []ReplicaWatermark {
+	if ns.rec == nil {
+		return nil
+	}
+	return ns.rec.Watermarks()
+}
+
+// LiveBackups returns the number of live, caught-up backup links on a
+// recording namespace (zero otherwise).
+func (ns *Namespace) LiveBackups() int {
+	if ns.rec == nil {
+		return 0
+	}
+	return ns.rec.liveBackups()
+}
+
+// QuorumNeed returns the number of backup receipts the output-commit rule
+// currently requires on a recording namespace: min(CommitQuorum, live
+// backups), or all live backups when no quorum is configured.
+func (ns *Namespace) QuorumNeed() int {
+	if ns.rec == nil {
+		return 0
+	}
+	return ns.rec.quorumNeed()
+}
+
 // SeqCursor is one thread's replication cursor: its ft_pid and the
 // per-thread sequence number (Seq_thread) it has reached.
 type SeqCursor struct {

@@ -1,6 +1,8 @@
 package replication
 
 import (
+	"sort"
+
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/pthread"
@@ -16,10 +18,31 @@ type stableWaiter struct {
 	heldAt    sim.Time // when the wait began, for the commit-stall histogram
 }
 
+// ReplicaWatermark is one backup link's entry in the recorder's
+// per-replica receipt watermark vector: the highest log-message receipt
+// the backup has acknowledged, plus its link state. It is plain data —
+// nothing ever waits on the vector itself (the armable output-commit
+// waiters live in stableQ) — which is the shape the ftvet watermark
+// analyzer's data-vector exemption recognizes.
+type ReplicaWatermark struct {
+	// Index is the link's position in construction/AddReplica order — the
+	// same index DropReplica takes.
+	Index int
+	// Watermark is the cumulative receipt acknowledgement: every log
+	// message below it is in the backup's memory (§3.5 receipt, not
+	// processing).
+	Watermark uint64
+	// Dead marks a failed link; Syncing marks a rejoined backup still
+	// replaying retained history, excluded from the output-commit set.
+	Dead    bool
+	Syncing bool
+}
+
 // replicaLink is the recorder's view of one backup replica: its log ring,
 // its acknowledgement ring, the receipt watermark observed so far, and the
 // tuples written but not yet published to the ring.
 type replicaLink struct {
+	idx   int
 	log   *shm.Ring
 	acks  *shm.Ring
 	acked uint64
@@ -85,6 +108,13 @@ type Recorder struct {
 	history   []shm.Message
 	stats     Stats
 
+	// marks is the per-replica receipt watermark vector, refreshed at
+	// every link-state transition (ack, delivery, death, catch-up flip);
+	// it is what Watermarks exposes to failover election and the flight
+	// recorder. ackScratch is the quorum rule's reusable sort buffer.
+	marks      map[int]ReplicaWatermark
+	ackScratch []uint64
+
 	flushQ *sim.WaitQueue // wakes the flusher task when work or deadlines change
 	ctrl   *batchController
 
@@ -121,6 +151,7 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 		mus:    newShardLocks(k, cfg.DetShards),
 		objSeq: make(map[uint64]uint64),
 		flushQ: sim.NewWaitQueue(k.Sim()),
+		marks:  make(map[int]ReplicaWatermark),
 	}
 	if cfg.AdaptiveBatching {
 		r.ctrl = newBatchController(cfg)
@@ -155,6 +186,7 @@ func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal
 		sent:      uint64(len(hist)),
 		history:   hist,
 		degraded:  true,
+		marks:     make(map[int]ReplicaWatermark),
 	}
 	if cfg.AdaptiveBatching {
 		r.ctrl = newBatchController(cfg)
@@ -168,7 +200,9 @@ func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal
 // addLink registers one backup link: the receipt watermark observed from
 // the mailbox consumer-side slot state, and the explicit ack consumer.
 func (r *Recorder) addLink(link *replicaLink) {
+	link.idx = len(r.replicas)
 	r.replicas = append(r.replicas, link)
+	r.noteMark(link)
 	// Output stability requires only that a backup has RECEIVED the
 	// log for subsequent live replay (§3.5), not that it has processed
 	// it: the primary learns of receipt by observing the mailbox
@@ -178,6 +212,7 @@ func (r *Recorder) addLink(link *replicaLink) {
 		k.Sim().Schedule(log.Latency(), func() {
 			if d := uint64(log.Delivered()); d > link.acked {
 				link.acked = d
+				r.noteMark(link)
 				r.fireStable()
 			}
 		})
@@ -236,6 +271,7 @@ func (r *Recorder) catchupLoop(t *kernel.Task, link *replicaLink, onCaughtUp fun
 	}
 	link.syncing = false
 	r.degraded = false
+	r.noteMark(link)
 	r.sc.Emit(obs.CatchupDone, 0, int64(r.sent), 0)
 	r.fireStable()
 	if onCaughtUp != nil {
@@ -248,31 +284,78 @@ func (r *Recorder) ackLoop(t *kernel.Task, link *replicaLink) {
 		m := link.acks.Recv(t.Proc())
 		if v, ok := m.Payload.(uint64); ok && v > link.acked {
 			link.acked = v
+			r.noteMark(link)
 			r.fireStable()
 		}
 	}
 }
 
-// ackedAll reports the receipt watermark every live, caught-up backup has
-// reached. Syncing links are excluded: while a rejoined backup catches
-// up, output stability is whatever the remaining set provides (vacuous
-// when it is empty — the degraded window the resync exists to close).
+// ackedAll reports the receipt watermark the output-commit rule exposes.
+// With Config.CommitQuorum 0 it is the minimum over every live caught-up
+// backup — the conservative all-backups rule of §3.5. With CommitQuorum
+// k > 0 it is the k-th-highest receipt watermark among them: any k
+// backups covering a tuple make it stable, so the slowest N−k replicas
+// drop off the commit path. When fewer than k live links remain the rule
+// degrades to all-of-the-living (k = live), never promising more
+// stability than the survivors provide. Syncing links are excluded:
+// while a rejoined backup catches up, output stability is whatever the
+// remaining set provides (vacuous when it is empty — the degraded window
+// the resync exists to close).
 func (r *Recorder) ackedAll() uint64 {
-	min := r.sent
-	any := false
+	marks := r.ackScratch[:0]
 	for _, link := range r.replicas {
 		if link.dead || link.syncing {
 			continue
 		}
-		any = true
-		if link.acked < min {
-			min = link.acked
-		}
+		marks = append(marks, link.acked)
 	}
-	if !any {
+	r.ackScratch = marks[:0]
+	if len(marks) == 0 {
 		return r.sent // no live backup left: everything is (vacuously) stable
 	}
-	return min
+	k := r.cfg.CommitQuorum
+	if k <= 0 || k > len(marks) {
+		k = len(marks)
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] > marks[j] })
+	return marks[k-1]
+}
+
+// quorumNeed is the number of backup receipts the commit rule currently
+// requires: min(CommitQuorum, live backups), or all live backups when no
+// quorum is configured.
+func (r *Recorder) quorumNeed() int {
+	live := r.liveBackups()
+	if r.cfg.CommitQuorum <= 0 || r.cfg.CommitQuorum > live {
+		return live
+	}
+	return r.cfg.CommitQuorum
+}
+
+// noteMark refreshes one link's entry in the per-replica receipt
+// watermark vector. The vector is plain observable data — the armable
+// output-commit waiters live in stableQ, guarded by flushForCommit —
+// so storing into it needs no flush domination (the ftvet watermark
+// analyzer's data-vector exemption).
+func (r *Recorder) noteMark(link *replicaLink) {
+	r.marks[link.idx] = ReplicaWatermark{
+		Index:     link.idx,
+		Watermark: link.acked,
+		Dead:      link.dead,
+		Syncing:   link.syncing,
+	}
+}
+
+// Watermarks returns the per-replica receipt watermark vector in link
+// (construction/AddReplica) order. Failover election ranks surviving
+// backups by it, and the flight recorder snapshots it into the failover
+// dump so a post-mortem can see exactly how far each loser was behind.
+func (r *Recorder) Watermarks() []ReplicaWatermark {
+	out := make([]ReplicaWatermark, 0, len(r.replicas))
+	for i := range r.replicas {
+		out = append(out, r.marks[i])
+	}
+	return out
 }
 
 // liveBackups counts links that are alive and caught up; syncingBackups
@@ -658,6 +741,7 @@ func (r *Recorder) dropReplica(i int) {
 		return
 	}
 	r.replicas[i].dead = true
+	r.noteMark(r.replicas[i])
 	r.abandonLink(r.replicas[i])
 	r.replicas[i].log.Drain() // unblock senders stalled on the dead ring
 	r.fireStable()
@@ -688,6 +772,7 @@ func (r *Recorder) goLive() {
 	// gone, so the buffered log is discarded and the senders released.
 	for _, link := range r.replicas {
 		link.dead = true
+		r.noteMark(link)
 		r.abandonLink(link)
 		link.log.Drain()
 	}
@@ -713,6 +798,7 @@ func (r *Recorder) abandonLink(link *replicaLink) {
 func (r *Recorder) degrade() {
 	for _, link := range r.replicas {
 		link.dead = true
+		r.noteMark(link)
 		r.abandonLink(link)
 		link.log.Drain()
 	}

@@ -198,6 +198,17 @@ type Config struct {
 	// MaxBatchTuples caps the adaptive controller's effective batch size
 	// (0 selects max(4*BatchTuples, 32)). Ignored without AdaptiveBatching.
 	MaxBatchTuples int
+	// CommitQuorum is the number of backup receipt acknowledgements an
+	// output-commit watermark needs before the output is released. Zero
+	// keeps the conservative all-backups rule (every live, caught-up
+	// backup must have received the log — the paper's §3.5 behavior and
+	// byte-identical to the pre-quorum engine). With k > 0 the recorder
+	// releases output once the k-th-highest receipt watermark among the
+	// live caught-up backups covers the tuple: any k backups suffice, so
+	// one lagging replica no longer sits on the commit path. When fewer
+	// than k backups remain alive the rule degrades to all-of-the-living
+	// — never weaker than what the survivors can actually promise.
+	CommitQuorum int
 	// DetShards is the number of det-section locks the namespace global
 	// mutex is sharded across (<= 1 selects the paper's single global
 	// mutex and is byte-identical to the unsharded engine). With more

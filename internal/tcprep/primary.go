@@ -13,21 +13,31 @@ import (
 
 // Primary wires a primary kernel's TCP stack for replication: it installs
 // the output-commit egress gate, the ingress backpressure hook, and the
-// event callbacks that stream logical-state updates to the secondary.
+// event callbacks that stream logical-state updates to every backup.
+//
+// The delta stream fans out over one sync ring per backup (syncLink). Each
+// link buffers and flushes independently, so a slow backup's full ring
+// never blocks the others' deltas — but the sync barrier is conservative:
+// output waits until every LIVE link has its updates on its ring. Unlike
+// det-log output commit (which can run under a quorum rule), the sync
+// stream rides shared memory with no acknowledgement round trip, so
+// covering all live backups costs no extra latency in the common case and
+// guarantees that whichever backup wins a failover election owns the full
+// logical TCP state for every byte the client has seen.
 //
 // With SyncConfig.BatchUpdates > 1 consecutive updates are coalesced
 // between output commits — data-in deltas for the same connection merge
 // into one growing buffer, ack-out deltas for the same connection collapse
 // to the latest watermark — and ship as one vectored ring transfer. Output
-// never outruns the buffer: every outgoing segment passes a sync barrier
+// never outruns the buffers: every outgoing segment passes a sync barrier
 // that forces a flush and waits until all previously enqueued updates are
-// on the ring, so a primary crash cannot lose an update the client has
-// already seen acknowledged (buffered updates live in private memory and
-// die with the primary; ring messages survive in shared memory, §3.5).
+// on every live ring, so a primary crash cannot lose an update the client
+// has already seen acknowledged (buffered updates live in private memory
+// and die with the primary; ring messages survive in shared memory, §3.5).
 type Primary struct {
 	ns    *replication.Namespace
 	stack *tcpstack.Stack
-	sync  *shm.Ring // nil while detached (no backup to stream to)
+	links []*syncLink
 	cfg   SyncConfig
 
 	// clog retains the full logical TCP history for backup re-integration
@@ -37,20 +47,16 @@ type Primary struct {
 	clog      *ConnLog
 	flusherUp bool // the background flusher task has been spawned
 
-	pending      []syncPending
-	pendingBytes int64
-	deadline     sim.Time
-	flushQ       *sim.WaitQueue
+	flushQ *sim.WaitQueue
 
 	enqueued uint64 // logical updates accepted for syncing
-	synced   uint64 // logical updates pushed onto the ring
 	barrierQ []syncWaiter
-	live     bool
+	live     bool // no live backup link: native-speed release
 
 	// Aborted counts connections reset because a mandatory state update
 	// could not be synced (sync ring exhausted despite backpressure).
 	Aborted int
-	// SyncFlushes counts vectored transfers pushed onto the sync ring.
+	// SyncFlushes counts vectored transfers pushed onto the sync rings.
 	SyncFlushes int64
 	// SyncCoalesced counts updates merged into an already-pending entry
 	// (they ride along without their own ring slot).
@@ -58,6 +64,21 @@ type Primary struct {
 
 	sc         *obs.Scope
 	hSyncBatch *obs.Histogram
+}
+
+// syncLink is one backup's leg of the logical-state delta stream: its sync
+// ring, the updates buffered toward it, and the watermark of updates it
+// has on its ring. synced is measured in the primary-wide enqueued space —
+// a link attached mid-run starts at the then-current enqueued count, since
+// everything earlier reaches the backup through the checkpoint snapshot,
+// not the delta stream.
+type syncLink struct {
+	ring         *shm.Ring
+	pending      []syncPending
+	pendingBytes int64
+	deadline     sim.Time
+	synced       uint64
+	dead         bool
 }
 
 // syncPending is one buffered sync-ring entry plus the number of logical
@@ -107,35 +128,39 @@ func DefaultGateConfig() GateConfig {
 
 // NewPrimary attaches replication to the given stack with the default
 // egress cost model and sync batching policy. sync is the shared-memory
-// ring to the secondary.
+// ring to the (single) secondary.
 func NewPrimary(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring) *Primary {
-	return NewPrimaryFull(ns, stack, sync, DefaultGateConfig(), DefaultSyncConfig())
+	return NewPrimaryMulti(ns, stack, []*shm.Ring{sync}, DefaultGateConfig(), DefaultSyncConfig())
 }
 
 // NewPrimaryGate is NewPrimary with an explicit egress cost model.
 func NewPrimaryGate(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring, gate GateConfig) *Primary {
-	return NewPrimaryFull(ns, stack, sync, gate, DefaultSyncConfig())
+	return NewPrimaryMulti(ns, stack, []*shm.Ring{sync}, gate, DefaultSyncConfig())
 }
 
 // NewPrimaryFull is NewPrimary with explicit egress and sync policies.
 func NewPrimaryFull(ns *replication.Namespace, stack *tcpstack.Stack, sync *shm.Ring, gate GateConfig, syncCfg SyncConfig) *Primary {
+	return NewPrimaryMulti(ns, stack, []*shm.Ring{sync}, gate, syncCfg)
+}
+
+// NewPrimaryMulti attaches replication with one sync ring per backup, in
+// the same link order as the det-log fan-out (replica-set slot order), so
+// link indices agree with the recorder's and DropRing can be driven from
+// the same failure notification.
+func NewPrimaryMulti(ns *replication.Namespace, stack *tcpstack.Stack, syncs []*shm.Ring, gate GateConfig, syncCfg SyncConfig) *Primary {
 	if syncCfg.BatchUpdates > 1 && syncCfg.FlushInterval <= 0 {
 		syncCfg.FlushInterval = DefaultSyncConfig().FlushInterval
 	}
 	p := &Primary{
 		ns:     ns,
 		stack:  stack,
-		sync:   sync,
 		cfg:    syncCfg,
 		flushQ: sim.NewWaitQueue(ns.Kernel().Sim()),
 	}
-	stack.SetEgress(&stabilityGate{ns: ns, prim: p, cfg: gate, sim: ns.Kernel().Sim()})
-	stack.SetIngress(p.ingress)
-	stack.OnEstablished = p.onEstablished
-	stack.OnDataIn = p.onDataIn
-	stack.OnAckIn = p.onAckIn
-	stack.OnPeerFin = p.onPeerFin
-	stack.OnReaped = p.onReaped
+	for _, sync := range syncs {
+		p.links = append(p.links, &syncLink{ring: sync})
+	}
+	p.hook(gate)
 	if syncCfg.BatchUpdates > 1 {
 		p.flusherUp = true
 		ns.Kernel().Spawn("tcprep-flush", p.flushLoop)
@@ -163,14 +188,46 @@ func NewDetachedPrimary(ns *replication.Namespace, stack *tcpstack.Stack, gate G
 		clog:   clog,
 		flushQ: sim.NewWaitQueue(ns.Kernel().Sim()),
 	}
-	stack.SetEgress(&stabilityGate{ns: ns, prim: p, cfg: gate, sim: ns.Kernel().Sim()})
-	stack.SetIngress(p.ingress)
-	stack.OnEstablished = p.onEstablished
-	stack.OnDataIn = p.onDataIn
-	stack.OnAckIn = p.onAckIn
-	stack.OnPeerFin = p.onPeerFin
-	stack.OnReaped = p.onReaped
+	p.hook(gate)
 	return p
+}
+
+// hook installs the egress gate, ingress backpressure, and state-update
+// callbacks on the stack.
+func (p *Primary) hook(gate GateConfig) {
+	p.stack.SetEgress(&stabilityGate{ns: p.ns, prim: p, cfg: gate, sim: p.ns.Kernel().Sim()})
+	p.stack.SetIngress(p.ingress)
+	p.stack.OnEstablished = p.onEstablished
+	p.stack.OnDataIn = p.onDataIn
+	p.stack.OnAckIn = p.onAckIn
+	p.stack.OnPeerFin = p.onPeerFin
+	p.stack.OnReaped = p.onReaped
+}
+
+// liveLinks counts links that are attached and not dead.
+func (p *Primary) liveLinks() int {
+	n := 0
+	for _, l := range p.links {
+		if !l.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// minSynced is the sync watermark every live link has reached — the
+// barrier cursor. With no live links it is vacuously the enqueued count.
+func (p *Primary) minSynced() uint64 {
+	min := p.enqueued
+	for _, l := range p.links {
+		if l.dead {
+			continue
+		}
+		if l.synced < min {
+			min = l.synced
+		}
+	}
+	return min
 }
 
 // EnableRetention attaches a connection log so the full logical TCP
@@ -182,9 +239,9 @@ func (p *Primary) EnableRetention() {
 	}
 }
 
-// Streaming reports whether logical-state deltas are being streamed to a
-// backup (a sync ring is attached and the backup has not died).
-func (p *Primary) Streaming() bool { return p.sync != nil && !p.live }
+// Streaming reports whether logical-state deltas are being streamed to at
+// least one live backup.
+func (p *Primary) Streaming() bool { return !p.live && p.liveLinks() > 0 }
 
 // SnapshotState cuts the logical TCP half of a rejoin checkpoint from the
 // retained history. Call in scheduler context, atomically with AttachRing,
@@ -196,19 +253,46 @@ func (p *Primary) SnapshotState() StateSnap {
 	return p.clog.Snapshot()
 }
 
-// AttachRing flips a detached (or gone-live) primary back into streaming
-// mode: subsequent state updates are synced to the rejoining backup over
-// the given ring and output commits gate on the sync barrier again.
-func (p *Primary) AttachRing(sync *shm.Ring) {
-	p.sync = sync
+// AttachRing adds one backup leg to the delta stream: subsequent state
+// updates are synced to the (re)joining backup over the given ring and
+// output commits gate on its sync barrier too. The new link starts at the
+// current enqueued watermark — earlier updates reach the backup through
+// the checkpoint snapshot cut atomically with this call. On a detached
+// (or gone-live) primary it also flips streaming back on. It returns the
+// link index for DropRing.
+func (p *Primary) AttachRing(sync *shm.Ring) int {
+	link := &syncLink{ring: sync, synced: p.enqueued}
+	idx := len(p.links)
+	p.links = append(p.links, link)
 	p.live = false
-	p.enqueued, p.synced = 0, 0
-	p.pending = nil
-	p.pendingBytes = 0
 	if p.cfg.BatchUpdates > 1 && !p.flusherUp {
 		p.flusherUp = true
 		p.ns.Kernel().Spawn("tcprep-flush", p.flushLoop)
 	}
+	return idx
+}
+
+// DropRing stops streaming to one dead backup's leg: its buffered updates
+// are discarded, its ring drained (unblocking a flusher parked on it), and
+// the barrier re-evaluated over the survivors. When the last live leg
+// drops the primary goes live (native-speed release). Link indices follow
+// construction/AttachRing order.
+func (p *Primary) DropRing(i int) {
+	if i < 0 || i >= len(p.links) || p.links[i].dead {
+		return
+	}
+	link := p.links[i]
+	link.dead = true
+	link.pending = nil
+	link.pendingBytes = 0
+	link.synced = p.enqueued
+	link.ring.Drain()
+	if p.liveLinks() == 0 {
+		p.GoLive()
+		return
+	}
+	p.fireBarrier()
+	p.flushQ.WakeAll(0)
 }
 
 // Instrument attaches an event scope (sync-ring flushes, going live)
@@ -219,37 +303,38 @@ func (p *Primary) Instrument(sc *obs.Scope, reg *obs.Registry) {
 }
 
 // noteFlush records one vectored sync flush carrying n ring entries.
-func (p *Primary) noteFlush(n int) {
-	p.sc.Emit(obs.SyncFlush, 0, int64(p.synced), int64(n))
+func (p *Primary) noteFlush(link *syncLink, n int) {
+	p.sc.Emit(obs.SyncFlush, 0, int64(link.synced), int64(n))
 	p.hSyncBatch.Observe(int64(n))
 }
 
-// GoLive stops syncing after the backup's death: buffered updates are
-// discarded, barrier waiters released, and a flusher stalled on the dead
-// ring unblocked, so the primary keeps serving at native speed.
+// GoLive stops syncing after the last backup's death: buffered updates are
+// discarded, barrier waiters released, and flushers stalled on dead rings
+// unblocked, so the primary keeps serving at native speed.
 func (p *Primary) GoLive() {
 	if p.live {
 		return
 	}
 	p.live = true
 	p.sc.Emit(obs.GoLive, 0, int64(p.enqueued), 0)
-	p.pending = nil
-	p.pendingBytes = 0
-	p.synced = p.enqueued
-	p.fireBarrier()
-	if p.sync != nil {
-		p.sync.Drain() // unblock a flusher parked on the dead ring
+	for _, link := range p.links {
+		link.dead = true
+		link.pending = nil
+		link.pendingBytes = 0
+		link.synced = p.enqueued
+		link.ring.Drain() // unblock a flusher parked on the dead ring
 	}
+	p.fireBarrier()
 	p.flushQ.WakeAll(0)
 }
 
 // stabilityGate releases outgoing segments only once (a) every sync-ring
-// update enqueued so far is on the ring — the sync barrier that keeps
-// batching from letting output outrun the logical-state stream — and (b)
-// the secondary has acknowledged every log message sent so far — the
-// output-commit rule (§3.5; with relaxed output commit the namespace
-// releases immediately). Releases are paced by the per-packet bookkeeping
-// cost while replication is active.
+// update enqueued so far is on every live backup's ring — the sync barrier
+// that keeps batching from letting output outrun the logical-state stream
+// — and (b) the det-log output-commit rule is satisfied (§3.5: all-backup
+// receipt, or the configured quorum; with relaxed output commit the
+// namespace releases immediately). Releases are paced by the per-packet
+// bookkeeping cost while replication is active.
 type stabilityGate struct {
 	ns       *replication.Namespace
 	prim     *Primary
@@ -288,27 +373,37 @@ func (g *stabilityGate) Transmit(seg *tcpstack.Segment, send func()) {
 
 // ingress is the Netfilter-style backpressure hook: data segments that the
 // sync path could not hold are dropped *before* the TCP layer, so the stack
-// never acknowledges input the secondary might miss; the client simply
-// retransmits. Buffered-but-unflushed bytes count against the budget so the
-// pending buffer stays bounded by the ring capacity.
+// never acknowledges input a backup might miss; the client simply
+// retransmits. Buffered-but-unflushed bytes count against the budget so
+// every pending buffer stays bounded by its ring's capacity; the tightest
+// live link governs.
 func (p *Primary) ingress(seg *tcpstack.Segment) bool {
-	if len(seg.Data) == 0 || p.sync == nil {
+	if len(seg.Data) == 0 || p.live {
 		return true
 	}
-	return p.sync.Free()-p.pendingBytes >= int64(len(seg.Data))+128
+	need := int64(len(seg.Data)) + 128
+	for _, link := range p.links {
+		if link.dead {
+			continue
+		}
+		if link.ring.Free()-link.pendingBytes < need {
+			return false
+		}
+	}
+	return true
 }
 
-// syncBarrier runs fn once every sync update enqueued so far is on the
-// ring, forcing an immediate flush (output commit must never wait out a
-// FlushInterval). Runs in segment/scheduler context; fn fires inline in
-// the common case where the forced flush is admitted at once.
+// syncBarrier runs fn once every sync update enqueued so far is on every
+// live ring, forcing an immediate flush (output commit must never wait out
+// a FlushInterval). Runs in segment/scheduler context; fn fires inline in
+// the common case where the forced flushes are admitted at once.
 func (p *Primary) syncBarrier(fn func()) {
-	if p.live || p.sync == nil || p.cfg.BatchUpdates <= 1 {
+	if p.live || p.liveLinks() == 0 || p.cfg.BatchUpdates <= 1 {
 		fn()
 		return
 	}
 	p.flushForCommit()
-	if p.synced >= p.enqueued {
+	if p.minSynced() >= p.enqueued {
 		fn()
 		return
 	}
@@ -316,7 +411,8 @@ func (p *Primary) syncBarrier(fn func()) {
 }
 
 func (p *Primary) fireBarrier() {
-	for len(p.barrierQ) > 0 && p.barrierQ[0].watermark <= p.synced {
+	synced := p.minSynced()
+	for len(p.barrierQ) > 0 && p.barrierQ[0].watermark <= synced {
 		fn := p.barrierQ[0].fn
 		p.barrierQ = p.barrierQ[1:]
 		fn()
@@ -324,52 +420,67 @@ func (p *Primary) fireBarrier() {
 }
 
 // trySync accepts a state update without blocking (callbacks run in segment
-// context). Unbatched it goes straight to the ring; batched it lands in the
-// pending buffer, merging with the newest pending entry when both describe
-// the same stream. mustHave marks updates whose loss would break failover
-// transparency: if one cannot be accepted the connection is reset instead.
+// context). Unbatched it goes straight to every live ring; batched it lands
+// in each link's pending buffer, merging with the newest pending entry when
+// both describe the same stream. mustHave marks updates whose loss would
+// break failover transparency: if any live ring cannot accept one the
+// connection is reset instead.
 func (p *Primary) trySync(c *tcpstack.Conn, kind int, payload any, size int, mustHave bool) {
-	if p.live || p.sync == nil {
+	if p.live || p.liveLinks() == 0 {
 		return
 	}
 	if p.cfg.BatchUpdates <= 1 {
-		if p.sync.TrySend(shm.Message{Kind: kind, Payload: payload, Size: size}) {
-			return
-		}
-		if mustHave && c != nil {
-			p.Aborted++
-			c.Abort()
+		// Unbatched mode never arms the sync barrier, so no cursor
+		// bookkeeping is needed — exactly the pre-batching behavior.
+		for _, link := range p.links {
+			if link.dead {
+				continue
+			}
+			if link.ring.TrySend(shm.Message{Kind: kind, Payload: payload, Size: size}) {
+				continue
+			}
+			if mustHave && c != nil {
+				p.Aborted++
+				c.Abort()
+				return
+			}
 		}
 		return
 	}
 	p.enqueued++
-	if p.coalesce(kind, payload) {
-		return
-	}
-	if len(p.pending) == 0 {
-		p.deadline = p.ns.Kernel().Sim().Now().Add(p.cfg.FlushInterval)
-		p.flushQ.WakeAll(0)
-	}
-	p.pending = append(p.pending, syncPending{
-		msg:  shm.Message{Kind: kind, Payload: payload, Size: size},
-		reps: 1,
-	})
-	p.pendingBytes += int64(size)
-	if len(p.pending) >= p.cfg.BatchUpdates {
-		p.flushForCommit() // non-blocking; the flusher finishes if the ring is full
+	for _, link := range p.links {
+		if link.dead {
+			continue
+		}
+		if p.coalesce(link, kind, payload) {
+			continue
+		}
+		if len(link.pending) == 0 {
+			link.deadline = p.ns.Kernel().Sim().Now().Add(p.cfg.FlushInterval)
+			p.flushQ.WakeAll(0)
+		}
+		link.pending = append(link.pending, syncPending{
+			msg:  shm.Message{Kind: kind, Payload: payload, Size: size},
+			reps: 1,
+		})
+		link.pendingBytes += int64(size)
+		if len(link.pending) >= p.cfg.BatchUpdates {
+			p.flushLinkForCommit(link) // non-blocking; the flusher finishes if the ring is full
+		}
 	}
 }
 
-// coalesce merges an update into the newest pending entry when both target
-// the same connection stream: data-in bytes append (one entry per input
-// burst), ack-out watermarks replace (they are cumulative). Only the tail
-// entry is considered so the ring order of updates is preserved exactly.
-func (p *Primary) coalesce(kind int, payload any) bool {
-	n := len(p.pending)
+// coalesce merges an update into the link's newest pending entry when both
+// target the same connection stream: data-in bytes append (one entry per
+// input burst), ack-out watermarks replace (they are cumulative). Only the
+// tail entry is considered so the ring order of updates is preserved
+// exactly.
+func (p *Primary) coalesce(link *syncLink, kind int, payload any) bool {
+	n := len(link.pending)
 	if n == 0 {
 		return false
 	}
-	tail := &p.pending[n-1]
+	tail := &link.pending[n-1]
 	if tail.msg.Kind != kind {
 		return false
 	}
@@ -383,7 +494,7 @@ func (p *Primary) coalesce(kind int, payload any) bool {
 		a.Data = append(a.Data, b.Data...)
 		tail.msg.Payload = a
 		tail.msg.Size += len(b.Data)
-		p.pendingBytes += int64(len(b.Data))
+		link.pendingBytes += int64(len(b.Data))
 	case syncAckOut:
 		a, _ := tail.msg.Payload.(ackOut)
 		b := payload.(ackOut)
@@ -401,71 +512,80 @@ func (p *Primary) coalesce(kind int, payload any) bool {
 	return true
 }
 
-// takePending snapshots and clears the pending buffer.
-func (p *Primary) takePending() ([]shm.Message, uint64) {
-	msgs := make([]shm.Message, len(p.pending))
+// takePending snapshots and clears one link's pending buffer.
+func (link *syncLink) takePending() ([]shm.Message, uint64) {
+	msgs := make([]shm.Message, len(link.pending))
 	var reps uint64
-	for i, e := range p.pending {
+	for i, e := range link.pending {
 		msgs[i] = e.msg
 		reps += e.reps
 	}
-	p.pending = nil
-	p.pendingBytes = 0
+	link.pending = nil
+	link.pendingBytes = 0
 	return msgs, reps
 }
 
-// flushForCommit pushes the pending buffer out without blocking. If the
-// ring cannot take the batch right now — no capacity, or an earlier
-// blocked flush holds a reservation ticket ahead of it — the flusher task
-// finishes the job immediately; barrier waiters keep output held until
-// then.
+// flushForCommit pushes every live link's pending buffer out without
+// blocking. A link whose ring cannot take its batch right now — no
+// capacity, or an earlier blocked flush holds a reservation ticket ahead
+// of it — is handed to the flusher task; barrier waiters keep output held
+// until every live leg catches up.
 func (p *Primary) flushForCommit() {
-	if len(p.pending) == 0 {
+	for _, link := range p.links {
+		if !link.dead {
+			p.flushLinkForCommit(link)
+		}
+	}
+}
+
+func (p *Primary) flushLinkForCommit(link *syncLink) {
+	if len(link.pending) == 0 {
 		return
 	}
-	msgs := make([]shm.Message, len(p.pending))
-	for i, e := range p.pending {
+	msgs := make([]shm.Message, len(link.pending))
+	for i, e := range link.pending {
 		msgs[i] = e.msg
 	}
-	if !p.sync.TrySendBatch(msgs) {
-		p.deadline = p.ns.Kernel().Sim().Now()
+	if !link.ring.TrySendBatch(msgs) {
+		link.deadline = p.ns.Kernel().Sim().Now()
 		p.flushQ.WakeAll(0)
 		return
 	}
 	var reps uint64
-	for _, e := range p.pending {
+	for _, e := range link.pending {
 		reps += e.reps
 	}
-	p.pending = nil
-	p.pendingBytes = 0
-	p.synced += reps
+	link.pending = nil
+	link.pendingBytes = 0
+	link.synced += reps
 	p.SyncFlushes++
-	p.noteFlush(len(msgs))
+	p.noteFlush(link, len(msgs))
 	p.fireBarrier()
 }
 
 // flushSync is the blocking flush used from task context. It needs no
-// per-primary serialization: SendBatch rides the ring's reserve/commit
-// path, and a blocked flush already holds its reservation ticket, so a
-// batch snapshotted later is admitted — and published — strictly after
-// it. Updates that buffer while the send is stalled are either taken by
-// a later flush (ordered behind this one by its ticket) or pushed by the
+// per-link serialization: SendBatch rides the ring's reserve/commit path,
+// and a blocked flush already holds its reservation ticket, so a batch
+// snapshotted later is admitted — and published — strictly after it.
+// Updates that buffer while the send is stalled are either taken by a
+// later flush (ordered behind this one by its ticket) or pushed by the
 // flusher.
-func (p *Primary) flushSync(proc *sim.Proc) {
-	if p.live || len(p.pending) == 0 {
+func (p *Primary) flushSync(proc *sim.Proc, link *syncLink) {
+	if p.live || link.dead || len(link.pending) == 0 {
 		return
 	}
-	msgs, reps := p.takePending()
-	p.sync.SendBatch(proc, msgs)
-	p.synced += reps
+	msgs, reps := link.takePending()
+	link.ring.SendBatch(proc, msgs)
+	link.synced += reps
 	p.SyncFlushes++
-	p.noteFlush(len(msgs))
+	p.noteFlush(link, len(msgs))
 	p.fireBarrier()
 	p.flushQ.WakeAll(0)
 }
 
 // flushLoop is the background flusher bounding buffered-update latency
-// when no output commit forces a flush sooner.
+// when no output commit forces a flush sooner. It serves whichever live
+// link's deadline expires first, like the det-log recorder's flusher.
 func (p *Primary) flushLoop(t *kernel.Task) {
 	proc := t.Proc()
 	for {
@@ -473,16 +593,26 @@ func (p *Primary) flushLoop(t *kernel.Task) {
 			p.flushQ.Wait(proc)
 			continue
 		}
-		if len(p.pending) == 0 {
+		var link *syncLink
+		var dl sim.Time
+		for _, l := range p.links {
+			if l.dead || len(l.pending) == 0 {
+				continue
+			}
+			if link == nil || l.deadline < dl {
+				link, dl = l, l.deadline
+			}
+		}
+		if link == nil {
 			p.flushQ.Wait(proc)
 			continue
 		}
 		now := p.ns.Kernel().Sim().Now()
-		if p.deadline > now {
-			p.flushQ.WaitTimeout(proc, p.deadline.Sub(now))
+		if dl > now {
+			p.flushQ.WaitTimeout(proc, dl.Sub(now))
 			continue
 		}
-		p.flushSync(proc)
+		p.flushSync(proc, link)
 	}
 }
 
@@ -530,26 +660,33 @@ func (p *Primary) onReaped(c *tcpstack.Conn) {
 }
 
 // bindConn announces the det-log socket ID for an accepted connection.
-// Called from task context, so it may block on the ring; the bind is
+// Called from task context, so it may block on the rings; the bind is
 // appended behind any pending updates and flushed immediately so the
-// secondary's bindWait is never delayed by batching.
+// secondaries' bindWait is never delayed by batching.
 func (p *Primary) bindConn(th *replication.Thread, id uint64, c *tcpstack.Conn) {
 	if p.clog != nil {
 		p.clog.bind(id, keyOf(c))
 	}
-	if p.sync == nil {
+	if p.live || p.liveLinks() == 0 {
 		return
 	}
 	m := shm.Message{Kind: syncBind, Payload: bind{ID: id, Key: keyOf(c)}, Size: 40}
 	if p.cfg.BatchUpdates <= 1 {
-		p.sync.Send(th.Task().Proc(), m)
-		return
-	}
-	if p.live {
+		for _, link := range p.links {
+			if link.dead {
+				continue
+			}
+			link.ring.Send(th.Task().Proc(), m)
+		}
 		return
 	}
 	p.enqueued++
-	p.pending = append(p.pending, syncPending{msg: m, reps: 1})
-	p.pendingBytes += int64(m.Size)
-	p.flushSync(th.Task().Proc())
+	for _, link := range p.links {
+		if link.dead {
+			continue
+		}
+		link.pending = append(link.pending, syncPending{msg: m, reps: 1})
+		link.pendingBytes += int64(m.Size)
+		p.flushSync(th.Task().Proc(), link)
+	}
 }

@@ -68,19 +68,21 @@ func TestCoalesceMergesTailOnly(t *testing.T) {
 	k1 := ConnKey{LocalPort: 80, RemoteHost: "c", RemotePort: 1}
 	k2 := ConnKey{LocalPort: 80, RemoteHost: "c", RemotePort: 2}
 	p := &Primary{cfg: SyncConfig{BatchUpdates: 8}}
+	link := &syncLink{}
+	p.links = append(p.links, link)
 
 	// Seed one pending data-in entry for k1.
-	p.pending = append(p.pending, syncPending{
+	link.pending = append(link.pending, syncPending{
 		msg:  shm.Message{Kind: syncDataIn, Payload: dataIn{Key: k1, Data: []byte("abc")}, Size: 35},
 		reps: 1,
 	})
-	p.pendingBytes = 35
+	link.pendingBytes = 35
 
 	// Same key, same kind: appends into the tail entry.
-	if !p.coalesce(syncDataIn, dataIn{Key: k1, Data: []byte("def")}) {
+	if !p.coalesce(link, syncDataIn, dataIn{Key: k1, Data: []byte("def")}) {
 		t.Fatal("data-in for the same stream did not coalesce")
 	}
-	tail := p.pending[len(p.pending)-1]
+	tail := link.pending[len(link.pending)-1]
 	if d := tail.msg.Payload.(dataIn); string(d.Data) != "abcdef" {
 		t.Errorf("merged data = %q, want abcdef", d.Data)
 	}
@@ -89,34 +91,34 @@ func TestCoalesceMergesTailOnly(t *testing.T) {
 	}
 
 	// Different key: must NOT merge (it is a different stream).
-	if p.coalesce(syncDataIn, dataIn{Key: k2, Data: []byte("x")}) {
+	if p.coalesce(link, syncDataIn, dataIn{Key: k2, Data: []byte("x")}) {
 		t.Error("data-in for another connection coalesced")
 	}
 	// Different kind: must NOT merge.
-	if p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 10}) {
+	if p.coalesce(link, syncAckOut, ackOut{Key: k1, Acked: 10}) {
 		t.Error("ack-out coalesced into a data-in entry")
 	}
 
 	// Ack-out entries collapse to the highest watermark; stale acks are
 	// absorbed without rolling it back.
-	p.pending = []syncPending{{msg: shm.Message{Kind: syncAckOut, Payload: ackOut{Key: k1, Acked: 100}, Size: 40}, reps: 1}}
-	if !p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 250}) {
+	link.pending = []syncPending{{msg: shm.Message{Kind: syncAckOut, Payload: ackOut{Key: k1, Acked: 100}, Size: 40}, reps: 1}}
+	if !p.coalesce(link, syncAckOut, ackOut{Key: k1, Acked: 250}) {
 		t.Fatal("higher ack-out did not coalesce")
 	}
-	if !p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 180}) {
+	if !p.coalesce(link, syncAckOut, ackOut{Key: k1, Acked: 180}) {
 		t.Fatal("stale ack-out did not coalesce")
 	}
-	if a := p.pending[0].msg.Payload.(ackOut); a.Acked != 250 {
+	if a := link.pending[0].msg.Payload.(ackOut); a.Acked != 250 {
 		t.Errorf("collapsed ack watermark = %d, want 250", a.Acked)
 	}
-	if p.pending[0].reps != 3 {
-		t.Errorf("reps = %d, want 3", p.pending[0].reps)
+	if link.pending[0].reps != 3 {
+		t.Errorf("reps = %d, want 3", link.pending[0].reps)
 	}
 
 	// Only the tail is eligible: a newer entry of another kind fences off
 	// older ones, preserving ring order exactly.
-	p.pending = append(p.pending, syncPending{msg: shm.Message{Kind: syncPeerFin, Payload: peerFin{Key: k1}, Size: 32}, reps: 1})
-	if p.coalesce(syncAckOut, ackOut{Key: k1, Acked: 300}) {
+	link.pending = append(link.pending, syncPending{msg: shm.Message{Kind: syncPeerFin, Payload: peerFin{Key: k1}, Size: 32}, reps: 1})
+	if p.coalesce(link, syncAckOut, ackOut{Key: k1, Acked: 300}) {
 		t.Error("ack-out merged past an interleaved update, breaking order")
 	}
 }
