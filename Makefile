@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-detshard bench-fabric bench-critpath bench-nway check trace chaos diag
+.PHONY: all build vet lint test race bench bench-detshard bench-fabric bench-critpath bench-nway bench-epoch check trace chaos diag
 
 all: check
 
@@ -55,6 +55,14 @@ bench-critpath:
 # detshard and fabric ratios.
 bench-nway:
 	$(GO) run ./cmd/ftbench -exp nway -gate goldens/bench-baselines.json -json BENCH_nway.json
+
+# Epoch checkpoint sweep (DESIGN.md §18): the same streaming deployment
+# killed after increasing uptimes, with epoch checkpoints off and on,
+# regenerating the checked-in BENCH_epoch.json. The gated ratios pin the
+# tentpole claim: rejoin time and retained log stay flat in uptime with
+# epochs on while the full-history path grows linearly.
+bench-epoch:
+	$(GO) run ./cmd/ftbench -exp epoch -gate goldens/bench-baselines.json -json BENCH_epoch.json
 
 check: vet lint build race bench
 

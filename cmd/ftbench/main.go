@@ -16,6 +16,7 @@
 //	ftbench -exp detshard       # per-object sequencing sweep (-shards 4 -threads 1,2,4,8,16)
 //	ftbench -exp fabric         # shm sender models + adaptive batching (-threads 1,2,4,8 -batches 1,4,16,32)
 //	ftbench -exp nway           # replica-set sweep: commit wait vs quorum rule (-json BENCH_nway.json)
+//	ftbench -exp epoch          # epoch checkpoints: rejoin time + log retention vs uptime (-json BENCH_epoch.json)
 package main
 
 import (
@@ -39,7 +40,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard, fabric, critpath, nway")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig4, fig5, fig6, fig7, mixed, fig8, latency, faults, ablations, batching, detshard, fabric, critpath, nway, epoch")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced sweeps / scaled-down inputs")
 	flag.Parse()
@@ -71,6 +72,7 @@ func run(exp string, seed int64, quick bool) error {
 		{"fabric", fabric},
 		{"critpath", critpath},
 		{"nway", nway},
+		{"epoch", epoch},
 	} {
 		if !all && exp != e.name {
 			continue
@@ -448,6 +450,68 @@ func nway(seed int64, quick bool) error {
 			return gateFailure("nway", v)
 		}
 		fmt.Println("gate: nway ratios within tolerance of", *gatePath)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	fmt.Println()
+	return nil
+}
+
+func epoch(seed int64, quick bool) error {
+	fmt.Println("== Epoch checkpoints: rejoin time and log retention vs uptime ==")
+	opts := bench.DefaultEpochOpts()
+	opts.Seed = seed
+	if quick {
+		// Trim the sweep to its endpoints: the headline ratios only read
+		// the shortest and longest uptimes, so the gate stays meaningful.
+		opts.Uptimes = []time.Duration{opts.Uptimes[0], opts.Uptimes[len(opts.Uptimes)-1]}
+	}
+	report, err := bench.Epoch(opts)
+	if err != nil {
+		return err
+	}
+	var table [][]string
+	for _, p := range report.Points {
+		mode := "off"
+		if p.Epochs {
+			mode = "on"
+		}
+		table = append(table, []string{
+			fmt.Sprintf("%.0fs", p.UptimeS),
+			mode,
+			bench.F1(p.RejoinMS),
+			fmt.Sprintf("%d", p.CatchupMessages),
+			fmt.Sprintf("%d", p.RetainedTuplesAtKill),
+			fmt.Sprintf("%d", p.RetainedBytesAtKill),
+			fmt.Sprintf("%d", p.EpochCuts),
+			fmt.Sprintf("%dus", p.PauseP90/1000),
+			fmt.Sprintf("%d", p.Divergences),
+		})
+	}
+	bench.Table(os.Stdout,
+		[]string{"uptime", "epochs", "rejoin ms", "catchup msgs", "retained tuples", "retained bytes", "cuts", "pause p90", "div"},
+		table)
+	fmt.Printf("at %.0fs uptime: epoch seeding rejoins %.1fx faster and retains %.1fx fewer tuples;\n",
+		report.Points[len(report.Points)-1].UptimeS, report.RejoinSpeedup, report.RetentionSavings)
+	fmt.Printf("rejoin growth over the swept uptimes: %.2fx off vs %.2fx on (flatness gain %.1fx)\n",
+		report.RejoinGrowthOff, report.RejoinGrowthOn, report.FlatnessGain)
+	if *gatePath != "" {
+		b, err := bench.LoadBaselines(*gatePath)
+		if err != nil {
+			return err
+		}
+		if v := b.GateEpoch(report); len(v) != 0 {
+			return gateFailure("epoch", v)
+		}
+		fmt.Println("gate: epoch ratios within tolerance of", *gatePath)
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -115,6 +115,10 @@ type Summary struct {
 
 	// ArmSites lists watermark-arming sites with domination status.
 	ArmSites []ArmSite
+
+	// TruncSites lists retained-history truncations with their
+	// verified-boundary sanction status (see trunc.go).
+	TruncSites []TruncSite
 }
 
 // Effect returns the summary's entry for kind, or nil.
@@ -246,6 +250,7 @@ func (g *Graph) summarizeNode(n *Node) bool {
 
 	s.ResultTaints, s.ResultParams = g.taintScan(n)
 	s.ArmSites = g.scanArms(n)
+	s.TruncSites = g.scanTrunc(n)
 	s.SpanParams = g.spanScan(n)
 
 	changed := fingerprint(s) != fingerprint(n.Sum)
@@ -284,6 +289,9 @@ func fingerprint(s *Summary) string {
 	fmt.Fprintf(&b, "L%s;", strings.Join(ids, ","))
 	for _, a := range s.ArmSites {
 		fmt.Fprintf(&b, "a%d:%v;", a.Pos, a.Dominated)
+	}
+	for _, ts := range s.TruncSites {
+		fmt.Fprintf(&b, "T%d:%v;", ts.Pos, ts.Sanctioned)
 	}
 	idxs := make([]int, 0, len(s.SpanParams))
 	for i := range s.SpanParams {

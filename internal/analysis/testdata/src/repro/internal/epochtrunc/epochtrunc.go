@@ -1,0 +1,58 @@
+// Package epochtrunc exercises the retained-log truncation rule: a
+// prefix drop of a history slice (`x.history = x.history[keep:]`) must
+// sit behind a guard naming the verified epoch boundary, or the replica
+// may discard catch-up state a promotion or rejoin still needs
+// (DESIGN.md §18).
+package epochtrunc
+
+type rec struct {
+	history  []int
+	histBase int
+}
+
+// goodTruncate mirrors the recorder/replayer idiom: clamp to the
+// verified watermark before dropping the prefix. Sanctioned.
+func goodTruncate(r *rec, verifiedSent int) {
+	if verifiedSent < r.histBase {
+		return
+	}
+	keep := verifiedSent - r.histBase
+	r.histBase = verifiedSent
+	r.history = r.history[keep:]
+}
+
+// badTruncate drops a history prefix with no verified-boundary guard
+// anywhere in sight: an unverified epoch's tuples vanish.
+func badTruncate(r *rec, keep int) {
+	r.histBase += keep
+	r.history = r.history[keep:] // want "verified-boundary guard"
+}
+
+// tailTrim has no low bound: it discards the tail, not the retained
+// prefix, so it is not a truncation site.
+func tailTrim(r *rec, n int) {
+	r.history = r.history[:n]
+}
+
+// reset replaces the slice wholesale rather than reslicing it; also not
+// a prefix drop.
+func reset(r *rec) {
+	r.history = nil
+	r.history = append(r.history, 1)
+}
+
+// localTruncate shows the rule also covers bare local variables named
+// for the retained history, with the same sanction shape.
+func localTruncate(history []int, verified, base int) []int {
+	if verified < base {
+		return history
+	}
+	history = history[verified-base:]
+	return history
+}
+
+// badLocalTruncate is the unguarded local-variable form.
+func badLocalTruncate(history []int, keep int) []int {
+	history = history[keep:] // want "verified-boundary guard"
+	return history
+}

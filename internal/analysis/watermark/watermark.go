@@ -52,7 +52,9 @@ var Analyzer = &ftvet.Analyzer{
 	Name: "watermark",
 	Doc: "require a dominating force-flush before arming an output-commit watermark " +
 		"waiter, so batched log tuples can never stall output release (§3.5; the " +
-		"flush-before-watermark invariant established in PR 1)",
+		"flush-before-watermark invariant established in PR 1), and require every " +
+		"retained-log truncation to sit behind a verified epoch-boundary guard " +
+		"(DESIGN.md §18)",
 	Module: true,
 	Run:    run,
 }
@@ -89,6 +91,17 @@ func run(pass *ftvet.Pass) error {
 				// propagated case above fires wherever one fails to
 				// flush first).
 			}
+		}
+		// Epoch-truncation rule (DESIGN.md §18): a retained-history
+		// prefix drop must sit behind a verified-boundary guard —
+		// truncating an unverified prefix discards the only local copy
+		// of the catch-up state a promotion or rejoin may still need.
+		for _, ts := range node.Sum.TruncSites {
+			if ts.Sanctioned {
+				continue
+			}
+			pass.Report(ts.Pos,
+				"retained-log truncation without a verified-boundary guard: dropping history below an unverified epoch discards the only local copy of catch-up state a promotion or rejoin may need; clamp to the quorum-verified watermark first (DESIGN.md §18)")
 		}
 	}
 	return nil

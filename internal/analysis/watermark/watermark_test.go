@@ -14,9 +14,10 @@ func TestWatermark(t *testing.T) {
 		t.Fatal(err)
 	}
 	analysistest.Run(t, td, watermark.Analyzer,
-		"repro/internal/wmfix",    // intraprocedural dominance shapes
-		"repro/internal/shardrec", // grant-table idiom
-		"repro/internal/wmhelper", // arm hidden behind a helper, judged at call sites
-		"repro/internal/nwayrec",  // watermark-vector data exemption (N-way recorder)
+		"repro/internal/wmfix",      // intraprocedural dominance shapes
+		"repro/internal/shardrec",   // grant-table idiom
+		"repro/internal/wmhelper",   // arm hidden behind a helper, judged at call sites
+		"repro/internal/nwayrec",    // watermark-vector data exemption (N-way recorder)
+		"repro/internal/epochtrunc", // retained-log truncation guard (DESIGN.md §18)
 	)
 }

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEpochSweep runs a trimmed checkpoint sweep and pins the tentpole's
+// shape: with epochs off, retention and rejoin time grow with uptime;
+// with epochs on, both stay flat at roughly one epoch of history, and the
+// headline ratios come out above 1.
+func TestEpochSweep(t *testing.T) {
+	opts := EpochOpts{
+		Seed:     1,
+		Uptimes:  []time.Duration{3 * time.Second, 9 * time.Second},
+		Interval: 250 * time.Millisecond,
+		Tail:     3 * time.Second,
+	}
+	report, err := Epoch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 4 {
+		t.Fatalf("point count = %d, want 4", len(report.Points))
+	}
+	for _, p := range report.Points {
+		if p.Divergences != 0 {
+			t.Errorf("uptime=%.0fs epochs=%v: %d divergences", p.UptimeS, p.Epochs, p.Divergences)
+		}
+		if p.Epochs && p.EpochCuts == 0 {
+			t.Errorf("uptime=%.0fs: epochs on but no cuts recorded", p.UptimeS)
+		}
+		if !p.Epochs && p.EpochCuts != 0 {
+			t.Errorf("uptime=%.0fs: epochs off but %d cuts recorded", p.UptimeS, p.EpochCuts)
+		}
+	}
+	offMin, offMax := report.find(3, false), report.find(9, false)
+	onMin, onMax := report.find(3, true), report.find(9, true)
+	if offMax.RetainedTuplesAtKill <= 2*offMin.RetainedTuplesAtKill {
+		t.Errorf("epochs-off retention %d -> %d over a 3x uptime range; not growing with history",
+			offMin.RetainedTuplesAtKill, offMax.RetainedTuplesAtKill)
+	}
+	if onMax.RetainedTuplesAtKill > 2*onMin.RetainedTuplesAtKill {
+		t.Errorf("epochs-on retention %d -> %d over a 3x uptime range; not flat",
+			onMin.RetainedTuplesAtKill, onMax.RetainedTuplesAtKill)
+	}
+	if report.RejoinSpeedup <= 1 {
+		t.Errorf("rejoin speedup = %.2f, want > 1", report.RejoinSpeedup)
+	}
+	if report.RetentionSavings <= 1 {
+		t.Errorf("retention savings = %.2f, want > 1", report.RetentionSavings)
+	}
+	if report.RejoinGrowthOff <= report.RejoinGrowthOn {
+		t.Errorf("rejoin growth off %.2fx <= on %.2fx; epochs-on is not the flatter curve",
+			report.RejoinGrowthOff, report.RejoinGrowthOn)
+	}
+}

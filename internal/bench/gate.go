@@ -36,6 +36,12 @@ type Baselines struct {
 	NWay struct {
 		CommitWaitSpeedupN3 float64 `json:"commit_wait_speedup_n3"`
 	} `json:"nway"`
+
+	Epoch struct {
+		RejoinSpeedup    float64 `json:"rejoin_speedup"`
+		RetentionSavings float64 `json:"retention_savings"`
+		FlatnessGain     float64 `json:"flatness_gain"`
+	} `json:"epoch"`
 }
 
 // LoadBaselines reads a pinned baseline file.
@@ -100,5 +106,17 @@ func (b *Baselines) GateFabric(r FabricReport) []string {
 func (b *Baselines) GateNWay(r NWayReport) []string {
 	var v []string
 	v = b.check(v, "nway.commit_wait_speedup_n3", r.CommitWaitSpeedupN3, b.NWay.CommitWaitSpeedupN3)
+	return v
+}
+
+// GateEpoch checks the checkpoint sweep against the pinned baselines: at
+// the longest swept uptime, epoch checkpoints must still make rejoin
+// faster and retention smaller than the full-history path, and the
+// epochs-on rejoin time must stay flat where the legacy one grows.
+func (b *Baselines) GateEpoch(r EpochReport) []string {
+	var v []string
+	v = b.check(v, "epoch.rejoin_speedup", r.RejoinSpeedup, b.Epoch.RejoinSpeedup)
+	v = b.check(v, "epoch.retention_savings", r.RetentionSavings, b.Epoch.RetentionSavings)
+	v = b.check(v, "epoch.flatness_gain", r.FlatnessGain, b.Epoch.FlatnessGain)
 	return v
 }

@@ -15,7 +15,23 @@ func testBaselines() Baselines {
 	b.Fabric.SenderWaitReductionRaw = 1000
 	b.Fabric.AdaptiveMsgSavingsBurst = 1.5
 	b.NWay.CommitWaitSpeedupN3 = 100
+	b.Epoch.RejoinSpeedup = 50
+	b.Epoch.RetentionSavings = 20
 	return b
+}
+
+func TestGateEpoch(t *testing.T) {
+	b := testBaselines()
+	// FlatnessGain is unpinned (zero) in testBaselines: skipped.
+	r := EpochReport{RejoinSpeedup: 42, RetentionSavings: 17}
+	if v := b.GateEpoch(r); len(v) != 0 {
+		t.Fatalf("gate failed within tolerance: %v", v)
+	}
+	r.RejoinSpeedup = 39 // below the 40 floor
+	v := b.GateEpoch(r)
+	if len(v) != 1 || !strings.Contains(v[0], "epoch.rejoin_speedup") {
+		t.Fatalf("violations = %v, want exactly the rejoin-speedup slip", v)
+	}
 }
 
 func TestGateNWay(t *testing.T) {
@@ -101,6 +117,9 @@ func TestRepoBaselinesLoad(t *testing.T) {
 		"fabric.adaptive_burst":      b.Fabric.AdaptiveVsBestStaticBurst,
 		"fabric.adaptive_msg_saving": b.Fabric.AdaptiveMsgSavingsBurst,
 		"nway.commit_wait":           b.NWay.CommitWaitSpeedupN3,
+		"epoch.rejoin_speedup":       b.Epoch.RejoinSpeedup,
+		"epoch.retention_savings":    b.Epoch.RetentionSavings,
+		"epoch.flatness_gain":        b.Epoch.FlatnessGain,
 	} {
 		if v <= 0 {
 			t.Errorf("%s not pinned", name)

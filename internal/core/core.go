@@ -35,6 +35,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/obs/causal"
+	"repro/internal/rejoin"
 	"repro/internal/replication"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -107,6 +108,34 @@ type Config struct {
 	// RNG stream so probability draws never perturb workload randomness.
 	Chaos     chaos.Schedule
 	ChaosSeed int64
+	// Epochs enables and tunes epoch checkpointing (requires Rejoin and
+	// restorable apps; see WithEpochCheckpoints).
+	Epochs EpochConfig
+}
+
+// EpochConfig tunes epoch checkpointing: the recording side cuts an
+// incremental checkpoint every epoch, backups verify the boundary digest
+// at their replay frontier and truncate their retained log there, and
+// rejoin becomes latest-checkpoint transfer plus a short delta replay —
+// flat in uptime — instead of a full-history replay.
+type EpochConfig struct {
+	// Enabled turns the cutter on (WithEpochCheckpoints sets it).
+	Enabled bool
+	// Interval cuts an epoch every so much virtual time (0 with
+	// EveryTuples 0 defaults to 30s).
+	Interval time.Duration
+	// EveryTuples additionally cuts once this many tuples have been
+	// recorded since the last cut (0 = interval only).
+	EveryTuples int
+	// PerByteCopyCost models checkpoint copy bandwidth for the pre-copy
+	// passes and the final stop-the-world delta (0 = 1ns/byte, ~1GB/s).
+	PerByteCopyCost time.Duration
+	// MaxPasses bounds the pre-copy iteration (0 = 4).
+	MaxPasses int
+	// TargetDirtyBytes stops pre-copy once the residual dirty estimate
+	// converges to at most this many bytes (0 = 4KiB) — the pinned
+	// constant that bounds the final pause independent of state size.
+	TargetDirtyBytes int
 }
 
 // DefaultConfig returns the paper's standard deployment: two symmetric
@@ -152,6 +181,14 @@ type Replica struct {
 	// retired marks a backup removed from the set (election loser or
 	// rolling replacement); its detector notifications are stale.
 	retired bool
+	// apps holds this replica's restorable app instances in launch
+	// order (epoch checkpoints only).
+	apps []appInst
+	// lastCP is the latest epoch checkpoint this replica holds: on a
+	// backup the last digest-verified marker payload, on the recording
+	// side the last quorum-acknowledged cut. Rejoin seeds fresh backups
+	// from it instead of replaying history from the first tuple.
+	lastCP *rejoin.EpochCheckpoint
 }
 
 // Slot returns the replica's partition slot in the replica set (0 is the
@@ -206,6 +243,13 @@ type System struct {
 	resyncStartAt sim.Time
 	rejoinErr     error
 	lastDead      *Replica
+
+	// Epoch checkpointing (see epoch.go): the monotone epoch counter,
+	// cuts awaiting their ack quorum, and the cutter's instrumentation.
+	epoch       uint64
+	pendingCuts map[uint64]*rejoin.EpochCheckpoint
+	scEpoch     *obs.Scope
+	hPause      *obs.Histogram
 
 	injector *chaos.Injector
 	parts    []*hw.Partition
@@ -412,6 +456,21 @@ func build(cfg Config) (*System, error) {
 	sys.passives = append(sys.passives, reps[1:]...)
 	sys.setState(StateReplicated)
 
+	// Epoch checkpointing (epoch.go): cutter on the recording side,
+	// boundary verifier on every backup, quorum tracking for truncation.
+	// With epochs off none of this exists and the engine's execution —
+	// and its trace — is byte-identical to the previous one.
+	if cfg.Epochs.Enabled {
+		sys.pendingCuts = make(map[uint64]*rejoin.EpochCheckpoint)
+		sys.scEpoch = tr.Scope("epoch")
+		sys.hPause = tr.Registry().Histogram("ftns.epoch.pause", "ns")
+		sys.wireEpochQuorum(reps[0])
+		for _, rep := range reps[1:] {
+			rep.NS.OnEpoch(sys.epochVerifier(rep))
+		}
+		sys.startCutter(reps[0])
+	}
+
 	// Failure detection, a detector pair per primary<->backup link (star
 	// topology: backups do not watch each other). peerFailed resolves what
 	// a death means from the current roles: recording side dead = election
@@ -498,32 +557,92 @@ func (sys *System) NIC() *kernel.Device { return sys.nic }
 // FT-Namespace with that replica's interposed socket layer (ignore the
 // layer for apps that never touch the network). Env is replicated from
 // the recording side (§3).
+//
+// With epoch checkpoints (WithEpochCheckpoints) every app must instead be
+// restorable: set State to a factory producing one AppState per replica.
+// Epoch rejoin resumes an app from its snapshot plus a short delta
+// replay, so a restorable app's observable behaviour — which det sections
+// it issues next, in what order — must be a function of its restored
+// state alone (mutate replicated state only inside det-section settle
+// functions, and re-derive control flow from the state on restore).
 type App struct {
 	Name string
 	Env  map[string]string
 	Main func(*replication.Thread, *tcprep.Sockets)
+	// State makes the app restorable for epoch checkpoints: a factory
+	// called once per replica (boot-time and each rejoin generation).
+	State func() AppState
+}
+
+// AppState is one replica's instance of a restorable application.
+type AppState interface {
+	// Main is the app body, exactly like App.Main.
+	Main(*replication.Thread, *tcprep.Sockets)
+	// Snapshot serializes the app's replicated state. It is called with
+	// the namespace quiesced at a section boundary and must not enter a
+	// det section or yield.
+	Snapshot() []byte
+	// Restore rebuilds the state from a Snapshot before Main starts on
+	// a checkpoint-seeded backup.
+	Restore(data []byte)
+	// Dirtied is a monotone cumulative count of state bytes mutated
+	// since the instance started; the epoch pre-copy engine differences
+	// readings to size its converging passes.
+	Dirtied() uint64
 }
 
 // appLaunch is a recorded launch, replayed onto each rejoined backup
-// kernel so its replica can replay the application from the first tuple.
+// kernel so its replica can replay the application from the first tuple
+// (or resume it from an epoch snapshot when State is set).
 type appLaunch struct {
-	name string
-	env  map[string]string
-	run  func(*replication.Thread, *tcprep.Sockets)
+	name  string
+	env   map[string]string
+	run   func(*replication.Thread, *tcprep.Sockets)
+	state func() AppState
+}
+
+// appInst is one replica's live instance of a restorable app, in launch
+// order — the order epoch snapshots are cut and restored in.
+type appInst struct {
+	name  string
+	state AppState
 }
 
 func (sys *System) startOn(rep *Replica, l appLaunch) *replication.Thread {
-	return rep.NS.Start(l.name, l.env, func(th *replication.Thread) { l.run(th, rep.Sockets) })
+	run := l.run
+	if l.state != nil {
+		inst := l.state()
+		rep.apps = append(rep.apps, appInst{name: l.name, state: inst})
+		run = inst.Main
+	}
+	return rep.NS.Start(l.name, l.env, func(th *replication.Thread) { run(th, rep.Sockets) })
+}
+
+// startRestored instantiates a restorable app from its epoch snapshot and
+// starts it; the thread adopts its checkpointed identity through the
+// namespace's ResumeFrom pins.
+func (sys *System) startRestored(rep *Replica, l appLaunch, data []byte, found bool) {
+	inst := l.state()
+	if found {
+		inst.Restore(data)
+	}
+	rep.apps = append(rep.apps, appInst{name: l.name, state: inst})
+	rep.NS.Start(l.name, l.env, func(th *replication.Thread) { inst.Main(th, rep.Sockets) })
 }
 
 // Run starts an application on every current replica and records the
 // launch so rejoined backups can replay it from the beginning. It is the
 // single launch entry point of the lifecycle API.
 func (sys *System) Run(app App) {
-	if app.Main == nil {
+	if app.Main == nil && app.State == nil {
 		panic("core: Run: app.Main is nil")
 	}
-	l := appLaunch{name: app.Name, env: app.Env, run: app.Main}
+	if sys.Cfg.Epochs.Enabled && app.State == nil {
+		// Epoch truncation discards the log prefix a from-the-start
+		// replay would need; only snapshot-restorable apps can rejoin.
+		panic("core: Run: epoch checkpoints require a restorable app (set App.State)")
+	}
+	l := appLaunch{name: app.Name, env: app.Env, run: app.Main, state: app.State}
 	sys.launches = append(sys.launches, l)
 	sys.startOn(sys.active, l)
 	for _, p := range sys.passives {
@@ -713,6 +832,17 @@ func (sys *System) failoverTo(surv, dead *Replica, losers []*Replica) {
 			dp.Instrument(sys.Obs.Scope(fmt.Sprintf("gen%d/tcprep", sys.generation+1)), nil)
 			surv.TCPPrim = dp
 			surv.Sockets.AdoptPrimary(dp)
+		}
+		if sys.Cfg.Epochs.Enabled {
+			// The promoted fork continues the dead primary's epoch
+			// sequence; its retained history is already truncated at the
+			// survivor's last verified boundary, and surv.lastCP carries
+			// that checkpoint forward for the rejoins scheduled below.
+			// The old primary's unacknowledged cuts die with it.
+			surv.NS.SeedEpochs(sys.epoch)
+			sys.pendingCuts = make(map[uint64]*rejoin.EpochCheckpoint)
+			sys.wireEpochQuorum(surv)
+			sys.startCutter(surv)
 		}
 		sys.LiveAt = t.Now()
 		sys.scheduleRejoin(surv, dead)

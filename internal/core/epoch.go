@@ -1,0 +1,281 @@
+package core
+
+// Epoch checkpointing (the ISSUE 10 tentpole): the recording side cuts an
+// incremental checkpoint of the full replicated software stack every
+// epoch and streams its marker through the ordered det log, so the cut
+// lands at an exact log watermark on every replica. Each backup verifies
+// the marker's digest against its own replay-reconstructed state at that
+// exact frontier, truncates its retained tuple log at the boundary, and
+// acks; once a commit quorum of backups has verified an epoch the primary
+// truncates too. Log retention and rejoin time are then bounded by one
+// epoch of history instead of growing with uptime, and the cut itself
+// uses iterative pre-copy so its stop-the-world pause is bounded by the
+// workload's dirty rate — not by state size.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/rejoin"
+	"repro/internal/replication"
+	"repro/internal/shm"
+)
+
+// startCutter spawns the epoch cutter on a recording replica's kernel.
+// It exits by itself when the replica stops being the active recording
+// side (failover starts a fresh cutter on the promoted survivor).
+func (sys *System) startCutter(rep *Replica) {
+	rep.Kernel.Spawn("epoch-cutter", func(t *kernel.Task) { sys.cutterLoop(t, rep) })
+}
+
+func (sys *System) cutterLoop(t *kernel.Task, rep *Replica) {
+	ec := sys.Cfg.Epochs
+	// Interval-only cuts sleep a whole epoch at a time; a tuple-count
+	// trigger needs a faster poll to notice the threshold between
+	// interval boundaries.
+	poll := ec.Interval
+	if ec.EveryTuples > 0 {
+		p := ec.Interval / 8
+		if p <= 0 {
+			p = 25 * time.Millisecond
+		}
+		if poll <= 0 || p < poll {
+			poll = p
+		}
+	}
+	lastSeq := rep.NS.SeqGlobal()
+	lastAt := t.Now()
+	for {
+		t.Sleep(poll)
+		if sys.active != rep || !rep.Kernel.Alive() {
+			return
+		}
+		if !rep.NS.Recording() {
+			continue
+		}
+		// Nothing recorded since the last cut: an identical checkpoint
+		// buys nothing, and skipping keeps a freshly seeded backup from
+		// meeting a marker at its own seed frontier before its apps have
+		// been restored.
+		if rep.NS.SeqGlobal() == lastSeq {
+			lastAt = t.Now()
+			continue
+		}
+		due := ec.Interval > 0 && t.Now().Sub(lastAt) >= ec.Interval
+		if !due && ec.EveryTuples > 0 && rep.NS.SeqGlobal()-lastSeq >= uint64(ec.EveryTuples) {
+			due = true
+		}
+		if !due {
+			continue
+		}
+		sys.cutEpoch(t, rep)
+		lastSeq = rep.NS.SeqGlobal()
+		lastAt = t.Now()
+	}
+}
+
+// cutEpoch takes one epoch checkpoint: converging pre-copy passes while
+// the workload runs, then a final stop-the-world bounded by the residual
+// dirty delta — quiesce at a section boundary, copy the delta, cut, and
+// emit the marker at the exact log watermark.
+func (sys *System) cutEpoch(t *kernel.Task, rep *Replica) {
+	ec := sys.Cfg.Epochs
+	pc := &rejoin.PreCopy{
+		Sources:     sys.precopySources(rep),
+		PerByte:     ec.PerByteCopyCost,
+		MaxPasses:   ec.MaxPasses,
+		TargetDirty: ec.TargetDirtyBytes,
+	}
+	finalDirty, passes := pc.Run(t)
+
+	release := rep.NS.Quiesce(t)
+	t0 := t.Now()
+	t.Busy(time.Duration(finalDirty) * ec.PerByteCopyCost)
+	sys.epoch++
+	epoch := sys.epoch
+	ecp := &rejoin.EpochCheckpoint{
+		Checkpoint: *rejoin.Cut(0, rep.NS, nil),
+		Epoch:      epoch,
+	}
+	_, sent := rep.NS.LogWatermark()
+	ecp.Sent = sent
+	for _, a := range rep.apps {
+		ecp.Apps = append(ecp.Apps, rejoin.AppSnap{Name: a.name, Data: a.state.Snapshot()})
+	}
+	ecp.Sends = rep.Sockets.SendCursors()
+	ecp.Seal()
+	sys.pendingCuts[epoch] = ecp
+	rep.NS.EmitEpoch(t, replication.EpochMark{
+		Epoch:     epoch,
+		SeqGlobal: ecp.SeqGlobal,
+		Sent:      sent,
+		Digest:    ecp.Digest(),
+		Payload:   ecp,
+	}, ecp.Bytes())
+	pause := t.Now().Sub(t0)
+	release()
+
+	sys.hPause.Observe(int64(pause))
+	note := ""
+	for _, ps := range passes {
+		note += fmt.Sprintf("p%d %dB>%dB; ", ps.Pass, ps.Copied, ps.Dirtied)
+	}
+	note += fmt.Sprintf("stw %dB", finalDirty)
+	sys.scEpoch.EmitNote(obs.EpochCut, 0, int64(epoch), int64(pause), note)
+}
+
+// precopySources enumerates the recording replica's state components for
+// the pre-copy engine: the FT-namespace cursor/env state (each det
+// section dirties ~32 bytes of cursor vector), the logical TCP
+// connection log, and every restorable app's snapshot state.
+func (sys *System) precopySources(rep *Replica) []rejoin.Source {
+	srcs := []rejoin.Source{rejoin.FuncSource{
+		SourceName: "ftns",
+		Total:      func() int { return rejoin.Cut(0, rep.NS, nil).Bytes() },
+		Dirty:      func() uint64 { return rep.NS.SeqGlobal() * 32 },
+	}}
+	if rep.TCPPrim != nil {
+		prim := rep.TCPPrim
+		srcs = append(srcs, rejoin.FuncSource{
+			SourceName: "tcprep",
+			Total:      prim.LogFootprint,
+			Dirty:      prim.LogDirtied,
+		})
+	}
+	for _, a := range rep.apps {
+		a := a
+		srcs = append(srcs, rejoin.FuncSource{
+			SourceName: "app:" + a.name,
+			Total:      func() int { return len(a.state.Snapshot()) },
+			Dirty:      a.state.Dirtied,
+		})
+	}
+	return srcs
+}
+
+// epochVerifier is the replica-side boundary check, run with replay
+// quiesced at the marker's exact frontier: recompute the checkpoint
+// digest from the local replayed state and compare. A match retains the
+// marker's checkpoint for this replica's own future promotion or rejoin
+// service; a mismatch is divergence and aborts the replica.
+func (sys *System) epochVerifier(rep *Replica) func(replication.EpochMark) bool {
+	return func(mark replication.EpochMark) bool {
+		ecp, ok := mark.Payload.(*rejoin.EpochCheckpoint)
+		if !ok {
+			return false
+		}
+		local := rejoin.EpochCheckpoint{
+			Checkpoint: *rejoin.Cut(0, rep.NS, nil),
+			Epoch:      mark.Epoch,
+			Sent:       mark.Sent,
+		}
+		for _, a := range rep.apps {
+			local.Apps = append(local.Apps, rejoin.AppSnap{Name: a.name, Data: a.state.Snapshot()})
+		}
+		local.Sends = rep.Sockets.SendCursors()
+		local.Seal()
+		if local.Digest() != mark.Digest {
+			return false
+		}
+		rep.lastCP = ecp
+		return true
+	}
+}
+
+// wireEpochQuorum installs the recording-side quorum callback: when an
+// epoch reaches its verification quorum (and the recorder has truncated
+// its history at it), the cut graduates from pending to this replica's
+// latest checkpoint — the one rejoin seeds fresh backups from.
+func (sys *System) wireEpochQuorum(rep *Replica) {
+	rep.NS.OnEpochQuorum(func(epoch uint64) {
+		if cp := sys.pendingCuts[epoch]; cp != nil {
+			rep.lastCP = cp
+		}
+		for e := range sys.pendingCuts {
+			if e <= epoch {
+				delete(sys.pendingCuts, e)
+			}
+		}
+	})
+}
+
+// startEpochRejoin is the checkpoint-seeded rejoin path: instead of
+// replaying the retained history from the first tuple, the fresh backup
+// is seeded at the survivor's latest quorum-verified epoch checkpoint and
+// replays only the delta since. Rejoin time is then bounded by one epoch
+// of history — flat in uptime.
+func (sys *System) startEpochRejoin(surv, rep *Replica, gen int, sfx string, bulk, tcpSync, log, acks *shm.Ring) {
+	cp := surv.lastCP
+	// --- the atomic cut -------------------------------------------------
+	// The seed coordinates, the fresh TCP snapshot plus delta-ring attach,
+	// and the catch-up link creation all land in this one scheduler
+	// instant: the TCP snapshot pairs gaplessly with the delta stream, and
+	// the catch-up stream starts exactly at the checkpoint's log index
+	// (the recorder's retained history begins at the checkpoint's own
+	// marker). The TCP state is snapshotted fresh — input bytes never
+	// enter the det log, so the epoch cut carries none and the transfer
+	// copy is re-sealed over the filled snapshot.
+	tx := *cp
+	if surv.TCPPrim != nil {
+		tx.TCP = surv.TCPPrim.SnapshotState()
+		surv.TCPPrim.AttachRing(tcpSync)
+	}
+	tx.Seal()
+	rep.NS.SeedCheckpoint(cp.Epoch, cp.SeqGlobal, cp.Sent, cp.Objs, envMap(cp.Env))
+	rep.NS.ResumeFrom(cp.Threads, cp.NextFTPid)
+	rep.linkIdx = surv.NS.AddReplica(log, acks, func() { sys.resyncComplete(gen, rep) })
+	// --------------------------------------------------------------------
+	sys.scLife.EmitNote(obs.CheckpointCut, 0, int64(cp.SeqGlobal), int64(tx.Bytes()),
+		fmt.Sprintf("g%d: epoch %d seed, %d apps, %d conns", gen, cp.Epoch, len(tx.Apps), len(tx.TCP.Conns)))
+
+	surv.Kernel.Spawn("rejoin-send"+sfx, func(t *kernel.Task) {
+		rejoin.SendEpoch(t, bulk, &tx)
+	})
+	bk, bsec := rep.Kernel, rep.TCPSync
+	bk.Spawn("rejoin-recv"+sfx, func(t *kernel.Task) {
+		rcp, err := rejoin.RecvEpoch(t, bulk)
+		if err != nil {
+			sys.abortRejoin(gen, bk, fmt.Errorf("core: rejoin bulk transfer: %w", err))
+			return
+		}
+		bsec.Seed(rcp.TCP)
+		// Delta replay regenerates output starting at the epoch cut, not at
+		// byte zero: align the logical out-buffer bases and this replica's
+		// own send cursors with the checkpoint before any section replays.
+		bsec.SeedOutBase(rcp.Sends)
+		rep.Sockets.SeedSent(rcp.Sends)
+		bsec.StartPull()
+		// Resume every recorded launch from its snapshot. Each thread
+		// adopts its checkpointed identity through the ResumeFrom pins,
+		// and the delta replay carries it from the epoch boundary to the
+		// live frontier. The transfer was digest-verified on reassembly;
+		// the replayed continuation is digest-verified at the next epoch
+		// boundary, quiesced at that exact frontier.
+		for _, l := range sys.launches {
+			data, found := appSnap(rcp.Apps, l.name)
+			sys.startRestored(rep, l, data, found)
+		}
+	})
+}
+
+// envMap converts a checkpoint's sorted env entries back to the map form
+// the namespace seeds from.
+func envMap(entries []rejoin.EnvEntry) map[string]string {
+	m := make(map[string]string, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e.Value
+	}
+	return m
+}
+
+// appSnap finds one app's snapshot in a received epoch checkpoint.
+func appSnap(apps []rejoin.AppSnap, name string) ([]byte, bool) {
+	for _, a := range apps {
+		if a.Name == name {
+			return a.Data, true
+		}
+	}
+	return nil, false
+}

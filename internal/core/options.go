@@ -141,6 +141,38 @@ func WithRejoinDelay(d time.Duration) Option {
 	return func(c *Config) { c.RejoinDelay = d }
 }
 
+// WithEpochCheckpoints enables epoch checkpointing: the recording side
+// cuts an incremental checkpoint every interval (and additionally every
+// everyTuples recorded tuples when > 0), each backup verifies the epoch
+// boundary digest at its replay frontier and truncates its retained
+// tuple log there, and a later rejoin seeds the fresh backup from the
+// latest verified checkpoint plus a short delta replay — making both log
+// retention and rejoin time flat in uptime instead of linear. The cut
+// itself uses iterative pre-copy, so its stop-the-world pause is bounded
+// by the workload's dirty rate, not by state size.
+//
+// Requires rejoin (on by default under New) and restorable apps: every
+// Run app must set App.State. Pass interval 0 with everyTuples 0 for the
+// 30s default.
+func WithEpochCheckpoints(interval time.Duration, everyTuples int) Option {
+	return func(c *Config) {
+		c.Epochs.Enabled = true
+		c.Epochs.Interval = interval
+		c.Epochs.EveryTuples = everyTuples
+	}
+}
+
+// WithEpochTuning overrides the epoch cutter's pre-copy model: the
+// per-byte copy cost, the pass bound, and the convergence target that
+// pins the final pause (zero keeps each default).
+func WithEpochTuning(perByte time.Duration, maxPasses, targetDirty int) Option {
+	return func(c *Config) {
+		c.Epochs.PerByteCopyCost = perByte
+		c.Epochs.MaxPasses = maxPasses
+		c.Epochs.TargetDirtyBytes = targetDirty
+	}
+}
+
 // WithChaos installs a fault-injection schedule, replayed with its own
 // RNG stream seeded by seed.
 func WithChaos(sched chaos.Schedule, seed int64) Option {
@@ -294,6 +326,26 @@ func (cfg Config) validate() (Config, error) {
 	}
 	if cfg.RejoinDelay <= 0 {
 		cfg.RejoinDelay = 10 * time.Second
+	}
+	// Epoch checkpointing rides on the rejoin machinery: it truncates the
+	// retained history the rejoinable recorder keeps, so it cannot exist
+	// without it. Defaults are normalized here like every other knob.
+	if cfg.Epochs.Enabled {
+		if !cfg.Rejoin {
+			return cfg, fmt.Errorf("core: epoch checkpoints require rejoin")
+		}
+		if cfg.Epochs.Interval <= 0 && cfg.Epochs.EveryTuples <= 0 {
+			cfg.Epochs.Interval = 30 * time.Second
+		}
+		if cfg.Epochs.PerByteCopyCost <= 0 {
+			cfg.Epochs.PerByteCopyCost = time.Nanosecond
+		}
+		if cfg.Epochs.MaxPasses <= 0 {
+			cfg.Epochs.MaxPasses = 4
+		}
+		if cfg.Epochs.TargetDirtyBytes <= 0 {
+			cfg.Epochs.TargetDirtyBytes = 4 << 10
+		}
 	}
 	// Rejoin needs the full log history retained from the first section:
 	// the flag is derived here, never set directly on the engine config.

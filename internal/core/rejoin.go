@@ -162,42 +162,60 @@ func (sys *System) startRejoin(surv, dead *Replica) {
 	sys.resync = rep
 	sys.passives = append(sys.passives, rep)
 
-	// --- the atomic cut -------------------------------------------------
-	// Checkpoint, delta-ring attach, and catch-up link creation happen in
-	// this one scheduler instant: no byte and no tuple can land in both
-	// the snapshot and a stream, or in neither.
-	cp := rejoin.Cut(gen, surv.NS, surv.TCPPrim)
-	if surv.TCPPrim != nil {
-		surv.TCPPrim.AttachRing(tcpSync)
+	if sys.Cfg.Epochs.Enabled {
+		// Every path must verify future epoch boundaries — including a
+		// backup still replaying full history when the next cut lands
+		// mid-resync (the marker reaches it through the catch-up stream).
+		bns.OnEpoch(sys.epochVerifier(rep))
 	}
-	rep.linkIdx = surv.NS.AddReplica(log, acks, func() { sys.resyncComplete(gen, rep) })
-	// --------------------------------------------------------------------
-	sys.scLife.EmitNote(obs.CheckpointCut, 0, int64(cp.SeqGlobal), int64(cp.Bytes()),
-		fmt.Sprintf("g%d: %d conns, %d threads", gen, len(cp.TCP.Conns), len(cp.Threads)))
 
-	surv.Kernel.Spawn("rejoin-send"+sfx, func(t *kernel.Task) {
-		rejoin.Send(t, bulk, cp)
-	})
-	bk.Spawn("rejoin-recv"+sfx, func(t *kernel.Task) {
-		rcp, err := rejoin.Recv(t, bulk)
-		if err != nil {
-			sys.abortRejoin(gen, bk, fmt.Errorf("core: rejoin bulk transfer: %w", err))
-			return
+	var seedSeq uint64
+	if sys.Cfg.Epochs.Enabled && surv.lastCP != nil {
+		// Checkpoint-seeded path: flat in uptime. Seed from the latest
+		// verified epoch cut plus a short delta replay instead of
+		// replaying the whole retained history (which the epoch
+		// machinery has been truncating anyway).
+		seedSeq = surv.lastCP.SeqGlobal
+		sys.startEpochRejoin(surv, rep, gen, sfx, bulk, tcpSync, log, acks)
+	} else {
+		// --- the atomic cut ---------------------------------------------
+		// Checkpoint, delta-ring attach, and catch-up link creation happen
+		// in this one scheduler instant: no byte and no tuple can land in
+		// both the snapshot and a stream, or in neither.
+		cp := rejoin.Cut(gen, surv.NS, surv.TCPPrim)
+		seedSeq = cp.SeqGlobal
+		if surv.TCPPrim != nil {
+			surv.TCPPrim.AttachRing(tcpSync)
 		}
-		bsec.Seed(rcp.TCP)
-		bsec.StartPull()
-		// Cross-check the catch-up replay against the checkpoint exactly
-		// when the replay head reaches the cut watermark.
-		bns.OnReplayHead(rcp.SeqGlobal, func() {
-			if verr := rcp.VerifyReplay(bns); verr != nil {
-				sys.abortRejoin(gen, bk, verr)
+		rep.linkIdx = surv.NS.AddReplica(log, acks, func() { sys.resyncComplete(gen, rep) })
+		// ----------------------------------------------------------------
+		sys.scLife.EmitNote(obs.CheckpointCut, 0, int64(cp.SeqGlobal), int64(cp.Bytes()),
+			fmt.Sprintf("g%d: %d conns, %d threads", gen, len(cp.TCP.Conns), len(cp.Threads)))
+
+		surv.Kernel.Spawn("rejoin-send"+sfx, func(t *kernel.Task) {
+			rejoin.Send(t, bulk, cp)
+		})
+		bk.Spawn("rejoin-recv"+sfx, func(t *kernel.Task) {
+			rcp, err := rejoin.Recv(t, bulk)
+			if err != nil {
+				sys.abortRejoin(gen, bk, fmt.Errorf("core: rejoin bulk transfer: %w", err))
+				return
+			}
+			bsec.Seed(rcp.TCP)
+			bsec.StartPull()
+			// Cross-check the catch-up replay against the checkpoint exactly
+			// when the replay head reaches the cut watermark.
+			bns.OnReplayHead(rcp.SeqGlobal, func() {
+				if verr := rcp.VerifyReplay(bns); verr != nil {
+					sys.abortRejoin(gen, bk, verr)
+				}
+			})
+			// Replay every recorded launch from the first tuple.
+			for _, l := range sys.launches {
+				sys.startOn(rep, l)
 			}
 		})
-		// Replay every recorded launch from the first tuple.
-		for _, l := range sys.launches {
-			sys.startOn(rep, l)
-		}
-	})
+	}
 
 	// Failure detection for the new pairing, armed before catch-up so a
 	// mid-resync death on either side is handled: survivor death promotes
@@ -214,7 +232,7 @@ func (sys *System) startRejoin(surv, dead *Replica) {
 	ds.Start()
 
 	sys.setState(StateResyncing)
-	sys.scLife.EmitNote(obs.ResyncStart, 0, int64(gen), int64(cp.SeqGlobal),
+	sys.scLife.EmitNote(obs.ResyncStart, 0, int64(gen), int64(seedSeq),
 		fmt.Sprintf("g%d: backup on partition %d", gen, dead.partIdx))
 }
 

@@ -137,6 +137,15 @@ const (
 	// quorum: fewer live backups remain than CommitQuorum (Seq = live
 	// backups, Arg = configured quorum).
 	QuorumLost
+	// EpochCut is an incremental epoch checkpoint cut on the primary
+	// (Seq = epoch number, Arg = final stop-the-world pause in ns;
+	// Note = pre-copy pass summary).
+	EpochCut
+	// EpochTruncate is a retained tuple log truncated at a verified
+	// epoch boundary — on the primary after the epoch-ack quorum, on a
+	// backup after digest verification at the replay frontier (Seq =
+	// epoch number, Arg = tuples dropped).
+	EpochTruncate
 )
 
 var kindNames = [...]string{
@@ -173,6 +182,8 @@ var kindNames = [...]string{
 	Election:       "election",
 	ReplicaRetire:  "replica-retire",
 	QuorumLost:     "quorum-lost",
+	EpochCut:       "epoch-cut",
+	EpochTruncate:  "epoch-truncate",
 }
 
 // kindByName is the inverse of kindNames, built once for ParseKind.
@@ -263,10 +274,10 @@ const DefaultFlightEvents = 256
 // tracer: Scope returns nil scopes and Registry returns nil, so every
 // downstream operation degrades to a pointer test.
 type Tracer struct {
-	sim   *sim.Simulation
-	cfg   Config
-	reg   *Registry
-	order uint64
+	sim    *sim.Simulation
+	cfg    Config
+	reg    *Registry
+	order  uint64
 	scopes []*Scope
 	events []Event
 }

@@ -1,0 +1,190 @@
+package rejoin
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/shm"
+	"repro/internal/sim"
+)
+
+func testEpochCheckpoint() *EpochCheckpoint {
+	big := make([]byte, 150<<10) // three chunks, larger than the 96 KiB ring
+	for i := range big {
+		big[i] = byte(i*13 + 5)
+	}
+	ecp := &EpochCheckpoint{
+		Checkpoint: *testCheckpoint(),
+		Epoch:      9,
+		Sent:       777,
+		Apps: []AppSnap{
+			{Name: "counter", Data: []byte{1, 2, 3, 4}},
+			{Name: "stream", Data: big},
+		},
+	}
+	ecp.Generation = 0
+	ecp.Seal()
+	return ecp
+}
+
+func TestEpochTransferRoundTrip(t *testing.T) {
+	s, pk, bk, ring := bulkPair(t)
+	ecp := testEpochCheckpoint()
+	var got *EpochCheckpoint
+	var rerr error
+	pk.Spawn("send", func(tk *kernel.Task) { SendEpoch(tk, ring, ecp) })
+	bk.Spawn("recv", func(tk *kernel.Task) { got, rerr = RecvEpoch(tk, ring) })
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rerr != nil {
+		t.Fatalf("RecvEpoch: %v", rerr)
+	}
+	if got.Epoch != ecp.Epoch || got.Sent != ecp.Sent || got.AppSum != ecp.AppSum {
+		t.Errorf("epoch header differs: epoch=%d sent=%d", got.Epoch, got.Sent)
+	}
+	if got.SeqGlobal != ecp.SeqGlobal || got.Sum != ecp.Sum {
+		t.Errorf("base checkpoint differs: %+v", got.Checkpoint)
+	}
+	if len(got.Apps) != 2 || got.Apps[0].Name != "counter" || got.Apps[1].Name != "stream" {
+		t.Fatalf("apps differ: %+v", got.Apps)
+	}
+	if !bytes.Equal(got.Apps[1].Data, ecp.Apps[1].Data) {
+		t.Error("chunked app snapshot not reassembled byte-identically")
+	}
+	if got.Digest() != ecp.Digest() {
+		t.Error("combined digest differs after round trip")
+	}
+}
+
+func TestEpochTransferDetectsAppCorruption(t *testing.T) {
+	s, pk, bk, ring := bulkPair(t)
+	ecp := testEpochCheckpoint()
+	ecp.Apps[1].Data[99] ^= 0xff // post-Seal corruption of an app snapshot
+	var rerr error
+	pk.Spawn("send", func(tk *kernel.Task) { SendEpoch(tk, ring, ecp) })
+	bk.Spawn("recv", func(tk *kernel.Task) { _, rerr = RecvEpoch(tk, ring) })
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(rerr, ErrChecksumMismatch) {
+		t.Fatalf("RecvEpoch = %v, want ErrChecksumMismatch", rerr)
+	}
+}
+
+// TestRecvFailsFastOnTruncatedTransfer kills the transfer after the first
+// frames: the receiver must fail with ErrTruncatedCheckpoint once the ring
+// goes silent instead of blocking forever on a stream nobody will finish.
+func TestRecvFailsFastOnTruncatedTransfer(t *testing.T) {
+	defer func(d time.Duration) { RecvFrameTimeout = d }(RecvFrameTimeout)
+	RecvFrameTimeout = 100 * time.Millisecond
+	s, pk, bk, ring := bulkPair(t)
+	cp := testCheckpoint()
+	var rerr error
+	done := false
+	pk.Spawn("send-partial", func(tk *kernel.Task) {
+		p := tk.Proc()
+		sendHeader(p, ring, cp)
+		ring.Send(p, shm.Message{Kind: bulkThreads, Size: 16, Payload: cp.Threads})
+		// Sender dies here: no more frames, no bulkDone.
+	})
+	bk.Spawn("recv", func(tk *kernel.Task) { _, rerr = Recv(tk, ring); done = true })
+	if err := s.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Fatal("Recv still blocked on a truncated transfer after 2s")
+	}
+	if !errors.Is(rerr, ErrTruncatedCheckpoint) {
+		t.Fatalf("Recv = %v, want ErrTruncatedCheckpoint", rerr)
+	}
+}
+
+// TestRecvEpochFailsFastMidAppChunks is the epoch variant: the sender dies
+// between application snapshot chunks.
+func TestRecvEpochFailsFastMidAppChunks(t *testing.T) {
+	defer func(d time.Duration) { RecvFrameTimeout = d }(RecvFrameTimeout)
+	RecvFrameTimeout = 100 * time.Millisecond
+	s, pk, bk, ring := bulkPair(t)
+	ecp := testEpochCheckpoint()
+	var rerr error
+	pk.Spawn("send-partial", func(tk *kernel.Task) {
+		p := tk.Proc()
+		sendHeader(p, ring, &ecp.Checkpoint)
+		ring.Send(p, shm.Message{Kind: bulkEpoch, Size: 48, Payload: bulkEpochHdr{
+			Epoch: ecp.Epoch, Sent: ecp.Sent, Apps: len(ecp.Apps), AppSum: ecp.AppSum,
+		}})
+		ring.Send(p, shm.Message{Kind: bulkApp, Size: 32,
+			Payload: bulkAppMeta{Name: "stream", Len: len(ecp.Apps[1].Data)}})
+		ring.Send(p, shm.Message{Kind: bulkAppChunk, Size: 16 + chunkBytes,
+			Payload: bulkAppData{App: 0, Data: ecp.Apps[1].Data[:chunkBytes]}})
+		// Sender dies mid-snapshot.
+	})
+	bk.Spawn("recv", func(tk *kernel.Task) { _, rerr = RecvEpoch(tk, ring) })
+	if err := s.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(rerr, ErrTruncatedCheckpoint) {
+		t.Fatalf("RecvEpoch = %v, want ErrTruncatedCheckpoint", rerr)
+	}
+}
+
+// TestPreCopyConverges drives the iterative pre-copy engine against a
+// source whose dirty rate is low enough to converge: each pass must copy
+// strictly less than the one before, and the final dirty residue — what
+// the stop-the-world cut pays for — must be bounded by the dirty rate,
+// not the state size.
+func TestPreCopyConverges(t *testing.T) {
+	s := sim.New(1)
+	m := hw.New(s, hw.Opteron6376x4())
+	pp, _ := m.NewPartition("p", 0, 1, 2, 3)
+	kp := kernel.DefaultParams()
+	kp.IdleWakeMin, kp.IdleWakeMax = 0, 0
+	pk, err := kernel.Boot(pp, kernel.Config{Name: "p", Params: kp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1 << 20
+	const rate = 100 // dirty bytes per microsecond of virtual time
+	var finalDirty int
+	var passes []PassStat
+	pk.Spawn("precopy", func(tk *kernel.Task) {
+		pc := &PreCopy{
+			Sources: []Source{FuncSource{
+				SourceName: "state",
+				Total:      func() int { return total },
+				Dirty: func() uint64 {
+					return uint64(tk.Now()) / uint64(time.Microsecond) * rate
+				},
+			}},
+			PerByte:     time.Nanosecond,
+			MaxPasses:   8,
+			TargetDirty: 4 << 10,
+		}
+		finalDirty, passes = pc.Run(tk)
+	})
+	if err := s.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) < 2 {
+		t.Fatalf("pre-copy took %d passes, want convergence over several", len(passes))
+	}
+	if passes[0].Copied != total {
+		t.Errorf("first pass copied %d, want the full %d", passes[0].Copied, total)
+	}
+	for i := 1; i < len(passes); i++ {
+		if passes[i].Copied >= passes[i-1].Copied {
+			t.Errorf("pass %d copied %d, not less than pass %d's %d",
+				i+1, passes[i].Copied, i, passes[i-1].Copied)
+		}
+	}
+	// 1 MiB at 1 ns/B with 100 B/µs dirty rate: the residue must be within
+	// an order of the rate*pass-time product, nowhere near the state size.
+	if finalDirty > total/8 {
+		t.Errorf("final dirty residue %d not bounded by the dirty rate (state %d)", finalDirty, total)
+	}
+}

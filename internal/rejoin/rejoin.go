@@ -16,16 +16,32 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/replication"
 	"repro/internal/shm"
+	"repro/internal/sim"
 	"repro/internal/tcprep"
 )
 
 // ErrChecksumMismatch reports that a transferred or replay-reconstructed
 // checkpoint does not match the recording side's cut.
 var ErrChecksumMismatch = errors.New("rejoin: checkpoint checksum mismatch")
+
+// ErrTruncatedCheckpoint reports a bulk transfer that stopped mid-stream:
+// the sender died (or its kernel was torn down) between frames, leaving a
+// partial checkpoint on a ring nobody will ever finish. Recv fails fast
+// with this instead of blocking forever.
+var ErrTruncatedCheckpoint = errors.New("rejoin: truncated checkpoint transfer")
+
+// RecvFrameTimeout bounds how long Recv waits for the next bulk frame
+// before declaring the transfer truncated. Virtual time, and generous:
+// a healthy sender streams the whole checkpoint in well under a second
+// of virtual clock, so only a dead sender can exhaust it. (Satisfied
+// waits cancel their timer without observable residue, so the timeout
+// does not perturb same-seed traces.)
+var RecvFrameTimeout = 30 * time.Second
 
 // EnvEntry is one environment binding, in sorted-key order so the
 // checkpoint content is deterministic.
@@ -181,10 +197,84 @@ func (cp *Checkpoint) VerifyReplay(ns *replication.Namespace) error {
 	return nil
 }
 
+// AppSnap is one application's opaque state snapshot inside an epoch
+// checkpoint. The replication layer never interprets Data; the owning
+// application's Restore hook does.
+type AppSnap struct {
+	Name string
+	Data []byte
+}
+
+// EpochCheckpoint is an incremental epoch cut (§3.7 extended): the base
+// Checkpoint plus opaque per-application snapshots. The embedded
+// Checkpoint always carries an empty TCP snapshot — input bytes never
+// enter the deterministic-section log, so TCP state is snapshotted fresh
+// at the rejoin instant rather than at the epoch boundary — and uses
+// Generation 0, which is what lets a backup recompute the identical
+// digest from its own replay-reconstructed namespace.
+type EpochCheckpoint struct {
+	Checkpoint
+	// Epoch numbers the cut within the primary's incarnation lineage.
+	Epoch uint64
+	// Sent is the recording-side log watermark at the cut: the marker
+	// message carrying this checkpoint occupies log index Sent, and
+	// truncation on both sides keeps it as the first retained entry.
+	Sent uint64
+	// Apps holds the application snapshots, in launch order.
+	Apps []AppSnap
+	// Sends holds every replicated connection's cumulative output-stream
+	// byte count at the cut, sorted by socket ID. A seeded backup replays
+	// the delta log from the cut, so its regenerated output resumes at
+	// these offsets; seeding them as the logical out-buffer bases keeps
+	// the retransmission accounting aligned (tcprep.Secondary.SeedOutBase).
+	Sends []tcprep.SendCursor
+	// AppSum is the FNV-1a digest over Epoch, Sent, Apps and Sends; the
+	// receiver recomputes it after reassembly.
+	AppSum uint64
+}
+
+// appDigest is the FNV-1a checksum over the epoch-specific content.
+func (ecp *EpochCheckpoint) appDigest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "e%d|w%d", ecp.Epoch, ecp.Sent)
+	for _, a := range ecp.Apps {
+		fmt.Fprintf(h, "|a%s:%d:", a.Name, len(a.Data))
+		h.Write(a.Data)
+	}
+	for _, c := range ecp.Sends {
+		fmt.Fprintf(h, "|c%d:%d", c.ID, c.Sent)
+	}
+	return h.Sum64()
+}
+
+// Seal computes both digests after the cut's fields are final.
+func (ecp *EpochCheckpoint) Seal() {
+	ecp.Sum = ecp.Checkpoint.digest()
+	ecp.AppSum = ecp.appDigest()
+}
+
+// Digest is the combined checksum carried in the epoch marker message and
+// compared by each backup against its replay-reconstructed state.
+func (ecp *EpochCheckpoint) Digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#x|%#x", ecp.Sum, ecp.AppSum)
+	return h.Sum64()
+}
+
+// Bytes is the epoch checkpoint's accounted bulk-transfer footprint.
+func (ecp *EpochCheckpoint) Bytes() int {
+	n := ecp.Checkpoint.Bytes() + 32 + 16*len(ecp.Sends)
+	for _, a := range ecp.Apps {
+		n += 16 + len(a.Name) + len(a.Data)
+	}
+	return n
+}
+
 // Bulk-ring message kinds. The ring is dedicated to one transfer, FIFO and
 // reliable (fault injection never targets bulk rings), so the protocol is
 // a plain framed stream: header, cursor tables, per-connection meta plus
-// input-stream chunks, bindings, done.
+// input-stream chunks, bindings, done. Epoch transfers splice an epoch
+// header and per-application frames between the header and the body.
 const (
 	bulkHeader = iota + 1
 	bulkThreads
@@ -194,6 +284,9 @@ const (
 	bulkBinds
 	bulkDone
 	bulkObjs
+	bulkEpoch
+	bulkApp
+	bulkAppChunk
 )
 
 // chunkBytes bounds one bulk-ring transfer so the checkpoint streams
@@ -218,11 +311,61 @@ type bulkConnChunk struct {
 	Data []byte
 }
 
+type bulkEpochHdr struct {
+	Epoch  uint64
+	Sent   uint64
+	Apps   int
+	Sends  []tcprep.SendCursor
+	AppSum uint64
+}
+
+type bulkAppMeta struct {
+	Name string
+	Len  int
+}
+
+type bulkAppData struct {
+	App  int // index into the epoch checkpoint's app order
+	Data []byte
+}
+
 // Send streams the checkpoint over the bulk ring, blocking as the ring
 // fills. Run it on a dedicated task of the recording side's kernel; the
 // checkpoint was already cut, so recording continues concurrently.
 func Send(t *kernel.Task, ring *shm.Ring, cp *Checkpoint) {
 	p := t.Proc()
+	sendHeader(p, ring, cp)
+	sendBody(p, ring, cp)
+}
+
+// SendEpoch streams an epoch checkpoint: the base frames plus the epoch
+// header and per-application snapshots.
+func SendEpoch(t *kernel.Task, ring *shm.Ring, ecp *EpochCheckpoint) {
+	p := t.Proc()
+	sendHeader(p, ring, &ecp.Checkpoint)
+	ring.Send(p, shm.Message{Kind: bulkEpoch, Size: 48 + 16*len(ecp.Sends), Payload: bulkEpochHdr{
+		Epoch:  ecp.Epoch,
+		Sent:   ecp.Sent,
+		Apps:   len(ecp.Apps),
+		Sends:  ecp.Sends,
+		AppSum: ecp.AppSum,
+	}})
+	for i, a := range ecp.Apps {
+		ring.Send(p, shm.Message{Kind: bulkApp, Size: 32 + len(a.Name),
+			Payload: bulkAppMeta{Name: a.Name, Len: len(a.Data)}})
+		for off := 0; off < len(a.Data); off += chunkBytes {
+			end := off + chunkBytes
+			if end > len(a.Data) {
+				end = len(a.Data)
+			}
+			ring.Send(p, shm.Message{Kind: bulkAppChunk, Size: 16 + end - off,
+				Payload: bulkAppData{App: i, Data: a.Data[off:end]}})
+		}
+	}
+	sendBody(p, ring, &ecp.Checkpoint)
+}
+
+func sendHeader(p *sim.Proc, ring *shm.Ring, cp *Checkpoint) {
 	ring.Send(p, shm.Message{Kind: bulkHeader, Size: 64, Payload: bulkHdr{
 		Generation: cp.Generation,
 		SeqGlobal:  cp.SeqGlobal,
@@ -230,6 +373,9 @@ func Send(t *kernel.Task, ring *shm.Ring, cp *Checkpoint) {
 		Conns:      len(cp.TCP.Conns),
 		Sum:        cp.Sum,
 	}})
+}
+
+func sendBody(p *sim.Proc, ring *shm.Ring, cp *Checkpoint) {
 	ring.Send(p, shm.Message{Kind: bulkThreads, Size: 16 + 16*len(cp.Threads), Payload: cp.Threads})
 	ring.Send(p, shm.Message{Kind: bulkObjs, Size: 16 + 16*len(cp.Objs), Payload: cp.Objs})
 	envSize := 16
@@ -256,13 +402,41 @@ func Send(t *kernel.Task, ring *shm.Ring, cp *Checkpoint) {
 
 // Recv reassembles a checkpoint from the bulk ring, blocking until the
 // terminating frame arrives, and re-verifies the digest over the
-// reassembled content.
+// reassembled content. A sender that dies mid-stream surfaces as
+// ErrTruncatedCheckpoint after RecvFrameTimeout of ring silence rather
+// than blocking forever.
 func Recv(t *kernel.Task, ring *shm.Ring) (*Checkpoint, error) {
-	p := t.Proc()
 	cp := &Checkpoint{}
+	if err := recvFrames(t, ring, cp, nil); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// RecvEpoch reassembles an epoch checkpoint, verifying both the base and
+// the application digests over the reassembled content.
+func RecvEpoch(t *kernel.Task, ring *shm.Ring) (*EpochCheckpoint, error) {
+	ecp := &EpochCheckpoint{}
+	if err := recvFrames(t, ring, &ecp.Checkpoint, ecp); err != nil {
+		return nil, err
+	}
+	return ecp, nil
+}
+
+// recvFrames is the shared reassembly loop. ecp is nil for a base
+// transfer; non-nil enables (and requires) the epoch frames.
+func recvFrames(t *kernel.Task, ring *shm.Ring, cp *Checkpoint, ecp *EpochCheckpoint) error {
+	p := t.Proc()
 	var want uint64
+	sawEpoch := false
+	frames := 0
 	for {
-		m := ring.Recv(p)
+		m, ok := ring.RecvTimeout(p, RecvFrameTimeout)
+		if !ok {
+			return fmt.Errorf("%w: ring silent for %v after %d frames",
+				ErrTruncatedCheckpoint, RecvFrameTimeout, frames)
+		}
+		frames++
 		switch m.Kind {
 		case bulkHeader:
 			h := m.Payload.(bulkHdr)
@@ -285,22 +459,58 @@ func Recv(t *kernel.Task, ring *shm.Ring) (*Checkpoint, error) {
 		case bulkChunk:
 			c := m.Payload.(bulkConnChunk)
 			if c.Conn >= len(cp.TCP.Conns) {
-				return nil, fmt.Errorf("%w: chunk for connection %d of %d",
+				return fmt.Errorf("%w: chunk for connection %d of %d",
 					ErrChecksumMismatch, c.Conn, len(cp.TCP.Conns))
 			}
 			cs := &cp.TCP.Conns[c.Conn]
 			cs.In = append(cs.In, c.Data...)
 		case bulkBinds:
 			cp.TCP.Binds = m.Payload.([]tcprep.BindSnap)
+		case bulkEpoch:
+			if ecp == nil {
+				return fmt.Errorf("%w: epoch frame in a base checkpoint transfer",
+					ErrChecksumMismatch)
+			}
+			h := m.Payload.(bulkEpochHdr)
+			ecp.Epoch = h.Epoch
+			ecp.Sent = h.Sent
+			ecp.Sends = append([]tcprep.SendCursor(nil), h.Sends...)
+			ecp.AppSum = h.AppSum
+			ecp.Apps = make([]AppSnap, 0, h.Apps)
+			sawEpoch = true
+		case bulkApp:
+			if ecp == nil {
+				return fmt.Errorf("%w: app frame in a base checkpoint transfer",
+					ErrChecksumMismatch)
+			}
+			meta := m.Payload.(bulkAppMeta)
+			ecp.Apps = append(ecp.Apps, AppSnap{Name: meta.Name, Data: make([]byte, 0, meta.Len)})
+		case bulkAppChunk:
+			c := m.Payload.(bulkAppData)
+			if ecp == nil || c.App >= len(ecp.Apps) {
+				return fmt.Errorf("%w: chunk for app snapshot %d", ErrChecksumMismatch, c.App)
+			}
+			a := &ecp.Apps[c.App]
+			a.Data = append(a.Data, c.Data...)
 		case bulkDone:
 			cp.Sum = cp.digest()
 			if cp.Sum != want {
-				return nil, fmt.Errorf("%w: reassembled digest %#x, header %#x",
+				return fmt.Errorf("%w: reassembled digest %#x, header %#x",
 					ErrChecksumMismatch, cp.Sum, want)
 			}
-			return cp, nil
+			if ecp != nil {
+				if !sawEpoch {
+					return fmt.Errorf("%w: epoch transfer carried no epoch frame",
+						ErrChecksumMismatch)
+				}
+				if got := ecp.appDigest(); got != ecp.AppSum {
+					return fmt.Errorf("%w: reassembled app digest %#x, header %#x",
+						ErrChecksumMismatch, got, ecp.AppSum)
+				}
+			}
+			return nil
 		default:
-			return nil, fmt.Errorf("%w: unknown bulk frame kind %d", ErrChecksumMismatch, m.Kind)
+			return fmt.Errorf("%w: unknown bulk frame kind %d", ErrChecksumMismatch, m.Kind)
 		}
 	}
 }

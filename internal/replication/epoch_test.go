@@ -1,0 +1,193 @@
+package replication_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/replication"
+)
+
+// stateDigest summarizes a namespace's replicated progress — Seq_global
+// plus every thread and object cursor. Both sides compute it at the same
+// quiesced log watermark, so equality means the replayed state reproduces
+// the recorded state at the epoch boundary.
+func stateDigest(ns *replication.Namespace) uint64 {
+	h := fnv.New64a()
+	seq, threads := ns.Cursors()
+	fmt.Fprintf(h, "s%d", seq)
+	for _, c := range threads {
+		fmt.Fprintf(h, "|t%d:%d", c.FTPid, c.Seq)
+	}
+	for _, o := range ns.ObjCursors() {
+		fmt.Fprintf(h, "|o%d:%d", o.Obj, o.Seq)
+	}
+	return h.Sum64()
+}
+
+// startCutter runs a primary-side epoch cutter that cuts whenever new
+// tuples were recorded since the last cut, until *stop is set. badDigest
+// substitutes a corrupted digest for epoch `corrupt` (0 = never).
+func startCutter(d *duo, period time.Duration, stop *bool, corrupt uint64) {
+	d.pk.Spawn("epoch-cutter", func(t *kernel.Task) {
+		var epoch, lastSeq uint64
+		for !*stop {
+			t.Sleep(period)
+			if d.pns.SeqGlobal() == lastSeq {
+				continue
+			}
+			release := d.pns.Quiesce(t)
+			seq, sent := d.pns.LogWatermark()
+			epoch++
+			digest := stateDigest(d.pns)
+			if epoch == corrupt {
+				digest = ^digest
+			}
+			d.pns.EmitEpoch(t, replication.EpochMark{
+				Epoch: epoch, SeqGlobal: seq, Sent: sent, Digest: digest,
+			}, 64)
+			release()
+			lastSeq = seq
+		}
+	})
+}
+
+// verifyDigest installs the backup-side boundary check: recompute the
+// digest from the replayed state, quiesced at the marker's frontier.
+func verifyDigest(ns *replication.Namespace) {
+	ns.OnEpoch(func(mark replication.EpochMark) bool {
+		return stateDigest(ns) == mark.Digest
+	})
+}
+
+// TestEpochTruncationBothSides drives a contended multi-threaded workload
+// under a periodic epoch cutter: every boundary must digest-verify on the
+// backup, and both sides must truncate their retained tuple logs at the
+// verified boundaries instead of retaining the full history.
+func TestEpochTruncationBothSides(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.Rejoinable = true
+	d := newDuo(t, 1, cfg, true)
+	verifyDigest(d.sns)
+	var pOrder, sOrder []int
+	stop := false
+	d.pns.Start("app", nil, lockOrderApp(&pOrder, 6, 15))
+	d.sns.Start("app", nil, lockOrderApp(&sOrder, 6, 15))
+	startCutter(d, time.Millisecond, &stop, 0)
+	// Let replay drain past the last boundary, then stop the cutter.
+	d.pk.Spawn("stopper", func(tk *kernel.Task) {
+		for len(pOrder) < 6*15 || len(sOrder) < 6*15 {
+			tk.Sleep(time.Millisecond)
+		}
+		tk.Sleep(20 * time.Millisecond)
+		stop = true
+	})
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pOrder {
+		if pOrder[i] != sOrder[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, pOrder[i], sOrder[i])
+		}
+	}
+	ps, ss := d.pns.Stats(), d.sns.Stats()
+	if ss.Divergences != 0 {
+		t.Fatalf("%d divergences", ss.Divergences)
+	}
+	if ps.EpochCuts < 2 {
+		t.Fatalf("only %d epoch cuts, want several", ps.EpochCuts)
+	}
+	if ps.LogTruncated == 0 {
+		t.Error("primary never truncated its retained log")
+	}
+	if ss.LogTruncated == 0 {
+		t.Error("backup never truncated its retained log")
+	}
+	// The retained tail is bounded by what arrived after the last verified
+	// boundary — a small fraction of the full history.
+	total := int(ps.LogMessages)
+	if r := d.pns.RetainedTuples(); r >= total/2 {
+		t.Errorf("primary retains %d of %d tuples; truncation ineffective", r, total)
+	}
+	if r := d.sns.RetainedTuples(); r >= total/2 {
+		t.Errorf("backup retains %d of %d tuples; truncation ineffective", r, total)
+	}
+}
+
+// TestEpochDigestMismatchDiverges corrupts one epoch marker's digest
+// mid-run: the backup's boundary verification must detect the mismatch and
+// halt the replica as diverged instead of truncating over corrupt state.
+func TestEpochDigestMismatchDiverges(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.Rejoinable = true
+	cfg.PanicOnDivergence = true
+	d := newDuo(t, 2, cfg, true)
+	verifyDigest(d.sns)
+	var pOrder, sOrder []int
+	stop := false
+	d.pns.Start("app", nil, lockOrderApp(&pOrder, 4, 20))
+	d.sns.Start("app", nil, lockOrderApp(&sOrder, 4, 20))
+	startCutter(d, time.Millisecond, &stop, 2) // corrupt the 2nd epoch
+	d.pk.Spawn("stopper", func(tk *kernel.Task) {
+		for len(pOrder) < 4*20 {
+			tk.Sleep(time.Millisecond)
+		}
+		tk.Sleep(20 * time.Millisecond)
+		stop = true
+	})
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if div := d.sns.Stats().Divergences; div == 0 {
+		t.Fatal("backup verified a corrupted epoch digest without diverging")
+	}
+	if d.sk.Alive() {
+		t.Error("diverged backup kernel still alive")
+	}
+	if !d.pk.Alive() {
+		t.Error("primary killed by a backup-side divergence")
+	}
+	// The first (intact) epoch may have truncated; the corrupted one must
+	// not have acked, so the primary cannot have truncated past it.
+	if got := d.pns.Stats().EpochCuts; got < 2 {
+		t.Fatalf("cutter emitted %d epochs, want >= 2", got)
+	}
+}
+
+// TestEpochQuorumGatesPrimaryTruncation leaves the backup without a
+// boundary verifier: markers are never acknowledged, so the primary must
+// keep its full retained history — truncating without a verification
+// quorum would discard the only copy of rejoin catch-up state.
+func TestEpochQuorumGatesPrimaryTruncation(t *testing.T) {
+	cfg := replication.DefaultConfig()
+	cfg.Rejoinable = true
+	d := newDuo(t, 3, cfg, true)
+	// No OnEpoch on the backup: markers pass through unverified.
+	var pOrder, sOrder []int
+	stop := false
+	d.pns.Start("app", nil, lockOrderApp(&pOrder, 4, 10))
+	d.sns.Start("app", nil, lockOrderApp(&sOrder, 4, 10))
+	startCutter(d, time.Millisecond, &stop, 0)
+	d.pk.Spawn("stopper", func(tk *kernel.Task) {
+		for len(pOrder) < 4*10 || len(sOrder) < 4*10 {
+			tk.Sleep(time.Millisecond)
+		}
+		tk.Sleep(20 * time.Millisecond)
+		stop = true
+	})
+	if err := d.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ps := d.pns.Stats()
+	if ps.EpochCuts < 2 {
+		t.Fatalf("only %d epoch cuts", ps.EpochCuts)
+	}
+	if ps.LogTruncated != 0 {
+		t.Errorf("primary truncated %d tuples with no verified epoch ack", ps.LogTruncated)
+	}
+	if d.sns.Stats().Divergences != 0 {
+		t.Errorf("unexpected divergence")
+	}
+}

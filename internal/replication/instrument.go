@@ -51,6 +51,11 @@ func (r *Recorder) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
 	// quorum loss.
 	reg.Gauge(name+".quorum.live", func() int64 { return int64(r.liveBackups()) })
 	reg.Gauge(name+".quorum.need", func() int64 { return int64(r.quorumNeed()) })
+	// Retained-log footprint: what epoch truncation keeps bounded (and
+	// what grows without bound when epochs are off and the side records
+	// into a rejoinable history).
+	reg.Gauge(name+".log.retained.tuples", func() int64 { return int64(r.RetainedTuples()) })
+	reg.Gauge(name+".log.retained.bytes", func() int64 { return r.RetainedBytes() })
 	// Fabric-side sending signals, sampled off the first log ring (the
 	// links are symmetric): how many reservations are open but unpublished
 	// and how often senders had to park for capacity.
@@ -91,4 +96,10 @@ func (r *Replayer) instrument(name string, sc *obs.Scope, reg *obs.Registry) {
 	// before its turn arrives — the replay-side serialization signal the
 	// per-object grant table exists to shrink.
 	r.hGrantWait = reg.Histogram(name+".grant.wait", "ns")
+	// Retained-log footprint, truncated at each digest-verified epoch
+	// boundary when epoch checkpoints are on. Prefixed .replay so the
+	// first backup (which shares the recorder's bare namespace name)
+	// doesn't collide with the recorder's .log.retained gauges.
+	reg.Gauge(name+".replay.retained.tuples", func() int64 { return int64(r.RetainedTuples()) })
+	reg.Gauge(name+".replay.retained.bytes", func() int64 { return r.RetainedBytes() })
 }

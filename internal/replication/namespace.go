@@ -28,6 +28,21 @@ type Namespace struct {
 	env       map[string]string
 	nextFTPid int
 	threads   map[*kernel.Task]*Thread
+
+	// resume holds checkpoint thread cursors while a rejoined replica
+	// restores its applications from an epoch checkpoint (ResumeFrom):
+	// re-spawned threads pop their original ft_pid and Seq_thread here
+	// instead of assigning fresh identity through a det section.
+	resume *resumeState
+}
+
+// resumeState is the checkpoint identity table a restore drains: thread
+// cursors in ascending ft_pid order (the original global assignment
+// order, which restorable apps must re-spawn in), and the namespace's
+// ft_pid high-water mark once every pin is consumed.
+type resumeState struct {
+	pins      []SeqCursor
+	finalNext int
 }
 
 var _ pthread.Det = (*Namespace)(nil)
@@ -91,8 +106,8 @@ func NewSecondary(name string, k *kernel.Kernel, cfg Config, log, acks *shm.Ring
 // left unregistered — the dead primary's namespace already claimed the
 // metric names — but it shares the replayer's event scope so the flight
 // timeline stays contiguous.
-func (ns *Namespace) forkRecorder(hist []shm.Message, nextGlobal uint64, objSeq map[uint64]uint64) *Recorder {
-	rec := newForkRecorder(ns.kern, ns.cfg, hist, nextGlobal, objSeq)
+func (ns *Namespace) forkRecorder(hist []shm.Message, histBase, nextGlobal uint64, objSeq map[uint64]uint64) *Recorder {
+	rec := newForkRecorder(ns.kern, ns.cfg, hist, histBase, nextGlobal, objSeq)
 	rec.sc = ns.rep.sc
 	ns.rec = rec
 	ns.role = RolePrimary
@@ -302,6 +317,128 @@ func (ns *Namespace) OnReplayHead(seq uint64, fn func()) {
 	ns.rep.OnHead(seq, fn)
 }
 
+// ResumeFrom installs an epoch checkpoint's thread-identity table for the
+// restore that follows: the next len(threads) replicated-thread creations
+// (Start for ft_pid 1, then SpawnThread for each subsequent pin, in
+// ascending ft_pid order — the original global assignment order) adopt
+// their checkpointed ft_pid and Seq_thread instead of assigning fresh
+// identity through an OpThreadCreate section. nextFTPid is the
+// checkpoint's assignment high-water mark, restored once the pins drain.
+func (ns *Namespace) ResumeFrom(threads []SeqCursor, nextFTPid int) {
+	pins := append([]SeqCursor(nil), threads...)
+	sort.Slice(pins, func(i, j int) bool { return pins[i].FTPid < pins[j].FTPid })
+	ns.resume = &resumeState{pins: pins, finalNext: nextFTPid}
+}
+
+// popResume pops the next checkpoint thread pin during a restore.
+func (ns *Namespace) popResume() (SeqCursor, bool) {
+	if ns.resume == nil || len(ns.resume.pins) == 0 {
+		return SeqCursor{}, false
+	}
+	c := ns.resume.pins[0]
+	ns.resume.pins = ns.resume.pins[1:]
+	ns.nextFTPid = c.FTPid
+	if len(ns.resume.pins) == 0 {
+		ns.nextFTPid = ns.resume.finalNext
+		ns.resume = nil
+	}
+	return c, true
+}
+
+// LogWatermark returns the recording side's cut coordinates: the
+// Seq_global Lamport watermark and the cumulative log-message count.
+// Read under Quiesce they are the exact identity of an epoch boundary.
+func (ns *Namespace) LogWatermark() (seqGlobal, sent uint64) {
+	if ns.rec == nil {
+		return 0, 0
+	}
+	return ns.rec.seqGlobal, ns.rec.sent
+}
+
+// Quiesce acquires every det-section lock in shard order, freezing the
+// namespace at a section boundary: no replicated thread is mid-section,
+// so the replicated state is exactly a deterministic function of the
+// recorded prefix. The returned func releases the locks in reverse
+// order. This is the epoch cutter's final stop-the-world.
+func (ns *Namespace) Quiesce(t *kernel.Task) func() {
+	if ns.rec == nil {
+		return func() {}
+	}
+	return ns.rec.quiesce(t)
+}
+
+// EmitEpoch streams an epoch-checkpoint marker through the log (primary
+// only; the caller holds Quiesce so the marker lands at exactly the cut
+// watermark).
+func (ns *Namespace) EmitEpoch(t *kernel.Task, mark EpochMark, size int) {
+	if ns.rec == nil {
+		panic("replication: EmitEpoch on a non-recording namespace")
+	}
+	ns.rec.EmitEpoch(t, mark, size)
+}
+
+// OnEpoch installs the replica-side epoch-boundary verifier: fn runs at
+// each marker's exact replay frontier and reports whether the local
+// replayed state reproduces the checkpoint digest. A true return
+// truncates the retained log at the boundary and acks the epoch.
+func (ns *Namespace) OnEpoch(fn func(EpochMark) bool) {
+	if ns.rep == nil {
+		panic("replication: OnEpoch on a non-replaying namespace")
+	}
+	ns.rep.OnEpoch(fn)
+}
+
+// OnEpochQuorum installs the recording-side callback fired when an epoch
+// reaches its ack quorum and the retained log has been truncated at it.
+func (ns *Namespace) OnEpochQuorum(fn func(epoch uint64)) {
+	if ns.rec == nil {
+		panic("replication: OnEpochQuorum on a non-recording namespace")
+	}
+	ns.rec.onEpochQuorum = fn
+}
+
+// SeedEpochs seeds the epoch counters on a promoted primary's fork
+// recorder, so its first cut continues the dead primary's sequence.
+func (ns *Namespace) SeedEpochs(epoch uint64) {
+	if ns.rec != nil {
+		ns.rec.seedEpochs(epoch)
+	}
+}
+
+// SeedCheckpoint initializes a fresh secondary from an epoch checkpoint
+// (see Replayer.SeedCheckpoint). Must run before any log message
+// arrives.
+func (ns *Namespace) SeedCheckpoint(epoch, seqGlobal, sent uint64, objs []ObjCursor, env map[string]string) {
+	if ns.rep == nil {
+		panic("replication: SeedCheckpoint on a non-replaying namespace")
+	}
+	ns.rep.SeedCheckpoint(epoch, seqGlobal, sent, objs, env)
+}
+
+// RetainedTuples and RetainedBytes report this side's retained tuple-log
+// footprint (the ftns.log.retained.* gauges): the recorder's history on
+// a recording side (including a promotion fork), the replayer's on a
+// replaying one.
+func (ns *Namespace) RetainedTuples() int {
+	switch {
+	case ns.rec != nil:
+		return ns.rec.RetainedTuples()
+	case ns.rep != nil:
+		return ns.rep.RetainedTuples()
+	}
+	return 0
+}
+
+func (ns *Namespace) RetainedBytes() int64 {
+	switch {
+	case ns.rec != nil:
+		return ns.rec.RetainedBytes()
+	case ns.rep != nil:
+		return ns.rep.RetainedBytes()
+	}
+	return 0
+}
+
 // GoLive stops recording on the primary side (called when the last backup
 // replica dies). On other roles it is a no-op.
 func (ns *Namespace) GoLive() {
@@ -449,6 +586,12 @@ func (ns *Namespace) OnStable(fn func()) {
 func (ns *Namespace) Start(name string, env map[string]string, fn func(*Thread)) *Thread {
 	ns.nextFTPid = 1
 	th := &Thread{ns: ns, ftpid: 1}
+	if c, ok := ns.popResume(); ok {
+		if c.FTPid != 1 {
+			panic(fmt.Sprintf("replication: resume pins must start at ft_pid 1, got %d", c.FTPid))
+		}
+		th.seq = c.Seq
+	}
 	th.task = ns.kern.Spawn(name, func(t *kernel.Task) {
 		switch ns.role {
 		case RolePrimary:
@@ -470,14 +613,22 @@ func (ns *Namespace) Getenv(key string) string { return ns.env[key] }
 
 // SpawnThread creates a replicated thread. The ft_pid is assigned inside a
 // deterministic section, so thread identity agrees across replicas even
-// when multiple threads spawn concurrently.
+// when multiple threads spawn concurrently. During a checkpoint restore
+// (ResumeFrom) the det section is bypassed: the thread adopts its
+// checkpointed identity — those OpThreadCreate sections happened before
+// the epoch boundary and are part of the state the checkpoint subsumes.
 func (ns *Namespace) SpawnThread(parent *Thread, name string, fn func(*Thread)) *Thread {
 	var ftpid int
-	ns.Section(parent.task, OpThreadCreate, 0, func() {
-		ns.nextFTPid++
-		ftpid = ns.nextFTPid
-	})
-	th := &Thread{ns: ns, ftpid: ftpid}
+	var seq uint64
+	if c, ok := ns.popResume(); ok {
+		ftpid, seq = c.FTPid, c.Seq
+	} else {
+		ns.Section(parent.task, OpThreadCreate, 0, func() {
+			ns.nextFTPid++
+			ftpid = ns.nextFTPid
+		})
+	}
+	th := &Thread{ns: ns, ftpid: ftpid, seq: seq}
 	th.task = ns.kern.Spawn(name, func(t *kernel.Task) { fn(th) })
 	ns.threads[th.task] = th
 	return th

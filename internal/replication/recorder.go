@@ -48,6 +48,19 @@ type replicaLink struct {
 	acked uint64
 	dead  bool
 
+	// base is the absolute log index of the first message this link's
+	// ring ever carries: zero for a boot-time link, the recorder's
+	// truncation base (histBase) for a link added after epoch truncation
+	// started dropping history. Ring delivery counts are ring-local, so
+	// every receipt watermark derived from them is offset by base.
+	base uint64
+
+	// epochAcked is the highest epoch boundary this backup has verified
+	// against its replay watermark and truncated its own log at
+	// (msgEpochAck). The primary truncates retained history once a
+	// commit-quorum of backups has acknowledged an epoch.
+	epochAcked uint64
+
 	// span is the link's open zero-copy reservation: emitted tuples are
 	// written straight into the ring's reserved slots and published in one
 	// Commit when the batch fills (or a deadline/output commit forces it).
@@ -108,6 +121,25 @@ type Recorder struct {
 	history   []shm.Message
 	stats     Stats
 
+	// histBase is the absolute log index of history[0]: zero until epoch
+	// truncation starts dropping verified prefixes, after which
+	// history[i] is log message histBase+i and len(history) is only the
+	// retained suffix. histBytes is the retained payload footprint, kept
+	// as a running sum so the retained-size gauge is O(1).
+	histBase  uint64
+	histBytes int64
+
+	// epochCuts maps a cut epoch number to its truncation base (the
+	// sent watermark at the cut); epochSeen is the latest epoch cut,
+	// epochDone the highest epoch already truncated (or vacuously
+	// settled). onEpochQuorum, if set, runs when an epoch reaches its
+	// ack quorum — core uses it to promote the epoch's checkpoint to
+	// "latest verified" and release the pending cut.
+	epochCuts     map[uint64]uint64
+	epochSeen     uint64
+	epochDone     uint64
+	onEpochQuorum func(epoch uint64)
+
 	// marks is the per-replica receipt watermark vector, refreshed at
 	// every link-state transition (ack, delivery, death, catch-up flip);
 	// it is what Watermarks exposes to failover election and the flight
@@ -146,12 +178,13 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 	}
 	cfg = cfg.withBatchDefaults()
 	r := &Recorder{
-		kern:   k,
-		cfg:    cfg,
-		mus:    newShardLocks(k, cfg.DetShards),
-		objSeq: make(map[uint64]uint64),
-		flushQ: sim.NewWaitQueue(k.Sim()),
-		marks:  make(map[int]ReplicaWatermark),
+		kern:      k,
+		cfg:       cfg,
+		mus:       newShardLocks(k, cfg.DetShards),
+		objSeq:    make(map[uint64]uint64),
+		flushQ:    sim.NewWaitQueue(k.Sim()),
+		marks:     make(map[int]ReplicaWatermark),
+		epochCuts: make(map[uint64]uint64),
 	}
 	if cfg.AdaptiveBatching {
 		r.ctrl = newBatchController(cfg)
@@ -169,12 +202,18 @@ func newRecorder(k *kernel.Kernel, cfg Config, logs, acks []*shm.Ring) *Recorder
 // the instant of finishing promotion (Config.Rejoinable): it continues
 // the dead primary's sequence space (seqGlobal plus the per-object
 // cursors) and inherits the replayed history, so a backup rejoined later
-// can catch up from sequence zero. It starts degraded, with no backup
-// links.
-func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal uint64, objSeq map[uint64]uint64) *Recorder {
+// can catch up from the fork's retention base. histBase is the absolute
+// log index of hist[0] — zero for a full-history backup, the latest
+// verified epoch boundary for one that truncated at epoch checkpoints.
+// It starts degraded, with no backup links.
+func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, histBase, seqGlobal uint64, objSeq map[uint64]uint64) *Recorder {
 	cfg = cfg.withBatchDefaults()
 	if objSeq == nil {
 		objSeq = make(map[uint64]uint64)
+	}
+	var histBytes int64
+	for _, m := range hist {
+		histBytes += int64(m.Size)
 	}
 	r := &Recorder{
 		kern:      k,
@@ -183,10 +222,13 @@ func newForkRecorder(k *kernel.Kernel, cfg Config, hist []shm.Message, seqGlobal
 		objSeq:    objSeq,
 		flushQ:    sim.NewWaitQueue(k.Sim()),
 		seqGlobal: seqGlobal,
-		sent:      uint64(len(hist)),
+		sent:      histBase + uint64(len(hist)),
 		history:   hist,
+		histBase:  histBase,
+		histBytes: histBytes,
 		degraded:  true,
 		marks:     make(map[int]ReplicaWatermark),
+		epochCuts: make(map[uint64]uint64),
 	}
 	if cfg.AdaptiveBatching {
 		r.ctrl = newBatchController(cfg)
@@ -210,7 +252,7 @@ func (r *Recorder) addLink(link *replicaLink) {
 	k, log := r.kern, link.log
 	log.OnDelivered(func() {
 		k.Sim().Schedule(log.Latency(), func() {
-			if d := uint64(log.Delivered()); d > link.acked {
+			if d := link.base + uint64(log.Delivered()); d > link.acked {
 				link.acked = d
 				r.noteMark(link)
 				r.fireStable()
@@ -239,7 +281,7 @@ func (r *Recorder) AddReplica(log, acks *shm.Ring, onCaughtUp func()) int {
 	if !r.cfg.Rejoinable {
 		panic("replication: AddReplica requires Config.Rejoinable")
 	}
-	link := &replicaLink{log: log, acks: acks, syncing: true}
+	link := &replicaLink{log: log, acks: acks, syncing: true, base: r.histBase}
 	link.backlog = append([]shm.Message(nil), r.history...)
 	idx := len(r.replicas)
 	r.addLink(link)
@@ -282,10 +324,23 @@ func (r *Recorder) catchupLoop(t *kernel.Task, link *replicaLink, onCaughtUp fun
 func (r *Recorder) ackLoop(t *kernel.Task, link *replicaLink) {
 	for {
 		m := link.acks.Recv(t.Proc())
-		if v, ok := m.Payload.(uint64); ok && v > link.acked {
-			link.acked = v
-			r.noteMark(link)
-			r.fireStable()
+		switch m.Kind {
+		case msgEpochAck:
+			// Epoch-boundary acknowledgement: the backup verified the
+			// epoch's digest at its replay frontier and truncated its
+			// own retained log there.
+			if e, ok := m.Payload.(uint64); ok && e > link.epochAcked {
+				link.epochAcked = e
+				r.maybeTruncateEpochs()
+			}
+		default:
+			// Cumulative receipt watermark (absolute: a rejoined backup
+			// seeds its processed count from the checkpoint it restored).
+			if v, ok := m.Payload.(uint64); ok && v > link.acked {
+				link.acked = v
+				r.noteMark(link)
+				r.fireStable()
+			}
 		}
 	}
 }
@@ -407,6 +462,7 @@ func (r *Recorder) emit(t *kernel.Task, kind int, payload any, size, stream int)
 	m := shm.Message{Kind: kind, Payload: payload, Size: size, Stream: stream}
 	if r.cfg.Rejoinable {
 		r.history = append(r.history, m)
+		r.histBytes += int64(m.Size)
 	}
 	eff := r.effBatch()
 	for _, link := range r.replicas {
@@ -592,6 +648,136 @@ func (r *Recorder) flushForCommit() {
 	}
 }
 
+// EmitEpoch streams an epoch-checkpoint marker through the ordinary log
+// stream. The caller (the core cutter task) holds every det-section lock,
+// so no tuple can interleave: the marker lands at log position mark.Sent
+// == r.sent, making "everything before the marker" on a backup exactly
+// the prefix the checkpoint replaces. size is the checkpoint's accounted
+// ring footprint.
+func (r *Recorder) EmitEpoch(t *kernel.Task, mark EpochMark, size int) {
+	if mark.Sent != r.sent {
+		panic("replication: epoch mark not cut at the current log watermark")
+	}
+	r.epochCuts[mark.Epoch] = mark.Sent
+	if mark.Epoch > r.epochSeen {
+		r.epochSeen = mark.Epoch
+	}
+	r.emit(t, msgEpoch, mark, size, 0)
+	r.stats.EpochCuts++
+	// With no live caught-up backup the quorum is vacuous (mirroring
+	// vacuous output stability): the prefix is truncated immediately —
+	// any future rejoin starts from the checkpoint core retains.
+	r.maybeTruncateEpochs()
+}
+
+// epochAckedAll is the epoch-boundary analogue of ackedAll: the highest
+// epoch a commit-quorum of live caught-up backups has verified-and-
+// truncated (k-th-highest epochAcked), degrading to all-of-the-living,
+// and vacuously the latest cut epoch when no live caught-up backup
+// remains.
+func (r *Recorder) epochAckedAll() uint64 {
+	marks := r.ackScratch[:0]
+	for _, link := range r.replicas {
+		if link.dead || link.syncing {
+			continue
+		}
+		marks = append(marks, link.epochAcked)
+	}
+	r.ackScratch = marks[:0]
+	if len(marks) == 0 {
+		return r.epochSeen
+	}
+	k := r.cfg.CommitQuorum
+	if k <= 0 || k > len(marks) {
+		k = len(marks)
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] > marks[j] })
+	return marks[k-1]
+}
+
+// maybeTruncateEpochs advances the primary's truncation to the highest
+// quorum-acknowledged epoch. No-op while epoch checkpoints are not in
+// use (no cuts registered, all epochAcked zero), so the non-epoch
+// engine's execution — and its trace — is untouched.
+func (r *Recorder) maybeTruncateEpochs() {
+	acked := r.epochAckedAll()
+	if acked <= r.epochDone {
+		return
+	}
+	var bestEpoch, bestBase uint64
+	for e, base := range r.epochCuts {
+		if e <= acked {
+			if e > bestEpoch {
+				bestEpoch, bestBase = e, base
+			}
+			delete(r.epochCuts, e)
+		}
+	}
+	r.epochDone = acked
+	if bestEpoch != 0 {
+		r.truncateHistory(bestEpoch, bestBase)
+	}
+}
+
+// truncateHistory drops the retained-log prefix below a verified epoch
+// boundary. verifiedSent is the absolute log index of the epoch marker:
+// every message below it is subsumed by a checkpoint a quorum of backups
+// holds, so retaining it buys nothing. Truncation above a boundary that
+// has NOT been verified would sacrifice the only copy of live catch-up
+// state — the guard clamps to the verified base.
+func (r *Recorder) truncateHistory(verifiedEpoch, verifiedSent uint64) {
+	if verifiedSent < r.histBase {
+		return // already truncated past this verified boundary
+	}
+	keep := verifiedSent - r.histBase
+	if keep > uint64(len(r.history)) {
+		panic("replication: verified epoch boundary beyond retained history")
+	}
+	for _, m := range r.history[:keep] {
+		r.histBytes -= int64(m.Size)
+	}
+	r.history = r.history[keep:]
+	r.histBase = verifiedSent
+	r.stats.LogTruncated += keep
+	r.sc.Emit(obs.EpochTruncate, 0, int64(verifiedEpoch), int64(keep))
+	if r.onEpochQuorum != nil {
+		r.onEpochQuorum(verifiedEpoch)
+	}
+}
+
+// RetainedTuples and RetainedBytes expose the retained-log footprint for
+// the ftns.log.retained.* gauges.
+func (r *Recorder) RetainedTuples() int    { return len(r.history) }
+func (r *Recorder) RetainedBytes() int64   { return r.histBytes }
+func (r *Recorder) HistoryBase() uint64    { return r.histBase }
+func (r *Recorder) EpochTruncated() uint64 { return r.epochDone }
+
+// seedEpochs initializes the epoch counters on a recorder forked at
+// promotion, so the new primary's first cut continues the dead primary's
+// epoch sequence instead of restarting at 1.
+func (r *Recorder) seedEpochs(epoch uint64) {
+	r.epochSeen = epoch
+	r.epochDone = epoch
+}
+
+// quiesce acquires every det-section lock in shard index order and
+// returns the matching release (reverse order). With all shard locks
+// held no section can be mid-flight: every replicated thread sits at a
+// section boundary, so the replicated state is exactly a deterministic
+// function of the recorded prefix — the property the epoch cutter's
+// final stop-the-world pass relies on. The fixed acquisition order makes
+// concurrent quiescers (cutter vs. rejoin) deadlock-free.
+func (r *Recorder) quiesce(t *kernel.Task) func() {
+	for _, mu := range r.mus {
+		mu.Lock(t)
+	}
+	return func() {
+		for i := len(r.mus) - 1; i >= 0; i-- {
+			r.mus[i].Unlock(t)
+		}
+	}
+}
+
 // lockShard acquires the det-section lock owning the sequencing object and
 // returns it with its shard index and the nanoseconds spent waiting. The
 // wait is sampled into the shard-contention histogram (the global-mutex
@@ -745,6 +931,7 @@ func (r *Recorder) dropReplica(i int) {
 	r.abandonLink(r.replicas[i])
 	r.replicas[i].log.Drain() // unblock senders stalled on the dead ring
 	r.fireStable()
+	r.maybeTruncateEpochs() // the dead link no longer gates epoch quorum
 	for _, link := range r.replicas {
 		if !link.dead {
 			return

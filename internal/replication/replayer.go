@@ -19,6 +19,10 @@ import (
 type headSub struct {
 	seq uint64
 	fn  func()
+	// epoch marks an epoch-boundary verification sub: dropped at
+	// promotion (the primary that cut the epoch is dead, and a stale
+	// barrier would wedge the post-promotion drain-replay).
+	epoch bool
 }
 
 // replWaiter is a shadow thread parked in a deterministic section, waiting
@@ -65,9 +69,9 @@ type Replayer struct {
 	objPending map[uint64][]Tuple // arrived, unreplayed tuples per object
 	objGranted map[uint64]bool    // object currently executing a granted section
 	objKnown   map[uint64]bool
-	objOrder   []uint64 // object keys in first-arrival order: the deterministic rescan order
-	unreplayed int      // total tuples across objPending
-	frontier   uint64   // Lamport replay head: every GlobalSeq < frontier is replayed
+	objOrder   []uint64        // object keys in first-arrival order: the deterministic rescan order
+	unreplayed int             // total tuples across objPending
+	frontier   uint64          // Lamport replay head: every GlobalSeq < frontier is replayed
 	ahead      map[uint64]bool // replayed GlobalSeqs at or past the frontier
 	shardQ     []*shardIngress
 	granters   []*kernel.Task
@@ -97,9 +101,27 @@ type Replayer struct {
 	// the history has no gap. headSubs are watermark callbacks used by the
 	// rejoin checkpoint verifier.
 	history  []shm.Message
-	onFork   func(hist []shm.Message, seqGlobal uint64, objSeq map[uint64]uint64) *Recorder
+	onFork   func(hist []shm.Message, histBase, seqGlobal uint64, objSeq map[uint64]uint64) *Recorder
 	fork     *Recorder
 	headSubs []headSub
+
+	// Epoch checkpointing (core.WithEpochCheckpoints): histBase is the
+	// absolute log index of history[0] — zero for a boot backup, the
+	// latest verified epoch boundary once truncation starts (or the
+	// checkpoint base for a replica seeded by SeedCheckpoint).
+	// baseSeqGlobal is the GlobalSeq the retained window starts at.
+	// epochSeen filters duplicate markers; epochBase is the seeded
+	// checkpoint's epoch (its own marker arrives first off the catch-up
+	// stream and is retained without re-verification). epochAckPend is
+	// an epoch ack the full ack ring refused, retried from the pull
+	// loop. onEpoch, set by core, verifies a marker's digest against
+	// the replayed state at its exact frontier.
+	histBase      uint64
+	baseSeqGlobal uint64
+	epochSeen     uint64
+	epochBase     uint64
+	epochAckPend  uint64
+	onEpoch       func(mark EpochMark) bool
 
 	sc         *obs.Scope
 	cAcks      *obs.Counter
@@ -187,6 +209,7 @@ func (r *Replayer) pullLoop(t *kernel.Task) {
 				r.sc.Emit(obs.AckSend, 0, int64(r.processed), 0)
 			}
 		}
+		r.retryEpochAck()
 		for _, m := range batch {
 			if r.cfg.ReplayDispatchCost > 0 {
 				t.Compute(r.cfg.ReplayDispatchCost)
@@ -221,6 +244,7 @@ func (r *Replayer) pullLoopSharded(t *kernel.Task) {
 				r.sc.Emit(obs.AckSend, 0, int64(r.processed), 0)
 			}
 		}
+		r.retryEpochAck()
 		for _, m := range batch {
 			r.route(m)
 		}
@@ -262,6 +286,11 @@ func (r *Replayer) route(m shm.Message) {
 			sh := r.shardQ[pthread.ShardOf(key, r.cfg.DetShards)]
 			sh.q = append(sh.q, m)
 			sh.wq.WakeAll(0)
+		}
+	case msgEpoch:
+		if mark, ok := m.Payload.(EpochMark); ok && !r.noteEpoch(mark) {
+			r.stats.Duplicates++
+			return
 		}
 	}
 	if r.cfg.Rejoinable {
@@ -335,11 +364,165 @@ func (r *Replayer) ingest(m shm.Message) {
 			r.pending = append(r.pending, tu)
 			r.tryGrant()
 		}
+	case msgEpoch:
+		if mark, ok := m.Payload.(EpochMark); ok && !r.noteEpoch(mark) {
+			r.stats.Duplicates++
+			return
+		}
 	}
 	if r.cfg.Rejoinable {
 		r.history = append(r.history, m)
 	}
 	r.stats.LogMessages++
+}
+
+// SeedCheckpoint initializes a fresh replayer from an epoch checkpoint
+// instead of sequence zero: the replay cursors, the per-object duplicate
+// filters, the env mirror, and the receipt count all start at the
+// checkpoint's watermarks, so the first message off the catch-up stream
+// — the checkpoint's own epoch marker — is exactly the next expected log
+// index. Must run before any log message arrives (the core rejoin path
+// calls it in the same atomic instant that cuts the checkpoint and
+// attaches the link). epoch is the checkpoint's epoch number; its marker
+// is retained without re-verification.
+func (r *Replayer) SeedCheckpoint(epoch, seqGlobal, sent uint64, objs []ObjCursor, env map[string]string) {
+	r.nextGlobal = seqGlobal
+	r.frontier = seqGlobal
+	r.baseSeqGlobal = seqGlobal
+	r.processed = sent
+	r.histBase = sent
+	r.epochBase = epoch
+	for _, c := range objs {
+		r.objDone[c.Obj] = c.Seq
+		if r.sharded() {
+			r.objSeen[c.Obj] = c.Seq
+			if !r.objKnown[c.Obj] {
+				r.objKnown[c.Obj] = true
+				r.objOrder = append(r.objOrder, c.Obj)
+			}
+		}
+	}
+	if env != nil {
+		r.env = env
+		r.envReady = true
+		r.envQ.WakeAll(0)
+	}
+}
+
+// OnEpoch installs the epoch-boundary verifier (core's digest check).
+// Without one, markers are retained in the history for alignment but
+// never verified, acked, or truncated at.
+func (r *Replayer) OnEpoch(fn func(mark EpochMark) bool) { r.onEpoch = fn }
+
+// noteEpoch handles one epoch marker off the ring, in ring order. It
+// reports false for a stale duplicate (not retained). A fresh marker is
+// always retained — at exactly the log index the primary cut it at, or
+// replay has silently diverged from the primary's numbering — and, when
+// a verifier is installed, armed for verification at the marker's exact
+// replay frontier.
+func (r *Replayer) noteEpoch(mark EpochMark) bool {
+	if mark.Epoch <= r.epochSeen {
+		return false
+	}
+	r.epochSeen = mark.Epoch
+	if r.onEpoch == nil || mark.Epoch <= r.epochBase {
+		return true
+	}
+	if at := r.histBase + uint64(len(r.history)); at != mark.Sent {
+		r.diverge(fmt.Sprintf("epoch %d marker arrived at log index %d, cut at %d", mark.Epoch, at, mark.Sent))
+		return true
+	}
+	r.armEpochSub(mark.SeqGlobal, func() { r.verifyEpoch(mark) })
+	return true
+}
+
+// armEpochSub arms an epoch-tagged head sub (see OnHead): the callback
+// runs when the replay head reaches seq, with grants at or past seq
+// withheld so the replayed set is exactly the prefix the epoch fences.
+func (r *Replayer) armEpochSub(seq uint64, fn func()) {
+	if r.head() >= seq {
+		r.kern.Sim().Schedule(0, fn)
+		return
+	}
+	r.headSubs = append(r.headSubs, headSub{seq: seq, fn: fn, epoch: true})
+}
+
+// verifyEpoch runs at the marker's exact replay frontier (armed via the
+// head-sub grant barrier, so the replayed prefix is quiesced): the
+// verifier recomputes the checkpoint digest from local replayed state,
+// and a match makes the boundary safe to truncate at — everything below
+// it is subsumed by a checkpoint this replica has verified it could have
+// produced itself. The ack tells the primary this backup no longer needs
+// the prefix retained.
+func (r *Replayer) verifyEpoch(mark EpochMark) {
+	if r.live || r.primaryDead {
+		return
+	}
+	if !r.onEpoch(mark) {
+		r.diverge(fmt.Sprintf("epoch %d digest mismatch at Seq_global %d: replayed state does not reproduce the primary's checkpoint", mark.Epoch, mark.SeqGlobal))
+		return
+	}
+	r.truncateAt(mark)
+	r.sendEpochAck(mark.Epoch)
+}
+
+// truncateAt drops this replica's retained history below a verified
+// epoch marker. The marker itself stays as history[0] — the primary
+// retains it too after its quorum truncation, keeping both sides'
+// log-index spaces aligned. Truncating above an unverified boundary
+// would discard the only local copy of state a promotion might need, so
+// only a verified marker's base is accepted.
+func (r *Replayer) truncateAt(mark EpochMark) {
+	verified := mark.Sent
+	if verified < r.histBase {
+		return // already truncated past this verified boundary
+	}
+	keep := verified - r.histBase
+	if keep > uint64(len(r.history)) {
+		r.diverge(fmt.Sprintf("epoch %d verified boundary %d beyond retained history end %d",
+			mark.Epoch, verified, r.histBase+uint64(len(r.history))))
+		return
+	}
+	r.history = r.history[keep:]
+	r.histBase = verified
+	r.baseSeqGlobal = mark.SeqGlobal
+	r.stats.LogTruncated += keep
+	r.sc.Emit(obs.EpochTruncate, 0, int64(mark.Epoch), int64(keep))
+}
+
+// sendEpochAck sends (or queues, when the ack ring is momentarily full)
+// the epoch-boundary acknowledgement; retryEpochAck drains the queued
+// one from the pull loop.
+func (r *Replayer) sendEpochAck(epoch uint64) {
+	if r.acks.TrySend(shm.Message{Kind: msgEpochAck, Payload: epoch, Size: 16}) {
+		r.stats.AckMessages++
+		return
+	}
+	if epoch > r.epochAckPend {
+		r.epochAckPend = epoch
+	}
+}
+
+func (r *Replayer) retryEpochAck() {
+	if r.epochAckPend == 0 {
+		return
+	}
+	if r.acks.TrySend(shm.Message{Kind: msgEpochAck, Payload: r.epochAckPend, Size: 16}) {
+		r.epochAckPend = 0
+		r.stats.AckMessages++
+	}
+}
+
+// RetainedTuples and RetainedBytes expose the replica-side retained-log
+// footprint for the ftns.log.retained.* gauges.
+func (r *Replayer) RetainedTuples() int { return len(r.history) }
+
+func (r *Replayer) RetainedBytes() int64 {
+	var b int64
+	for _, m := range r.history {
+		b += int64(m.Size)
+	}
+	return b
 }
 
 func (r *Replayer) waitEnv(t *kernel.Task) map[string]string {
@@ -653,6 +836,16 @@ func (r *Replayer) Promote() {
 	for _, g := range r.granters {
 		g.Kill()
 	}
+	// Epoch verifications still armed are moot — the primary that cut
+	// them is dead — and their grant barriers would wedge the
+	// drain-replay below. Drop them; the rejoin verifier's subs stay.
+	subs := r.headSubs[:0]
+	for _, s := range r.headSubs {
+		if !s.epoch {
+			subs = append(subs, s)
+		}
+	}
+	r.headSubs = subs
 	// Drain what the dead primary left in shared memory (§3.5: messages in
 	// the mailbox survive the sender's death).
 	drained := 0
@@ -696,7 +889,7 @@ func (r *Replayer) finishPromotion() {
 		// Fork BEFORE flushing waiters: their sections must be recorded
 		// by the fork so the retained history stays gapless.
 		hist, n := r.replayedHistory()
-		r.fork = r.onFork(hist, n, r.objSeqSnapshot())
+		r.fork = r.onFork(hist, r.histBase, n, r.objSeqSnapshot())
 	}
 	order := r.waitOrder
 	r.waitOrder = nil
@@ -729,18 +922,24 @@ func (r *Replayer) objSeqSnapshot() map[uint64]uint64 {
 
 // replayedHistory returns the executed subset of the retained log — every
 // environment message plus exactly the tuples whose sections replayed —
-// with GlobalSeq renumbered densely in retained (ring) order. Unsharded,
-// the replayed set is the first nextGlobal tuples and the renumbering is
-// the identity. Sharded, sections completed past a promotion gap would
-// leave holes below the Lamport maximum; dropping unreplayed tuples and
-// renumbering restores a dense, causally consistent order (ring order
-// respects every per-thread and per-object order), so a backup rejoining
-// the fork can replay the history under either discipline. It returns the
-// history and the fork's starting GlobalSeq.
+// with GlobalSeq renumbered densely in retained (ring) order from the
+// retention window's base. Unsharded with a zero base, the replayed set
+// is the first nextGlobal tuples and the renumbering is the identity.
+// Sharded, sections completed past a promotion gap would leave holes
+// below the Lamport maximum; dropping unreplayed tuples and renumbering
+// restores a dense, causally consistent order (ring order respects every
+// per-thread and per-object order), so a backup rejoining the fork can
+// replay the history under either discipline. Epoch markers are dropped:
+// their digests describe the dead primary's numbering, and the fork's
+// cutter starts a fresh boundary sequence over the renumbered space. It
+// returns the history and the fork's starting GlobalSeq.
 func (r *Replayer) replayedHistory() ([]shm.Message, uint64) {
 	out := make([]shm.Message, 0, len(r.history))
-	var n uint64
+	n := r.baseSeqGlobal
 	for _, m := range r.history {
+		if m.Kind == msgEpoch {
+			continue
+		}
 		if m.Kind != msgTuple {
 			out = append(out, m)
 			continue

@@ -89,7 +89,40 @@ const (
 const (
 	msgTuple = iota + 1
 	msgEnv
+	// msgEpoch carries an EpochMark through the ordinary log stream: an
+	// epoch checkpoint cut on the primary, delivered in order so every
+	// backup sees the marker at exactly the log position it describes.
+	msgEpoch
+	// msgEpochAck travels the ack ring from backup to primary once the
+	// backup has verified an epoch boundary against its replay watermark
+	// and truncated its retained log there (payload = epoch number).
+	msgEpochAck
 )
+
+// EpochMark is the epoch-checkpoint marker the primary emits through the
+// log stream (msgEpoch). It rides the same ordered ring as the tuples it
+// fences: a marker emitted right after a cut at sent-watermark S occupies
+// log position S itself, so "truncate everything before the marker" on a
+// backup drops exactly the S messages the checkpoint replaces — the same
+// count the primary drops from its own history after the epoch-ack
+// quorum.
+type EpochMark struct {
+	// Epoch is the monotone epoch number (1-based; survives failover).
+	Epoch uint64
+	// SeqGlobal is the namespace Lamport watermark at the cut.
+	SeqGlobal uint64
+	// Sent is the primary's cumulative log-message count at the cut: the
+	// log position of this marker and the truncation base of the epoch.
+	Sent uint64
+	// Digest is the checkpoint digest a backup must reproduce from its
+	// own replayed state at SeqGlobal before it may truncate.
+	Digest uint64
+	// Payload carries the full checkpoint (a *rejoin.EpochCheckpoint,
+	// opaque here to keep the package dependency one-way). Backups store
+	// the latest verified payload so a post-failover rejoin can start
+	// from it instead of replaying full history.
+	Payload any
+}
 
 // tupleBytes is the accounted shared-memory footprint of one log tuple:
 // one cache line of sequence numbers and op metadata (the 64-byte slot
@@ -277,11 +310,13 @@ func DefaultConfig() Config {
 
 // Stats summarizes one side's replication activity.
 type Stats struct {
-	Sections    uint64 // deterministic sections recorded or replayed
-	LogMessages uint64 // log entries emitted (primary) or processed (secondary)
-	LogBatches  uint64 // vectored ring transfers: flushes (primary) or multi-tuple deliveries drained (secondary)
-	AckMessages uint64 // cumulative acknowledgements sent (secondary)
-	Divergences uint64 // replay mismatches detected (secondary)
-	Dropped     uint64 // log tuples discarded at promotion (gap after fault)
-	Duplicates  uint64 // stale log messages discarded by the replayer (injected duplicates)
+	Sections     uint64 // deterministic sections recorded or replayed
+	LogMessages  uint64 // log entries emitted (primary) or processed (secondary)
+	LogBatches   uint64 // vectored ring transfers: flushes (primary) or multi-tuple deliveries drained (secondary)
+	AckMessages  uint64 // cumulative acknowledgements sent (secondary)
+	Divergences  uint64 // replay mismatches detected (secondary)
+	Dropped      uint64 // log tuples discarded at promotion (gap after fault)
+	Duplicates   uint64 // stale log messages discarded by the replayer (injected duplicates)
+	EpochCuts    uint64 // epoch checkpoint markers emitted (primary)
+	LogTruncated uint64 // retained log messages dropped at verified epoch boundaries
 }

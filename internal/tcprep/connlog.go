@@ -16,6 +16,10 @@ type ConnLog struct {
 	order     []ConnKey // establishment order, for deterministic snapshots
 	binds     map[uint64]ConnKey
 	bindOrder []uint64
+	// mut counts cumulative bytes of logical state dirtied by the
+	// mutators above, feeding the epoch pre-copy engine's convergence
+	// estimate (rejoin.Source).
+	mut uint64
 }
 
 // connHist is one connection's retained logical history.
@@ -49,27 +53,32 @@ func (cl *ConnLog) hist(key ConnKey) *connHist {
 func (cl *ConnLog) established(key ConnKey, iss, irs uint64) {
 	h := cl.hist(key)
 	h.iss, h.irs = iss, irs
+	cl.mut += 64
 }
 
 func (cl *ConnLog) dataIn(key ConnKey, data []byte) {
 	h := cl.hist(key)
 	h.in = append(h.in, data...)
+	cl.mut += uint64(len(data))
 }
 
 func (cl *ConnLog) ackIn(key ConnKey, acked uint64) {
 	h := cl.hist(key)
 	if acked > h.acked {
 		h.acked = acked
+		cl.mut += 8
 	}
 }
 
 func (cl *ConnLog) fin(key ConnKey) {
 	cl.hist(key).peerFin = true
+	cl.mut++
 }
 
 func (cl *ConnLog) goneMark(key ConnKey) {
 	if h, ok := cl.conns[key]; ok {
 		h.gone = true
+		cl.mut++
 	}
 }
 
@@ -78,10 +87,25 @@ func (cl *ConnLog) bind(id uint64, key ConnKey) {
 		cl.bindOrder = append(cl.bindOrder, id)
 	}
 	cl.binds[id] = key
+	cl.mut += 24
 }
 
 // Conns reports the number of connections retained.
 func (cl *ConnLog) Conns() int { return len(cl.conns) }
+
+// Dirtied is the cumulative count of logical-state bytes mutated since
+// boot, monotone; the epoch pre-copy engine differences readings to size
+// each converging pass.
+func (cl *ConnLog) Dirtied() uint64 { return cl.mut }
+
+// Footprint is the log's current full-copy size in accounted bytes.
+func (cl *ConnLog) Footprint() int {
+	n := 0
+	for _, h := range cl.conns {
+		n += 64 + len(h.in)
+	}
+	return n + 24*len(cl.binds)
+}
 
 // ConnSnap is one connection's logical history in a rejoin checkpoint.
 type ConnSnap struct {

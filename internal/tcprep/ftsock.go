@@ -2,6 +2,7 @@ package tcprep
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/kernel"
@@ -24,6 +25,14 @@ type Sockets struct {
 	nextID    uint64
 	listeners []*Listener
 	liveQ     *sim.WaitQueue
+
+	// sent tracks each replicated connection's cumulative output-stream
+	// bytes, incremented in section-settle order (atomically with the Send
+	// section's exit, like restorable-app state). At any quiesced boundary
+	// it is identical on every replica — the stack's own counters are NOT:
+	// a primary-side send may have reached the stack while its tuple is
+	// still waiting for the det lock behind a quiesced epoch cut.
+	sent map[uint64]uint64
 }
 
 // NewSockets builds the interposed socket layer for one replica side.
@@ -36,6 +45,40 @@ func NewSockets(ns *replication.Namespace, stack *tcpstack.Stack, prim *Primary,
 		prim:  prim,
 		sec:   sec,
 		liveQ: sim.NewWaitQueue(ns.Kernel().Sim()),
+		sent:  make(map[uint64]uint64),
+	}
+}
+
+// SendCursor is one replicated connection's cumulative output-stream byte
+// count at a quiesced section boundary. Epoch checkpoints carry the full
+// cursor set: a checkpoint-seeded backup replays the delta log from the
+// epoch cut, so its regenerated output stream starts at these offsets —
+// not at zero like a from-the-start replay — and the logical out-buffer
+// accounting must be seeded to match (Secondary.SeedOutBase).
+type SendCursor struct {
+	ID   uint64
+	Sent uint64
+}
+
+// SendCursors snapshots every replicated connection's cumulative sent
+// count, sorted by socket ID. Call with the namespace quiesced at a
+// section boundary; the result is deterministic across replicas and is
+// folded into the epoch checkpoint digest.
+func (s *Sockets) SendCursors() []SendCursor {
+	cur := make([]SendCursor, 0, len(s.sent))
+	for id, n := range s.sent {
+		cur = append(cur, SendCursor{ID: id, Sent: n})
+	}
+	sort.Slice(cur, func(i, j int) bool { return cur[i].ID < cur[j].ID })
+	return cur
+}
+
+// SeedSent installs a checkpoint's send cursors on a freshly seeded
+// replica, so its counters continue from the epoch cut exactly where the
+// recording side's did — and its own future boundary digests agree.
+func (s *Sockets) SeedSent(cur []SendCursor) {
+	for _, c := range cur {
+		s.sent[c.ID] = c.Sent
 	}
 }
 
@@ -119,6 +162,56 @@ func (l *Listener) Accept(th *replication.Thread) (*Conn, error) {
 	return c, nil
 }
 
+// ID returns the replicated socket identifier the listener's accept
+// sections are keyed by. Restorable applications snapshot it so a
+// checkpoint-seeded replica can re-adopt the listener without re-issuing
+// the (truncated) listen section.
+func (l *Listener) ID() uint64 { return l.id }
+
+// ID returns the replicated socket identifier of the connection.
+func (c *Conn) ID() uint64 { return c.id }
+
+// AdoptListener rebuilds a listener handle on a checkpoint-seeded replica
+// without entering a det section: the listen call happened before the
+// epoch cut, so its tuple is gone from the delta log and must not be
+// re-issued. The handle is registered for re-listen at promotion, and the
+// socket ID counter is advanced past the adopted ID so connections
+// accepted after promotion cannot collide with checkpointed ones.
+func (s *Sockets) AdoptListener(port int, id uint64) *Listener {
+	l := &Listener{socks: s, port: port, id: id}
+	if id > s.nextID {
+		s.nextID = id
+	}
+	s.listeners = append(s.listeners, l)
+	return l
+}
+
+// AdoptConn rebuilds a replicated connection handle on a checkpoint-seeded
+// replica, again without entering a det section. consumed is the number of
+// input-stream bytes the application had read before the snapshot was cut;
+// the seeded logical input stream retains them, and marking them consumed
+// resumes replayed reads at the application's restored position. Blocks
+// until the checkpoint's bind for id has been seeded.
+func (s *Sockets) AdoptConn(t *kernel.Task, id uint64, consumed int) *Conn {
+	c := &Conn{socks: s, id: id}
+	if id > s.nextID {
+		s.nextID = id
+	}
+	if s.sec != nil {
+		c.logical = s.sec.bindWait(t, id)
+		if consumed > len(c.logical.in) {
+			consumed = len(c.logical.in)
+		}
+		if consumed > c.logical.inRead {
+			c.logical.inRead = consumed
+		}
+		if c.logical.live != nil {
+			c.real = c.logical.live
+		}
+	}
+	return c
+}
+
 // Recv reads up to max bytes from the replicated connection. On the
 // secondary the recorded byte count is consumed from the synced input
 // stream — the syscall is not forwarded to any TCP stack.
@@ -164,6 +257,7 @@ func (c *Conn) Send(th *replication.Thread, data []byte) (int, error) {
 	if err != nil {
 		return n, err
 	}
+	s.sent[c.id] += uint64(n)
 	if c.real == nil && c.logical != nil {
 		s.sec.appendOut(c.logical, data[:n])
 	}

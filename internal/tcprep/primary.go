@@ -253,6 +253,25 @@ func (p *Primary) SnapshotState() StateSnap {
 	return p.clog.Snapshot()
 }
 
+// LogDirtied is the retained connection log's cumulative dirty-byte
+// counter (zero without retention); with LogFootprint it makes the
+// logical TCP state a pre-copy source for epoch checkpoints.
+func (p *Primary) LogDirtied() uint64 {
+	if p.clog == nil {
+		return 0
+	}
+	return p.clog.Dirtied()
+}
+
+// LogFootprint is the retained connection log's current full-copy size
+// in accounted bytes (zero without retention).
+func (p *Primary) LogFootprint() int {
+	if p.clog == nil {
+		return 0
+	}
+	return p.clog.Footprint()
+}
+
 // AttachRing adds one backup leg to the delta stream: subsequent state
 // updates are synced to the (re)joining backup over the given ring and
 // output commits gate on its sync barrier too. The new link starts at the

@@ -357,6 +357,28 @@ func (s *Secondary) Seed(snap StateSnap) {
 	s.bindQ.WakeAll(0)
 }
 
+// SeedOutBase aligns each seeded connection's out-buffer base with the
+// epoch checkpoint's send cursors. A checkpoint-seeded backup replays the
+// delta log from the epoch cut, so the first output byte it regenerates
+// sits at the cut's cumulative sent offset — a from-the-start replay's
+// zero base would misattribute every regenerated byte and promote a
+// corrupted stream. Call between Seed (which installs the binds) and the
+// start of delta replay. The snapshot's acked watermark may exceed a
+// cursor (bytes sent after the cut, acknowledged by the snapshot instant);
+// applyTrim already re-applies the watermark as replay appends catch up.
+func (s *Secondary) SeedOutBase(cur []SendCursor) {
+	for _, c := range cur {
+		key, ok := s.binds[c.ID]
+		if !ok {
+			continue
+		}
+		lc := s.logical(key)
+		if c.Sent > lc.outBase {
+			lc.outBase = c.Sent
+		}
+	}
+}
+
 // HistoryLog converts the retained logical state into a connection log for
 // the promoted side's detached primary, which carries the history forward
 // so the next rejoin can be checkpointed from it. Requires retention.
